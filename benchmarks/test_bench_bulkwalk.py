@@ -1,0 +1,86 @@
+"""A2 (ablation) — SNMP table enumeration: GETNEXT walk vs GETBULK.
+
+The fine-grained price of SNMP (experiment E3) is paid per round-trip;
+for conceptual tables (the filesystem group, enumerated by a MIB walk)
+that price multiplies by the table size.  SNMPv2c's GETBULK fetches many
+successors per round-trip.  This ablation measures the saving as the
+table grows.
+
+Expected shape: GETNEXT costs ~(rows + 1) round-trips; GETBULK with
+max-repetitions >= rows costs ~1; identical results either way.
+"""
+
+import pytest
+
+from repro.agents.host_model import HostSpec, SimulatedHost
+from repro.agents.snmp import SnmpAgent, oid_parse
+from repro.dbapi.url import JdbcUrl
+from repro.drivers.snmp_driver import SnmpDriver
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network
+from conftest import fmt_table
+
+
+def make_rig(n_fs: int):
+    clock = VirtualClock()
+    network = Network(clock, seed=20)
+    network.add_host("n0", site="a2")
+    network.add_host("gateway", site="a2")
+    spec = HostSpec.generate("n0", "a2", 3)
+    extra = tuple(
+        (f"/data{i}", "ext3", 9216.0) for i in range(max(0, n_fs - len(spec.filesystems)))
+    )
+    import dataclasses
+
+    spec = dataclasses.replace(spec, filesystems=spec.filesystems + extra)
+    host = SimulatedHost(spec, clock)
+    SnmpAgent(host, network)
+    driver = SnmpDriver(network, gateway_host="gateway")
+    return network, driver, JdbcUrl.parse("jdbc:snmp://n0/x"), len(spec.filesystems)
+
+
+BASE = oid_parse("1.3.6.1.2.1.25.2.3.1.3")  # hrStorageDescr column
+
+
+@pytest.mark.benchmark(group="A2-bulkwalk")
+def test_a2_walk_vs_bulk(benchmark, report):
+    rows = []
+    for n_fs in (4, 16, 64):
+        network, driver, url, total = make_rig(n_fs)
+        network.stats.reset()
+        walked = driver.walk(url, BASE)
+        walk_reqs = network.stats.requests
+        network.stats.reset()
+        bulked = driver.bulk_walk(url, BASE, max_repetitions=16)
+        bulk_reqs = network.stats.requests
+        assert [s for s, _ in walked] == [s for s, _ in bulked]
+        assert len(walked) == total
+        rows.append([total, walk_reqs, bulk_reqs, f"{walk_reqs / bulk_reqs:.1f}x"])
+    report(
+        "A2: filesystem-table enumeration, GETNEXT vs GETBULK(16)",
+        *fmt_table(["table rows", "getnext reqs", "getbulk reqs", "saving"], rows),
+    )
+    # Shape: GETNEXT linear in rows; GETBULK ~rows/16.
+    assert rows[-1][1] >= rows[-1][0]
+    assert rows[-1][2] <= rows[-1][0] // 16 + 2
+
+    network, driver, url, _ = make_rig(16)
+    benchmark(driver.bulk_walk, url, BASE, max_repetitions=16)
+
+
+@pytest.mark.benchmark(group="A2-bulkwalk")
+def test_a2_repetition_sweep(benchmark, report):
+    rows = []
+    network, driver, url, total = make_rig(64)
+    for reps in (1, 4, 16, 64):
+        network.stats.reset()
+        driver.bulk_walk(url, BASE, max_repetitions=reps)
+        rows.append([reps, network.stats.requests])
+    report(
+        f"A2b: max-repetitions sweep on a {total}-row table",
+        *fmt_table(["max-repetitions", "round-trips"], rows),
+    )
+    reqs = [r[1] for r in rows]
+    assert reqs == sorted(reqs, reverse=True)
+
+    benchmark(driver.walk, url, BASE)

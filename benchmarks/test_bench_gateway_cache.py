@@ -1,0 +1,127 @@
+"""E5 — Gateway query cache and resource intrusion (paper §4, Figure 9).
+
+Claim: "By utilising the cache, a heavily used GridRM Gateway can return
+a view of the recent status of a site while limiting resource intrusion."
+
+Workload: 32 simulated console users browsing the tree (each issues a
+Processor query every ~5 virtual seconds for 120s) with the gateway
+cache TTL swept.  Metrics: agent polls (intrusion), served-from-cache
+ratio, mean staleness of answers.  Expected shape: intrusion is bounded
+by duration/TTL regardless of user count; staleness grows with TTL —
+the freshness/intrusion trade-off the paper describes.
+"""
+
+import pytest
+
+from repro.core.policy import GatewayPolicy
+from repro.core.request_manager import QueryMode
+from conftest import fresh_site, fmt_table
+
+N_USERS = 32
+USER_PERIOD = 5.0
+DURATION = 120.0
+SQL = "SELECT HostName, LoadAverage1Min FROM Processor"
+
+
+def run(ttl: float):
+    site = fresh_site(
+        name=f"e5-{ttl:g}",
+        n_hosts=4,
+        agents=("ganglia",),
+        policy=GatewayPolicy(query_cache_ttl=ttl),
+    )
+    # Isolate the gateway cache from the driver's own dump cache.
+    site.gateway.driver_manager.driver_by_name("JDBC-Ganglia").cache.ttl = 0.0
+    agent = site.agents["ganglia"][0]
+    gw = site.gateway
+    url = site.url_for("ganglia")
+
+    queries = cache_hits = 0
+    staleness = []
+    steps = int(DURATION / (USER_PERIOD / N_USERS))
+    for step in range(steps):
+        # Users are staggered: one of the 32 queries per tick.
+        result = gw.query(url, SQL, mode=QueryMode.CACHED_OK)
+        queries += 1
+        status = result.statuses[0]
+        if status.from_cache:
+            cache_hits += 1
+            entry = gw.cache.lookup(url, SQL)
+            if entry is not None:
+                staleness.append(entry.age(site.clock.now()))
+        else:
+            staleness.append(0.0)
+        site.clock.advance(USER_PERIOD / N_USERS)
+    return {
+        "ttl": ttl,
+        "queries": queries,
+        "agent_requests": agent.requests_served,
+        "cache_ratio": cache_hits / queries,
+        "mean_staleness": sum(staleness) / len(staleness) if staleness else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="E5-gateway-cache")
+def test_e5_intrusion_vs_ttl(benchmark, report):
+    results = [run(ttl) for ttl in (0.0, 5.0, 15.0, 30.0, 60.0)]
+    rows = [
+        [
+            r["ttl"],
+            r["queries"],
+            r["agent_requests"],
+            f"{r['cache_ratio']:.2f}",
+            r["mean_staleness"],
+        ]
+        for r in results
+    ]
+    report(
+        f"E5: {N_USERS} users browsing for {DURATION:g}s, gateway cache TTL sweep",
+        *fmt_table(
+            ["ttl (s)", "client queries", "agent polls", "cache ratio", "staleness (s)"],
+            rows,
+        ),
+    )
+    by_ttl = {r["ttl"]: r for r in results}
+    # Shape: intrusion bounded by ~DURATION/TTL once TTL > 0, independent
+    # of the number of users; staleness grows with TTL.
+    assert by_ttl[0.0]["agent_requests"] >= by_ttl[0.0]["queries"]
+    for ttl in (5.0, 15.0, 30.0, 60.0):
+        expected_polls = DURATION / ttl
+        assert by_ttl[ttl]["agent_requests"] <= expected_polls * 2 + 4
+    assert by_ttl[60.0]["mean_staleness"] > by_ttl[5.0]["mean_staleness"]
+    assert by_ttl[60.0]["cache_ratio"] > 0.95
+
+    benchmark(run, 30.0)
+
+
+@pytest.mark.benchmark(group="E5-gateway-cache")
+def test_e5_explicit_poll_refreshes_for_everyone(benchmark, report):
+    """Figure 9's protocol: one user's explicit poll refreshes the view
+    other users' refreshes see."""
+    site = fresh_site(
+        name="e5b", n_hosts=4, agents=("ganglia",),
+        policy=GatewayPolicy(query_cache_ttl=300.0),
+    )
+    from repro.web.console import Console
+
+    console = Console(site.gateway)
+    console.poll(site.url_for("ganglia"), SQL)
+    site.clock.advance(100.0)
+    # A second user accepts cached data: no agent traffic, stale answer.
+    r = site.gateway.query(site.url_for("ganglia"), SQL, mode=QueryMode.CACHED_OK)
+    assert r.statuses[0].from_cache
+    age_before = site.gateway.cache.lookup(site.url_for("ganglia"), SQL).age(
+        site.clock.now()
+    )
+    # First user polls explicitly; second user now sees fresh data.
+    console.poll(site.url_for("ganglia"), SQL)
+    age_after = site.gateway.cache.lookup(site.url_for("ganglia"), SQL).age(
+        site.clock.now()
+    )
+    report(
+        "E5b: explicit poll refresh",
+        f"staleness before poll: {age_before:.1f}s, after: {age_after:.1f}s",
+    )
+    assert age_before > 99.0 and age_after == 0.0
+
+    benchmark(console.refresh)

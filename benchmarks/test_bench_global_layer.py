@@ -1,0 +1,119 @@
+"""E7 — Global-layer routing and inter-gateway caching (Figure 1, §4).
+
+Claims: gateways route remote queries through the GMA-based Global
+layer; "this approach is used between gateways to increase scalability by
+reducing unnecessary requests".
+
+Workload: 2-16 sites on a simulated WAN; a client at site-a fans one
+query out to every other site, with the inter-gateway cache on and off.
+Metrics: virtual latency per remote query, WAN requests.  Expected
+shape: cold remote queries cost WAN round-trips that grow linearly with
+the number of sites; with the cache a repeat fan-out costs (almost)
+nothing.
+"""
+
+import pytest
+
+from repro.gma.directory import GMADirectory
+from repro.gma.global_layer import GlobalLayer
+from repro.testbed import build_testbed
+from conftest import fmt_table
+
+SQL = "SELECT HostName, LoadAverage1Min FROM Processor"
+
+
+def build(n_sites: int):
+    network, sites = build_testbed(
+        n_sites=n_sites, n_hosts=2, agents=("snmp",), seed=7
+    )
+    network.clock.advance(20.0)
+    directory = GMADirectory(network)
+    layers = [GlobalLayer(s.gateway, directory) for s in sites]
+    return network, sites, layers
+
+
+def fan_out(network, sites, home: GlobalLayer):
+    t0 = network.clock.now()
+    rows = 0
+    for site in sites[1:]:
+        result = home.query_remote(site.name, SQL, mode="realtime")
+        rows += len(result.rows)
+    return network.clock.now() - t0, rows
+
+
+@pytest.mark.benchmark(group="E7-global-layer")
+def test_e7_site_scaling(benchmark, report):
+    rows = []
+    for n in (2, 4, 8, 16):
+        network, sites, layers = build(n)
+        network.stats.reset()
+        cold_t, got = fan_out(network, sites, layers[0])
+        cold_requests = network.stats.requests
+        network.stats.reset()
+        warm_t, _ = fan_out(network, sites, layers[0])
+        warm_requests = network.stats.requests
+        rows.append([n, cold_t * 1000, cold_requests, warm_t * 1000, warm_requests, got])
+    report(
+        "E7: remote fan-out to all sites, cold vs inter-gateway cached",
+        *fmt_table(
+            ["sites", "cold virt ms", "cold reqs", "warm virt ms", "warm reqs", "rows"],
+            rows,
+        ),
+    )
+    # Shape: cold cost grows with site count; cached repeat is free.
+    assert rows[-1][1] > rows[0][1] * 3
+    for r in rows:
+        assert r[3] == 0.0 and r[4] == 0
+
+    network, sites, layers = build(2)
+    benchmark(fan_out, network, sites, layers[0])
+
+
+@pytest.mark.benchmark(group="E7-global-layer")
+def test_e7_remote_vs_local_latency(benchmark, report):
+    """A remote query pays WAN latency the local query does not — the
+    reason the paper routes clients to their nearest gateway."""
+    network, sites, layers = build(2)
+    home = layers[0]
+    # Local.
+    t0 = network.clock.now()
+    sites[0].gateway.query(sites[0].url_for("snmp"), SQL)
+    local = network.clock.now() - t0
+    # Remote (cold, realtime).
+    t0 = network.clock.now()
+    home.query_remote(sites[1].name, SQL, mode="realtime")
+    remote = network.clock.now() - t0
+    report(
+        "E7b: local vs remote single query",
+        f"local: {local*1000:.2f} virt ms, remote: {remote*1000:.2f} virt ms "
+        f"({remote/local:.1f}x)",
+    )
+    assert remote > local * 5
+
+    benchmark(
+        lambda: home.query_remote(sites[1].name, SQL, mode="cached_ok")
+    )
+
+
+@pytest.mark.benchmark(group="E7-global-layer")
+def test_e7_remote_cached_ok_uses_remote_gateway_cache(benchmark, report):
+    """Even with the local inter-gateway cache disabled, mode=cached_ok
+    lets the REMOTE gateway answer from its own query cache, halving the
+    intrusion on that site's agents."""
+    network, sites, layers = build(2)
+    directory2 = GMADirectory(network, host="gma-dir2", port=8201)
+    home = GlobalLayer(
+        sites[0].gateway, directory2, producer_port=8301, cache_remote=False
+    )
+    GlobalLayer(sites[1].gateway, directory2, producer_port=8302)
+    agent_before = sites[1].agents["snmp"][0].requests_served
+    home.query_remote(sites[1].name, SQL, mode="cached_ok")
+    home.query_remote(sites[1].name, SQL, mode="cached_ok")
+    polls = sites[1].agents["snmp"][0].requests_served - agent_before
+    report(
+        "E7c: remote cached_ok",
+        f"2 remote queries -> {polls} poll(s) of site-b's first agent",
+    )
+    assert polls <= 2  # connect probe + one data fetch at most
+
+    benchmark(lambda: home.query_remote(sites[1].name, SQL, mode="cached_ok"))

@@ -1,0 +1,95 @@
+"""E9 — Multi-source coordination and consolidation (paper §3.1.1).
+
+Claim: "The RequestManager coordinates queries across multiple data
+sources and consolidates results.  Furthermore, the manager is
+responsible for executing queries that span real-time resource requests
+and historical (or cached) data."
+
+Workload: one ``SELECT * FROM Processor`` fanned over 2-64 SNMP sources;
+plus a mixed real-time/history phase.  Metrics: virtual latency and rows
+vs source count.  Expected shape: latency and rows grow linearly with
+sources (the gateway visits each), and history queries cost no agent
+traffic at all.
+"""
+
+import pytest
+
+from repro.core.request_manager import QueryMode
+from conftest import fresh_site, fmt_table
+
+SQL = "SELECT * FROM Processor"
+
+
+@pytest.mark.benchmark(group="E9-multisource")
+def test_e9_fanout_scaling(benchmark, report):
+    rows = []
+    for n in (2, 8, 32, 64):
+        site = fresh_site(name=f"e9-{n}", n_hosts=n, agents=("snmp",))
+        gw = site.gateway
+        urls = site.source_urls
+        gw.query(urls, SQL)  # warm pools
+        t0 = site.clock.now()
+        result = gw.query(urls, SQL)
+        elapsed = site.clock.now() - t0
+        assert result.ok_sources == n
+        rows.append([n, elapsed * 1000, elapsed * 1000 / n, len(result.rows)])
+    report(
+        "E9: consolidation fan-out over SNMP sources",
+        *fmt_table(["sources", "virt ms", "virt ms/source", "rows"], rows),
+    )
+    # Shape: linear — per-source cost roughly constant (within 2x).
+    per_source = [r[2] for r in rows]
+    assert max(per_source) < min(per_source) * 2
+    assert [r[3] for r in rows] == [r[0] for r in rows]
+
+    site = fresh_site(name="e9k", n_hosts=8, agents=("snmp",))
+    benchmark(site.gateway.query, site.source_urls, SQL)
+
+
+@pytest.mark.benchmark(group="E9-multisource")
+def test_e9_history_queries_cost_no_agent_traffic(benchmark, report):
+    site = fresh_site(name="e9h", n_hosts=8, agents=("snmp",))
+    gw = site.gateway
+    for _ in range(5):
+        gw.query(site.source_urls, SQL)
+        site.clock.advance(10.0)
+    polls_before = sum(a.requests_served for a in site.agents["snmp"])
+    t0 = site.clock.now()
+    result = gw.query(site.source_urls, SQL, mode=QueryMode.HISTORY)
+    history_virt = site.clock.now() - t0
+    polls_after = sum(a.requests_served for a in site.agents["snmp"])
+    report(
+        "E9b: history spans the same sources without touching agents",
+        f"history rows: {len(result.rows)} (5 samples x 8 hosts), "
+        f"agent polls during history query: {polls_after - polls_before}, "
+        f"virtual cost: {history_virt*1000:.3f} ms",
+    )
+    assert len(result.rows) == 40
+    assert polls_after == polls_before
+    assert history_virt == 0.0
+
+    benchmark(gw.query, site.source_urls, SQL, mode=QueryMode.HISTORY)
+
+
+@pytest.mark.benchmark(group="E9-multisource")
+def test_e9_partial_failure_does_not_block_consolidation(benchmark, report):
+    """Failed sources degrade the answer instead of failing it, and each
+    failure costs one timeout, not a cascade."""
+    site = fresh_site(name="e9f", n_hosts=8, agents=("snmp",))
+    gw = site.gateway
+    gw.query(site.source_urls, SQL)  # warm
+    for dead in site.host_names()[:2]:
+        site.network.set_host_up(dead, False)
+    t0 = site.clock.now()
+    result = gw.query(site.source_urls, SQL)
+    elapsed = site.clock.now() - t0
+    report(
+        "E9c: consolidation with 2/8 sources dead",
+        f"ok={result.ok_sources} failed={result.failed_sources} "
+        f"rows={len(result.rows)} virt={elapsed*1000:.0f} ms",
+    )
+    assert result.ok_sources == 6 and result.failed_sources == 2
+    assert len(result.rows) == 6
+
+    site2 = fresh_site(name="e9fk", n_hosts=4, agents=("snmp",))
+    benchmark(site2.gateway.query, site2.source_urls, SQL)

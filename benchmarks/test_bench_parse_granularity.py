@@ -1,0 +1,127 @@
+"""E3 — Fine- vs coarse-grained sources (paper §3.3).
+
+Claim: "In some cases, for example SNMP and Net Logger, fine grained
+native requests for data are possible, with generally little or no
+parsing required ... For other data sources, for example Ganglia and NWS,
+responses are typically coarse grained.  A greater overhead is required
+to parse values from the response, which is typically XML or plain text."
+
+Workload: fetch (a) one metric and (b) a full group from each agent kind
+on the same 8-host site.  Metrics: bytes moved per query (wire cost) and
+wall-time of the driver's native fetch+parse kernel (CPU cost).
+
+Expected shape: for a single metric, SNMP moves orders of magnitude fewer
+bytes than Ganglia (which always ships the whole cluster dump); for full
+dumps the gap narrows.  Ganglia's parse kernel costs more CPU than SNMP's
+BER decode of one varbind.
+"""
+
+import pytest
+
+from repro.core.policy import GatewayPolicy
+from conftest import fresh_site, fmt_table
+
+ONE_METRIC = "SELECT LoadAverage1Min FROM Processor"
+FULL_GROUP = "SELECT * FROM Processor"
+
+AGENT_KINDS = ("snmp", "ganglia", "scms", "sql")
+
+
+def build():
+    # Disable driver-level caches so every query pays the native fetch.
+    site = fresh_site(
+        name="e3",
+        n_hosts=8,
+        agents=AGENT_KINDS + ("netlogger", "nws"),
+        policy=GatewayPolicy(query_cache_ttl=0.0),
+        warmup=120.0,
+    )
+    ganglia = site.gateway.driver_manager.driver_by_name("JDBC-Ganglia")
+    ganglia.cache.ttl = 0.0
+    return site
+
+
+def bytes_for(site, kind, sql):
+    net = site.network
+    url = site.url_for(kind)
+    site.gateway.query(url, sql)  # connection warm-up outside measurement
+    net.stats.reset()
+    result = site.gateway.query(url, sql)
+    assert result.ok_sources == 1, result.statuses
+    return net.stats.bytes_sent, len(result.rows)
+
+
+@pytest.mark.benchmark(group="E3-granularity")
+def test_e3_wire_cost_single_metric_vs_full(benchmark, report):
+    site = build()
+    rows = []
+    for kind in AGENT_KINDS:
+        one, _ = bytes_for(site, kind, ONE_METRIC)
+        full, n = bytes_for(site, kind, FULL_GROUP)
+        rows.append([kind, one, full, n])
+    report(
+        "E3: wire bytes per query (8-host site)",
+        *fmt_table(["agent", "1 metric (B)", "full group (B)", "rows"], rows),
+    )
+    by_kind = {r[0]: r for r in rows}
+    # Shape: fine-grained SNMP moves far fewer bytes for one metric than
+    # coarse-grained Ganglia's full-cluster dump.
+    assert by_kind["snmp"][1] * 10 < by_kind["ganglia"][1]
+    # Ganglia pays the same dump regardless of what was asked.
+    assert by_kind["ganglia"][1] == pytest.approx(by_kind["ganglia"][2], rel=0.05)
+    # SNMP's full-group fetch grows with requested fields.
+    assert by_kind["snmp"][2] > by_kind["snmp"][1]
+
+    site2 = build()
+    benchmark(bytes_for, site2, "snmp", ONE_METRIC)
+
+
+@pytest.mark.benchmark(group="E3-granularity")
+@pytest.mark.parametrize("kind", AGENT_KINDS)
+def test_e3_fetch_parse_kernel(benchmark, kind, report):
+    """Wall-time of each driver's native fetch+translate path."""
+    site = build()
+    url = site.url_for(kind)
+    gw = site.gateway
+
+    def kernel():
+        gw.query(url, FULL_GROUP)
+
+    kernel()
+    benchmark(kernel)
+
+
+@pytest.mark.benchmark(group="E3-granularity")
+def test_e3_parse_cost_isolated(benchmark, report):
+    """Pure parse cost: gmond XML for 8 hosts vs one SNMP response."""
+    from repro.agents import snmp as wire
+    from repro.drivers.ganglia_driver import parse_ganglia_xml
+
+    site = build()
+    xml = site.agents["ganglia"][0].render_xml()
+    msg = wire.SnmpMessage(
+        0, "public", wire.TAG_RESPONSE, 1, 0, 0,
+        (wire.VarBind(wire.LA_LOAD_1, 57),),
+    ).encode()
+
+    import time
+
+    t0 = time.perf_counter()
+    for _ in range(200):
+        parse_ganglia_xml(xml)
+    ganglia_parse = (time.perf_counter() - t0) / 200
+
+    t0 = time.perf_counter()
+    for _ in range(200):
+        wire.SnmpMessage.decode(msg)
+    snmp_parse = (time.perf_counter() - t0) / 200
+
+    report(
+        "E3b: isolated parse cost",
+        f"ganglia XML dump ({len(xml)} B): {ganglia_parse*1e6:.1f} us",
+        f"snmp response ({len(msg)} B): {snmp_parse*1e6:.1f} us",
+        f"ratio: {ganglia_parse / snmp_parse:.1f}x",
+    )
+    assert ganglia_parse > snmp_parse * 3
+
+    benchmark(parse_ganglia_xml, xml)

@@ -1,0 +1,135 @@
+"""E11 — Runtime driver (un)registration (paper §3.2.2, Table 1).
+
+Claim: "Plug-ins are dynamic, drivers can be added or removed at runtime
+without affecting normal Gateway operation."
+
+Workload: a steady query stream while drivers are registered and
+unregistered every few queries.  Metrics: per-query virtual latency with
+and without churn; queries failed due to churn.  Expected shape: no
+failures and no measurable latency difference.
+"""
+
+import pytest
+
+from repro.drivers.nws_driver import NwsDriver
+from conftest import fresh_site, fmt_table
+
+N_QUERIES = 120
+SQL = "SELECT HostName, LoadAverage1Min FROM Processor"
+
+
+class ChurnDriver(NwsDriver):
+    """An unrelated driver to register/unregister during the stream."""
+
+    protocol = "churnproto"
+    display_name = "JDBC-Churn"
+
+
+def run(churn: bool):
+    site = fresh_site(name=f"e11-{churn}", n_hosts=4, agents=("snmp",))
+    gw = site.gateway
+    urls = site.source_urls
+    extra = None
+    failures = 0
+    latencies = []
+    for i in range(N_QUERIES):
+        if churn and i % 5 == 0:
+            if extra is None:
+                extra = ChurnDriver(site.network, gateway_host=gw.host)
+                gw.register_driver(extra)
+            else:
+                gw.unregister_driver(extra)
+                extra = None
+        t0 = site.clock.now()
+        result = gw.query(urls[i % len(urls)], SQL)
+        latencies.append(site.clock.now() - t0)
+        if result.failed_sources:
+            failures += 1
+        site.clock.advance(0.5)
+    return {
+        "churn": churn,
+        "failures": failures,
+        "mean_virt_ms": sum(latencies) / len(latencies) * 1000,
+        "max_virt_ms": max(latencies) * 1000,
+    }
+
+
+@pytest.mark.benchmark(group="E11-registration")
+def test_e11_registration_churn_does_not_disturb_queries(benchmark, report):
+    quiet = run(False)
+    churned = run(True)
+    rows = [
+        ["steady", quiet["failures"], quiet["mean_virt_ms"], quiet["max_virt_ms"]],
+        ["churning", churned["failures"], churned["mean_virt_ms"], churned["max_virt_ms"]],
+    ]
+    report(
+        f"E11: {N_QUERIES} queries with a driver (un)registered every 5",
+        *fmt_table(["stream", "failed queries", "mean virt ms", "max virt ms"], rows),
+    )
+    assert churned["failures"] == 0
+    assert churned["mean_virt_ms"] == pytest.approx(quiet["mean_virt_ms"], rel=0.1)
+
+    benchmark(run, True)
+
+
+@pytest.mark.benchmark(group="E11-registration")
+def test_e11_reflective_registration_cost(benchmark, report):
+    """Table 1's Class.forName-style load: spec string -> live driver."""
+    from repro.core.driver_manager import load_driver
+    from repro.simnet.clock import VirtualClock
+    from repro.simnet.network import Network
+
+    network = Network(VirtualClock())
+
+    def load():
+        return load_driver(
+            "repro.drivers.snmp_driver:SnmpDriver", network, gateway_host="g"
+        )
+
+    driver = load()
+    assert driver.name() == "JDBC-SNMP"
+    benchmark(load)
+
+
+@pytest.mark.benchmark(group="E11-registration")
+def test_e11_persisted_restart_reregisters(benchmark, report):
+    """Registration details are 'cached persistently within the Gateway':
+    a restarted gateway comes back with the same driver set."""
+    from repro.core.gateway import Gateway
+
+    site = fresh_site(name="e11r", n_hosts=1, agents=("snmp",))
+    store = dict(site.gateway.driver_manager.persistent_store)
+
+    def restart():
+        return Gateway(
+            site.network,
+            f"e11r-reborn-{site.clock.now()}",
+            site="e11r",
+            register_default_drivers=False,
+            install_event_drivers=False,
+            persistent_store=dict(store),
+        )
+
+    reborn = restart()
+    assert set(reborn.driver_manager.driver_names()) == set(
+        site.gateway.driver_manager.driver_names()
+    )
+    report(
+        "E11c: restart restores persisted drivers",
+        f"drivers restored: {len(reborn.driver_manager.driver_names())}",
+    )
+
+    counter = [0]
+
+    def restart_unique():
+        counter[0] += 1
+        return Gateway(
+            site.network,
+            f"e11r-gw-{counter[0]}",
+            site="e11r",
+            register_default_drivers=False,
+            install_event_drivers=False,
+            persistent_store=dict(store),
+        )
+
+    benchmark(restart_unique)

@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs on environments without the `wheel`
+package (PEP 660 editable builds require it; `pip install -e . --no-use-pep517`
+falls back to `setup.py develop`, which does not).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

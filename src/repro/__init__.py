@@ -1,0 +1,66 @@
+"""GridRM — an extensible resource monitoring system.
+
+A full Python reproduction of *GridRM: An Extensible Resource Monitoring
+System* (Baker & Smith, CLUSTER 2003): the two-layer GMA-based monitoring
+framework whose Local layer normalises heterogeneous agents (SNMP,
+Ganglia, NWS, NetLogger, SCMS, SQL) onto the GLUE naming schema behind a
+JDBC-style pluggable driver interface.
+
+Quickstart::
+
+    from repro import build_testbed, QueryMode
+
+    network, (site,) = build_testbed(n_hosts=4, agents=("snmp", "ganglia"))
+    network.clock.advance(60)                      # let agents measure
+    gw = site.gateway
+    result = gw.query(site.url_for("snmp"), "SELECT * FROM Processor")
+    print(result.dicts())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment-by-experiment reproduction record.
+"""
+
+from repro.core.gateway import Gateway, DataSource
+from repro.core.policy import GatewayPolicy, FailureAction
+from repro.core.request_manager import QueryMode, QueryResult
+from repro.core.security import Principal, AccessRule, ANONYMOUS
+from repro.core.events import Event
+from repro.dbapi.url import JdbcUrl
+from repro.dbapi.exceptions import SQLException
+from repro.gma.directory import GMADirectory
+from repro.gma.global_layer import GlobalLayer
+from repro.glue.schema import STANDARD_SCHEMA
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network, Address
+from repro.testbed import Site, build_site, build_testbed
+from repro.web.console import Console
+from repro.web.discovery import discover_sources
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Gateway",
+    "DataSource",
+    "GatewayPolicy",
+    "FailureAction",
+    "QueryMode",
+    "QueryResult",
+    "Principal",
+    "AccessRule",
+    "ANONYMOUS",
+    "Event",
+    "JdbcUrl",
+    "SQLException",
+    "GMADirectory",
+    "GlobalLayer",
+    "STANDARD_SCHEMA",
+    "VirtualClock",
+    "Network",
+    "Address",
+    "Site",
+    "build_site",
+    "build_testbed",
+    "Console",
+    "discover_sources",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Native data-source agents.
+
+The paper harvests from real agents — SNMP, Ganglia, NWS, NetLogger,
+SCMS, SQL databases — each speaking its own protocol and data format.
+This package implements all six against the simulated network:
+
+* :mod:`repro.agents.host_model` — the synthetic machine every agent
+  observes (seeded, deterministic, time-evolving metrics).
+* :mod:`repro.agents.snmp` — BER-lite SNMP agent: OID tree, GET/GETNEXT/
+  SET, community auth, trap emission.  Fine-grained (per-OID) access.
+* :mod:`repro.agents.ganglia` — gmond-style XML dump.  Coarse-grained:
+  every query returns the whole cluster report.
+* :mod:`repro.agents.nws` — Network Weather Service sensor with a real
+  forecaster bank (the paper's NWS driver consumes forecasts).
+* :mod:`repro.agents.netlogger` — ULM-format instrumentation log lines.
+* :mod:`repro.agents.scms` — SCMS-style cluster status key-value protocol.
+* :mod:`repro.agents.sqlagent` — a networked mini SQL database.
+
+The heterogeneity is the point: drivers must normalise all of these onto
+GLUE (experiments E3/E8 quantify the cost differences).
+"""
+
+from repro.agents.host_model import HostSpec, SimulatedHost
+
+__all__ = ["HostSpec", "SimulatedHost"]

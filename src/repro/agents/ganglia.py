@@ -1,0 +1,135 @@
+"""Ganglia (gmond-style) agent.
+
+Ganglia's gmond answers any TCP connection with an XML dump describing
+*every* host in the cluster — the paper's canonical *coarse-grained*
+source: "responses are typically coarse grained.  A greater overhead is
+required to parse values from the response, which is typically XML"
+(§3.3).  One agent serves a whole site, exactly like a real gmond that
+has heard the multicast chatter of its peers.
+
+The XML matches the gmond 2.5.x shape (GANGLIA_XML / CLUSTER / HOST /
+METRIC elements with NAME/VAL/TYPE/UNITS attributes) and uses the
+standard metric names (``load_one``, ``cpu_num``, ``mem_total`` in KB,
+``bytes_in`` as a rate, ...) so the driver's unit-normalisation work is
+genuine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agents.host_model import SimulatedHost
+from repro.simnet.network import Address, Network
+
+GANGLIA_PORT = 8649
+
+#: (gmond metric name, snapshot path, type, units) — snapshot path is a
+#: dotted path into SimulatedHost.snapshot() plus an optional scale.
+_METRICS: list[tuple[str, tuple[str, str], str, str, float]] = [
+    ("load_one", ("cpu", "load_1"), "float", "", 1.0),
+    ("load_five", ("cpu", "load_5"), "float", "", 1.0),
+    ("load_fifteen", ("cpu", "load_15"), "float", "", 1.0),
+    ("cpu_num", ("cpu", "count"), "uint16", "CPUs", 1.0),
+    ("cpu_speed", ("cpu", "clock_mhz"), "uint32", "MHz", 1.0),
+    ("cpu_user", ("cpu", "user"), "float", "%", 1.0),
+    ("cpu_system", ("cpu", "system"), "float", "%", 1.0),
+    ("cpu_idle", ("cpu", "idle"), "float", "%", 1.0),
+    ("mem_total", ("memory", "ram_total_mb"), "uint32", "KB", 1024.0),
+    ("mem_free", ("memory", "ram_free_mb"), "uint32", "KB", 1024.0),
+    ("swap_total", ("memory", "swap_total_mb"), "uint32", "KB", 1024.0),
+    ("swap_free", ("memory", "swap_free_mb"), "uint32", "KB", 1024.0),
+    ("mem_buffers", ("memory", "buffers_mb"), "uint32", "KB", 1024.0),
+    ("mem_cached", ("memory", "cached_mb"), "uint32", "KB", 1024.0),
+    ("proc_total", ("os", "process_count"), "uint32", "", 1.0),
+    ("bytes_in", ("network", "bytes_rx"), "float", "bytes/sec", 1.0),
+    ("bytes_out", ("network", "bytes_tx"), "float", "bytes/sec", 1.0),
+    ("pkts_in", ("network", "packets_rx"), "float", "packets/sec", 1.0),
+    ("pkts_out", ("network", "packets_tx"), "float", "packets/sec", 1.0),
+]
+
+_STRING_METRICS: list[tuple[str, tuple[str, str]]] = [
+    ("os_name", ("os", "name")),
+    ("os_release", ("os", "release")),
+    ("machine_type", ("os", "platform")),
+]
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+class GangliaAgent:
+    """A gmond that reports every host of one cluster/site.
+
+    Any request payload produces the full XML dump — there is no way to
+    ask for a single metric, which is precisely what makes driver-side
+    caching worthwhile (experiment E4).
+    """
+
+    def __init__(
+        self,
+        cluster_name: str,
+        hosts: Iterable[SimulatedHost],
+        network: Network,
+        *,
+        bind_host: str | None = None,
+        port: int = GANGLIA_PORT,
+    ) -> None:
+        self.cluster_name = cluster_name
+        self.hosts = list(hosts)
+        if not self.hosts:
+            raise ValueError("GangliaAgent needs at least one host")
+        self.network = network
+        bind = bind_host or self.hosts[0].spec.name
+        self.address = Address(bind, port)
+        self.requests_served = 0
+        network.listen(self.address, self._handle)
+
+    # ------------------------------------------------------------------
+    def _handle(self, payload: object, src: Address) -> str:
+        self.requests_served += 1
+        return self.render_xml()
+
+    def render_xml(self) -> str:
+        """The full cluster dump at the current virtual time."""
+        t = self.network.clock.now()
+        out: list[str] = []
+        out.append('<?xml version="1.0" encoding="ISO-8859-1"?>')
+        out.append('<GANGLIA_XML VERSION="2.5.7" SOURCE="gmond">')
+        out.append(
+            f'<CLUSTER NAME="{_xml_escape(self.cluster_name)}" '
+            f'LOCALTIME="{int(t)}" OWNER="gridrm" URL="">'
+        )
+        for host in self.hosts:
+            snap = host.snapshot(t)
+            out.append(
+                f'<HOST NAME="{_xml_escape(host.spec.name)}" '
+                f'IP="{host.spec.ip_address}" REPORTED="{int(t)}" '
+                f'TN="0" TMAX="20" DMAX="0" GMOND_STARTED="0">'
+            )
+            for name, (section, key), mtype, units, scale in _METRICS:
+                value = snap[section][key] * scale
+                if mtype.startswith("uint"):
+                    rendered = str(int(value))
+                else:
+                    rendered = f"{value:.2f}"
+                out.append(
+                    f'<METRIC NAME="{name}" VAL="{rendered}" TYPE="{mtype}" '
+                    f'UNITS="{_xml_escape(units)}" TN="0" TMAX="60" DMAX="0" '
+                    f'SLOPE="both" SOURCE="gmond"/>'
+                )
+            for name, (section, key) in _STRING_METRICS:
+                out.append(
+                    f'<METRIC NAME="{name}" VAL="{_xml_escape(str(snap[section][key]))}" '
+                    f'TYPE="string" UNITS="" TN="0" TMAX="1200" DMAX="0" '
+                    f'SLOPE="zero" SOURCE="gmond"/>'
+                )
+            out.append("</HOST>")
+        out.append("</CLUSTER>")
+        out.append("</GANGLIA_XML>")
+        return "\n".join(out)

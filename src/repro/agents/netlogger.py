@@ -1,0 +1,141 @@
+"""NetLogger agent.
+
+NetLogger instruments applications with timestamped ULM
+(Universal Logger Message) records::
+
+    DATE=20030615120001.123456 HOST=n0 PROG=gridftp LVL=Info \
+    NL.EVNT=ftp.transfer.start SIZE=1048576
+
+This agent synthesises a stream of such records from the host model's
+process activity (jobs starting/finishing, transfers, load samples) into
+a bounded ring buffer, and answers fine-grained queries over it — the
+paper groups NetLogger with SNMP as sources where "fine grained native
+requests for data are possible, with generally little or no parsing
+required" (§3.3).
+
+Protocol (plain text):
+
+* ``TAIL <n>`` — last *n* records.
+* ``SINCE <t>`` — records with virtual event time >= t.
+* ``MATCH <field>=<value> [<n>]`` — last *n* (default all) records whose
+  ULM field equals the value.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque
+
+from repro.agents.host_model import SimulatedHost, _stable_seed, _PROGRAMS
+from repro.simnet.network import Address, Network
+
+NETLOGGER_PORT = 14830
+
+_EVENTS = [
+    ("ftp.transfer.start", "Info"),
+    ("ftp.transfer.end", "Info"),
+    ("job.start", "Info"),
+    ("job.end", "Info"),
+    ("checkpoint.write", "Debug"),
+    ("auth.failure", "Warning"),
+    ("disk.full", "Error"),
+]
+
+
+def format_ulm_date(t: float) -> str:
+    """Virtual seconds -> ULM DATE field (epoch-style, microsecond part)."""
+    whole = int(t)
+    micros = int(round((t - whole) * 1e6))
+    return f"20030615{whole:010d}.{micros:06d}"
+
+
+def parse_ulm_line(line: str) -> dict[str, str]:
+    """Split one ULM record into its fields (best effort on bad input)."""
+    out: dict[str, str] = {}
+    for part in line.split():
+        key, sep, value = part.partition("=")
+        if sep:
+            out[key] = value
+    return out
+
+
+class NetLoggerAgent:
+    """Synthesises and serves ULM instrumentation records for one host."""
+
+    GENERATION_PERIOD = 5.0
+
+    def __init__(
+        self,
+        host: SimulatedHost,
+        network: Network,
+        *,
+        port: int = NETLOGGER_PORT,
+        capacity: int = 4096,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.address = Address(host.spec.name, port)
+        self.requests_served = 0
+        self._records: Deque[tuple[float, str]] = deque(maxlen=capacity)
+        self._rng = random.Random(_stable_seed(host.spec.seed, "netlogger"))
+        network.listen(self.address, self._handle)
+        network.clock.call_every(self.GENERATION_PERIOD, self._generate, first_in=0.0)
+
+    # ------------------------------------------------------------------
+    def _generate(self) -> None:
+        """Emit 0-3 records per tick, busier when the host is loaded."""
+        t = self.network.clock.now()
+        snap = self.host.snapshot(t)
+        busy = snap["cpu"]["utilization"] / 100.0
+        n = self._rng.choices([0, 1, 2, 3], weights=[1.0 - busy * 0.5, 1.0, busy, busy])[0]
+        for _ in range(n):
+            event, level = self._rng.choice(_EVENTS)
+            prog = self._rng.choice(_PROGRAMS)
+            extra = ""
+            if event.startswith("ftp.transfer"):
+                extra = f" SIZE={self._rng.randrange(1 << 12, 1 << 28)}"
+            elif event.startswith("job"):
+                extra = f" JOBID=j{self._rng.randrange(10000)}"
+            line = (
+                f"DATE={format_ulm_date(t)} HOST={self.host.spec.name} "
+                f"PROG={prog} LVL={level} NL.EVNT={event}{extra}"
+            )
+            self._records.append((t, line))
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    def _handle(self, payload: object, src: Address) -> str:
+        self.requests_served += 1
+        text = str(payload).strip()
+        parts = text.split()
+        if not parts:
+            return "ERROR empty request"
+        cmd = parts[0].upper()
+        if cmd == "TAIL":
+            n = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else 32
+            return "\n".join(line for _, line in list(self._records)[-n:])
+        if cmd == "SINCE":
+            if len(parts) < 2:
+                return "ERROR SINCE needs a time"
+            try:
+                t0 = float(parts[1])
+            except ValueError:
+                return f"ERROR bad time {parts[1]!r}"
+            return "\n".join(line for t, line in self._records if t >= t0)
+        if cmd == "MATCH":
+            if len(parts) < 2 or "=" not in parts[1]:
+                return "ERROR MATCH needs field=value"
+            field, _, wanted = parts[1].partition("=")
+            limit = int(parts[2]) if len(parts) > 2 and parts[2].isdigit() else None
+            hits = [
+                line
+                for _, line in self._records
+                if parse_ulm_line(line).get(field) == wanted
+            ]
+            if limit is not None:
+                hits = hits[-limit:]
+            return "\n".join(hits)
+        return f"ERROR unknown command {cmd!r}"

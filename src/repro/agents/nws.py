@@ -1,0 +1,325 @@
+"""Network Weather Service agent.
+
+The real NWS runs sensors that periodically measure CPU availability and
+end-to-end network latency/bandwidth, then serves *forecasts* produced by
+a bank of competing predictors whose cumulative error is tracked — the
+forecast reported is the prediction of whichever predictor currently has
+the lowest mean absolute error.  This module implements that mechanism
+for real (experiment E12 checks the adaptive bank beats any fixed
+predictor), fed from the simulated host and link models.
+
+Protocol (plain text, coarse-grained — the driver must parse key=value
+responses, §3.3):
+
+* ``FORECAST <resource> [peer]`` — one ``KEY=VALUE ...`` line.
+* ``SERIES <resource> [peer] <n>`` — the last *n* ``t value`` lines.
+* ``RESOURCES`` — the resources this sensor measures.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable
+
+from repro.agents.host_model import SimulatedHost, _stable_seed
+from repro.simnet.network import Address, Network
+
+NWS_PORT = 8090
+
+
+# ----------------------------------------------------------------------
+# Forecasters
+# ----------------------------------------------------------------------
+class Forecaster:
+    """One predictor in the bank: predict next value, then observe it."""
+
+    name = "base"
+
+    def predict(self) -> float | None:
+        """Forecast for the next measurement; None until warmed up."""
+        raise NotImplementedError
+
+    def observe(self, value: float) -> None:
+        raise NotImplementedError
+
+
+class LastValue(Forecaster):
+    name = "last_value"
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def predict(self) -> float | None:
+        return self._last
+
+    def observe(self, value: float) -> None:
+        self._last = value
+
+
+class RunningMean(Forecaster):
+    name = "running_mean"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._n = 0
+
+    def predict(self) -> float | None:
+        return self._sum / self._n if self._n else None
+
+    def observe(self, value: float) -> None:
+        self._sum += value
+        self._n += 1
+
+
+class SlidingMean(Forecaster):
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.name = f"sliding_mean_{window}"
+        self._buf: Deque[float] = deque(maxlen=window)
+
+    def predict(self) -> float | None:
+        return sum(self._buf) / len(self._buf) if self._buf else None
+
+    def observe(self, value: float) -> None:
+        self._buf.append(value)
+
+
+class SlidingMedian(Forecaster):
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.name = f"sliding_median_{window}"
+        self._buf: Deque[float] = deque(maxlen=window)
+
+    def predict(self) -> float | None:
+        return statistics.median(self._buf) if self._buf else None
+
+    def observe(self, value: float) -> None:
+        self._buf.append(value)
+
+
+class ExpSmooth(Forecaster):
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        self.name = f"exp_smooth_{alpha:g}"
+        self.alpha = alpha
+        self._state: float | None = None
+
+    def predict(self) -> float | None:
+        return self._state
+
+    def observe(self, value: float) -> None:
+        if self._state is None:
+            self._state = value
+        else:
+            self._state = self.alpha * value + (1.0 - self.alpha) * self._state
+
+
+def default_bank() -> list[Forecaster]:
+    """The classic NWS-style predictor mix."""
+    return [
+        LastValue(),
+        RunningMean(),
+        SlidingMean(5),
+        SlidingMean(21),
+        SlidingMedian(5),
+        SlidingMedian(21),
+        ExpSmooth(0.1),
+        ExpSmooth(0.5),
+    ]
+
+
+@dataclass
+class Forecast:
+    """The bank's current best forecast for a resource."""
+
+    value: float | None
+    mae: float | None
+    method: str
+
+
+class ForecasterBank:
+    """Competing predictors with per-predictor cumulative MAE.
+
+    On each new measurement every predictor is first scored against it
+    (updating its MAE), then shown the value.  :meth:`forecast` reports
+    the prediction of the current minimum-MAE predictor — the NWS
+    "dynamic predictor selection" algorithm.
+    """
+
+    def __init__(self, forecasters: Iterable[Forecaster] | None = None) -> None:
+        self.forecasters = list(forecasters) if forecasters is not None else default_bank()
+        if not self.forecasters:
+            raise ValueError("need at least one forecaster")
+        self._abs_err = [0.0] * len(self.forecasters)
+        self._scored = [0] * len(self.forecasters)
+        self.observations = 0
+
+    def observe(self, value: float) -> None:
+        for i, f in enumerate(self.forecasters):
+            pred = f.predict()
+            if pred is not None:
+                self._abs_err[i] += abs(pred - value)
+                self._scored[i] += 1
+        for f in self.forecasters:
+            f.observe(value)
+        self.observations += 1
+
+    def mae(self, index: int) -> float | None:
+        if self._scored[index] == 0:
+            return None
+        return self._abs_err[index] / self._scored[index]
+
+    def best_index(self) -> int | None:
+        best, best_mae = None, None
+        for i in range(len(self.forecasters)):
+            m = self.mae(i)
+            if m is None:
+                continue
+            if best_mae is None or m < best_mae:
+                best, best_mae = i, m
+        return best
+
+    def forecast(self) -> Forecast:
+        i = self.best_index()
+        if i is None:
+            # Not enough data to score anyone: fall back to the first
+            # predictor's raw prediction.
+            pred = self.forecasters[0].predict()
+            return Forecast(value=pred, mae=None, method=self.forecasters[0].name)
+        return Forecast(
+            value=self.forecasters[i].predict(),
+            mae=self.mae(i),
+            method=self.forecasters[i].name,
+        )
+
+
+# ----------------------------------------------------------------------
+# The agent
+# ----------------------------------------------------------------------
+class NwsAgent:
+    """An NWS sensor bound to one host, with optional network probes.
+
+    CPU availability is measured from the host model; latency/bandwidth
+    series to each configured peer are synthesised from the link model
+    plus measurement noise, the way a real sensor's pings would sample the
+    path.
+    """
+
+    MEASUREMENT_PERIOD = 10.0
+
+    def __init__(
+        self,
+        host: SimulatedHost,
+        network: Network,
+        *,
+        peers: Iterable[str] = (),
+        port: int = NWS_PORT,
+        history: int = 512,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.address = Address(host.spec.name, port)
+        self.requests_served = 0
+        self._rng = random.Random(_stable_seed(host.spec.seed, "nws"))
+        self._series: dict[str, Deque[tuple[float, float]]] = {}
+        self._banks: dict[str, ForecasterBank] = {}
+        self._history = history
+        self._peers = list(peers)
+        for res in self._resources():
+            self._series[res] = deque(maxlen=history)
+            self._banks[res] = ForecasterBank()
+        network.listen(self.address, self._handle)
+        network.clock.call_every(self.MEASUREMENT_PERIOD, self._measure, first_in=0.0)
+
+    def _resources(self) -> list[str]:
+        out = ["availableCpu", "currentCpu"]
+        for p in self._peers:
+            out.append(f"latencyMs:{p}")
+            out.append(f"bandwidthMbps:{p}")
+        return out
+
+    # ------------------------------------------------------------------
+    def _measure(self) -> None:
+        t = self.network.clock.now()
+        snap = self.host.snapshot(t)
+        idle_frac = snap["cpu"]["idle"] / 100.0
+        self._record("availableCpu", t, idle_frac)
+        # currentCpu: share a new process would get (NWS semantics).
+        load = max(0.0, snap["cpu"]["load_1"])
+        self._record(
+            "currentCpu", t, min(1.0, self.host.spec.cpu_count / (load + 1.0))
+        )
+        for p in self._peers:
+            try:
+                link = self.network.link_for(self.host.spec.name, p)
+            except KeyError:
+                continue
+            latency = link.base_latency + self._rng.uniform(0, link.jitter or 1e-5)
+            self._record(f"latencyMs:{p}", t, latency * 1000.0)
+            bw = (link.bandwidth * 8 / 1e6) if link.bandwidth else 100.0
+            self._record(
+                f"bandwidthMbps:{p}", t, bw * self._rng.uniform(0.7, 1.0)
+            )
+
+    def _record(self, resource: str, t: float, value: float) -> None:
+        self._series[resource].append((t, value))
+        self._banks[resource].observe(value)
+
+    # ------------------------------------------------------------------
+    def _handle(self, payload: object, src: Address) -> str:
+        self.requests_served += 1
+        text = str(payload).strip()
+        parts = text.split()
+        if not parts:
+            return "ERROR empty request"
+        cmd = parts[0].upper()
+        if cmd == "RESOURCES":
+            return "\n".join(self._resources())
+        if cmd == "FORECAST":
+            resource = self._resolve(parts[1:])
+            if resource is None:
+                return f"ERROR unknown resource in {text!r}"
+            return self._forecast_line(resource)
+        if cmd == "SERIES":
+            if len(parts) < 2:
+                return "ERROR SERIES needs a resource"
+            try:
+                n = int(parts[-1])
+                resource = self._resolve(parts[1:-1])
+            except ValueError:
+                n = 32
+                resource = self._resolve(parts[1:])
+            if resource is None:
+                return f"ERROR unknown resource in {text!r}"
+            rows = list(self._series[resource])[-n:]
+            return "\n".join(f"{t:.3f} {v:.6f}" for t, v in rows)
+        return f"ERROR unknown command {cmd!r}"
+
+    def _resolve(self, parts: list[str]) -> str | None:
+        if not parts:
+            return None
+        name = parts[0]
+        if len(parts) > 1:
+            name = f"{name}:{parts[1]}"
+        return name if name in self._series else None
+
+    def _forecast_line(self, resource: str) -> str:
+        series = self._series[resource]
+        measured = series[-1][1] if series else float("nan")
+        t = series[-1][0] if series else self.network.clock.now()
+        fc = self._banks[resource].forecast()
+        fields = [
+            f"RESOURCE={resource}",
+            f"TIME={t:.3f}",
+            f"MEASURED={measured:.6f}",
+            f"FORECAST={fc.value:.6f}" if fc.value is not None else "FORECAST=NA",
+            f"MAE={fc.mae:.6f}" if fc.mae is not None else "MAE=NA",
+            f"METHOD={fc.method}",
+        ]
+        return " ".join(fields)

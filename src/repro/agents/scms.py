@@ -1,0 +1,129 @@
+"""SCMS (Scalable Cluster Management System) agent.
+
+SCMS is a cluster-wide management system: one master node answers status
+queries about every node in its cluster, in a simple key-value text
+format.  Like Ganglia it is cluster-scoped, but the protocol allows
+per-section requests (CPU / MEM / NODE / QUEUE), putting its granularity
+between SNMP and Ganglia.
+
+Protocol (plain text):
+
+* ``NODES`` — the node names this master manages.
+* ``CPU [node]`` / ``MEM [node]`` / ``NODE [node]`` — sections of
+  ``node.key value`` lines, all nodes when no node given.
+* ``QUEUE`` — batch queue entries, one ``key=value ...`` line per job.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.agents.host_model import SimulatedHost, _stable_seed
+from repro.simnet.network import Address, Network
+
+SCMS_PORT = 3000
+
+_QUEUES = ["batch", "express", "gridq"]
+_STATES = ["running", "running", "queued", "held"]
+
+
+class ScmsAgent:
+    """An SCMS master serving status for a set of cluster nodes."""
+
+    def __init__(
+        self,
+        cluster_name: str,
+        hosts: Iterable[SimulatedHost],
+        network: Network,
+        *,
+        bind_host: str | None = None,
+        port: int = SCMS_PORT,
+    ) -> None:
+        self.cluster_name = cluster_name
+        self.hosts = list(hosts)
+        if not self.hosts:
+            raise ValueError("ScmsAgent needs at least one host")
+        self.network = network
+        bind = bind_host or self.hosts[0].spec.name
+        self.address = Address(bind, port)
+        self.requests_served = 0
+        self._rng_seed = _stable_seed("scms", cluster_name)
+        network.listen(self.address, self._handle)
+
+    def _hosts_named(self, name: str | None) -> list[SimulatedHost]:
+        if name is None:
+            return self.hosts
+        return [h for h in self.hosts if h.spec.name == name]
+
+    # ------------------------------------------------------------------
+    def _handle(self, payload: object, src: Address) -> str:
+        self.requests_served += 1
+        parts = str(payload).strip().split()
+        if not parts:
+            return "ERROR empty request"
+        cmd = parts[0].upper()
+        arg = parts[1] if len(parts) > 1 else None
+        if cmd == "NODES":
+            return "\n".join(h.spec.name for h in self.hosts)
+        if cmd in ("CPU", "MEM", "NODE"):
+            hosts = self._hosts_named(arg)
+            if arg is not None and not hosts:
+                return f"ERROR unknown node {arg!r}"
+            t = self.network.clock.now()
+            lines: list[str] = []
+            for h in hosts:
+                snap = h.snapshot(t)
+                name = h.spec.name
+                if cmd == "CPU":
+                    c = snap["cpu"]
+                    lines += [
+                        f"{name}.ncpu {c['count']}",
+                        f"{name}.mhz {c['clock_mhz']:.0f}",
+                        f"{name}.load1 {c['load_1']:.2f}",
+                        f"{name}.load5 {c['load_5']:.2f}",
+                        f"{name}.load15 {c['load_15']:.2f}",
+                        f"{name}.user {c['user']:.1f}",
+                        f"{name}.sys {c['system']:.1f}",
+                        f"{name}.idle {c['idle']:.1f}",
+                    ]
+                elif cmd == "MEM":
+                    m = snap["memory"]
+                    lines += [
+                        f"{name}.memtotal {int(m['ram_total_mb'])}",
+                        f"{name}.memfree {int(m['ram_free_mb'])}",
+                        f"{name}.swaptotal {int(m['swap_total_mb'])}",
+                        f"{name}.swapfree {int(m['swap_free_mb'])}",
+                    ]
+                else:  # NODE
+                    o = snap["os"]
+                    lines += [
+                        f"{name}.os {o['name']}",
+                        f"{name}.release {o['release']}",
+                        f"{name}.arch {o['platform']}",
+                        f"{name}.uptime {int(o['uptime_s'])}",
+                        f"{name}.nproc {o['process_count']}",
+                        f"{name}.alive 1",
+                    ]
+            return "\n".join(lines)
+        if cmd == "QUEUE":
+            return "\n".join(self._queue_lines())
+        return f"ERROR unknown command {cmd!r}"
+
+    def _queue_lines(self) -> list[str]:
+        """Synthetic batch queue derived from current cluster load."""
+        t = self.network.clock.now()
+        rng = random.Random(_stable_seed(self._rng_seed, int(t / 60.0)))
+        lines = []
+        total_load = sum(h.snapshot(t)["cpu"]["load_1"] for h in self.hosts)
+        n_jobs = max(0, int(total_load * 1.5) + rng.randint(0, 3))
+        for i in range(n_jobs):
+            host = rng.choice(self.hosts).spec.name
+            lines.append(
+                f"jobid=s{rng.randrange(100000)} queue={rng.choice(_QUEUES)} "
+                f"owner={rng.choice(['grid', 'mbaker', 'gsmith', 'ops'])} "
+                f"state={rng.choice(_STATES)} node={host} "
+                f"cpusec={rng.uniform(1, 4000):.0f} wallsec={rng.uniform(10, 8000):.0f} "
+                f"nodes={rng.choice([1, 1, 2, 4])}"
+            )
+        return lines

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Spins up a self-contained demo testbed (there is no persistent daemon —
+everything is simulated) and exercises it:
+
+* ``demo``      — build a site, poll everything, print the console tree;
+* ``query``     — run one SQL query against a chosen agent kind;
+* ``tree``      — print the tree view after polling all sources;
+* ``discover``  — network-scan discovery from a blank gateway;
+* ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
+* ``experiments`` — list the DESIGN.md experiment index and how to run it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.request_manager import QueryMode
+from repro.testbed import AGENT_KINDS, build_testbed
+from repro.web.console import Console
+
+
+def _build(args):
+    agents = tuple(args.agents.split(",")) if args.agents else ("snmp", "ganglia")
+    unknown = set(agents) - set(AGENT_KINDS)
+    if unknown:
+        raise SystemExit(f"unknown agent kind(s): {sorted(unknown)}")
+    network, (site,) = build_testbed(
+        n_hosts=args.hosts, agents=agents, seed=args.seed
+    )
+    network.clock.advance(args.warmup)
+    return network, site
+
+
+def _add_common(p):
+    p.add_argument("--hosts", type=int, default=4, help="hosts per site")
+    p.add_argument(
+        "--agents",
+        default="snmp,ganglia",
+        help=f"comma-separated agent kinds from {','.join(AGENT_KINDS)}",
+    )
+    p.add_argument("--seed", type=int, default=0, help="testbed seed")
+    p.add_argument(
+        "--warmup", type=float, default=60.0, help="virtual warm-up seconds"
+    )
+
+
+def cmd_demo(args) -> int:
+    network, site = _build(args)
+    console = Console(site.gateway)
+    console.poll_all("SELECT * FROM Processor")
+    print(console.tree_view())
+    print()
+    print(console.driver_panel())
+    return 0
+
+
+def cmd_query(args) -> int:
+    network, site = _build(args)
+    url = args.url or site.url_for(args.kind)
+    mode = QueryMode(args.mode)
+    result = site.gateway.query(url, args.sql, mode=mode)
+    print("\t".join(result.columns))
+    for row in result.rows:
+        print("\t".join("" if v is None else str(v) for v in row))
+    print(
+        f"# {result.ok_sources} ok, {result.failed_sources} failed, "
+        f"{result.elapsed * 1000:.2f} virtual ms",
+        file=sys.stderr,
+    )
+    for s in result.statuses:
+        if not s.ok:
+            print(f"# failed {s.url}: {s.error}", file=sys.stderr)
+    return 0 if result.ok_sources else 1
+
+
+def cmd_tree(args) -> int:
+    network, site = _build(args)
+    console = Console(site.gateway)
+    console.poll_all()
+    print(console.tree_view())
+    return 0
+
+
+def cmd_discover(args) -> int:
+    from repro.core.gateway import Gateway
+    from repro.web.discovery import discover_sources
+
+    network, site = _build(args)
+    blank = Gateway(network, "scanner-gw", site=site.name)
+    hits = discover_sources(blank, add=False)
+    for hit in hits:
+        print(f"{hit.url}\t({hit.driver_name})")
+    print(f"# {len(hits)} source(s) found", file=sys.stderr)
+    return 0
+
+
+def cmd_schema(args) -> int:
+    from repro.glue.render import schema_to_xml
+    from repro.glue.schema import STANDARD_SCHEMA
+
+    if args.xml:
+        print(schema_to_xml(STANDARD_SCHEMA))
+        return 0
+    for group in STANDARD_SCHEMA:
+        print(f"{group.name}  -- {group.description}")
+        for f in group.fields:
+            unit = f" [{f.unit}]" if f.unit else ""
+            print(f"    {f.name}: {f.type}{unit}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.web.reports import capacity_report, utilisation_report
+
+    network, site = _build(args)
+    gw = site.gateway
+    # Take a few samples so the report has history to chew on.
+    urls = [u for u in site.source_urls if u.startswith(("jdbc:snmp", "jdbc:ganglia"))]
+    for _ in range(3):
+        gw.query(urls, "SELECT * FROM Processor")
+        gw.query(urls, "SELECT * FROM MainMemory")
+        network.clock.advance(30.0)
+    print("Site capacity:")
+    print("  " + capacity_report(gw).format())
+    print("Host utilisation:")
+    for entry in utilisation_report(gw):
+        print("  " + entry.format())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    print(
+        "Experiments E1-E12 reproduce every claim in the paper "
+        "(see DESIGN.md section 5 and EXPERIMENTS.md).\n"
+        "Run them with:\n\n"
+        "    pytest benchmarks/ --benchmark-only\n"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GridRM reproduction (Baker & Smith, CLUSTER 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="build a site and show the console")
+    _add_common(p)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("query", help="run a SQL query against an agent")
+    _add_common(p)
+    p.add_argument("sql", help='e.g. "SELECT * FROM Processor"')
+    p.add_argument("--kind", default="snmp", help="agent kind to target")
+    p.add_argument("--url", default=None, help="explicit JDBC URL")
+    p.add_argument(
+        "--mode",
+        default="realtime",
+        choices=[m.value for m in QueryMode],
+    )
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("tree", help="print the data-source tree view")
+    _add_common(p)
+    p.set_defaults(func=cmd_tree)
+
+    p = sub.add_parser("discover", help="network-scan for data sources")
+    _add_common(p)
+    p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser("schema", help="print the GLUE schema")
+    p.add_argument("--xml", action="store_true", help="XML rendering")
+    p.set_defaults(func=cmd_schema)
+
+    p = sub.add_parser("report", help="capacity and utilisation report")
+    _add_common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("experiments", help="how to run the experiments")
+    p.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

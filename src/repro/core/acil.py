@@ -1,0 +1,97 @@
+"""Abstract Client Interface Layer (paper §2).
+
+"The Abstract Client Interface Layer (ACIL) provides a clear separation
+between client specific APIs and the data model used within GridRM."
+Concrete client channels — the Java applet, JSP pages, web/Grid services
+and the GMA producer of Figure 2 — all funnel through this layer, which
+owns session validation and the Coarse Grained Security checks, then
+hands plain (urls, sql, mode) triples to the gateway internals and plain
+dict rows back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence, TYPE_CHECKING
+
+from repro.core.errors import SecurityError, SessionError
+from repro.core.request_manager import QueryMode, QueryResult
+from repro.core.security import ANONYMOUS, Principal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gateway import Gateway
+
+
+@dataclass
+class ClientRequest:
+    """A channel-neutral client query."""
+
+    urls: Sequence[str]
+    sql: str
+    mode: str = "realtime"
+    session_token: str | None = None
+    max_age: float | None = None
+
+
+@dataclass
+class ClientResponse:
+    """A channel-neutral reply: dict rows plus per-source status."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    statuses: list[dict[str, Any]] = field(default_factory=list)
+    elapsed: float = 0.0
+    mode: str = "realtime"
+
+    @classmethod
+    def from_result(cls, result: QueryResult) -> "ClientResponse":
+        return cls(
+            columns=list(result.columns),
+            rows=result.dicts(),
+            statuses=[
+                {
+                    "url": s.url,
+                    "ok": s.ok,
+                    "rows": s.rows,
+                    "from_cache": s.from_cache,
+                    "error": s.error,
+                }
+                for s in result.statuses
+            ],
+            elapsed=result.elapsed,
+            mode=result.mode.value,
+        )
+
+
+class AbstractClientInterface:
+    """The ACIL facade every client channel adapts to."""
+
+    def __init__(self, gateway: "Gateway") -> None:
+        self.gateway = gateway
+
+    # ------------------------------------------------------------------
+    def resolve_principal(self, session_token: str | None) -> Principal:
+        """Map a session token to its principal (ANONYMOUS when security
+        is off and no token given)."""
+        gw = self.gateway
+        if session_token is not None:
+            return gw.sessions.validate(session_token).principal
+        if gw.policy.security_enabled:
+            raise SessionError("this gateway requires a session token")
+        return ANONYMOUS
+
+    def query(self, request: ClientRequest) -> ClientResponse:
+        """Validate, authorise and execute a client query."""
+        principal = self.resolve_principal(request.session_token)
+        try:
+            mode = QueryMode(request.mode)
+        except ValueError:
+            raise SecurityError(f"unknown query mode {request.mode!r}") from None
+        result = self.gateway.query(
+            list(request.urls),
+            request.sql,
+            mode=mode,
+            principal=principal,
+            max_age=request.max_age,
+        )
+        return ClientResponse.from_result(result)

@@ -1,0 +1,126 @@
+"""CacheController (paper Figure 2 and §4).
+
+The gateway-level query cache: results of recent queries are kept for a
+policy TTL and served to clients who accept cached data — "a heavily used
+GridRM Gateway can return a view of the recent status of a site while
+limiting resource intrusion", and the same mechanism "is used between
+gateways to increase scalability by reducing unnecessary requests".
+
+Keys are (source url, normalised SQL); values carry the result rows plus
+the sample time so the console can display staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.simnet.clock import VirtualClock
+
+
+@dataclass
+class CachedResult:
+    """One cached query result."""
+
+    columns: list[str]
+    rows: list[list[Any]]
+    cached_at: float
+    source_url: str
+    sql: str
+
+    def age(self, now: float) -> float:
+        return now - self.cached_at
+
+
+def normalise_sql(sql: str) -> str:
+    """Collapse whitespace and case-fold keywords-ish for cache keying.
+
+    Deliberately cheap: semantically equal but textually different
+    queries may miss, which only costs a refetch.
+    """
+    text = " ".join(sql.split())
+    # Strip any run of trailing semicolons/whitespace (idempotently).
+    while text and text[-1] in "; \t":
+        text = text[:-1]
+    return text.lower()
+
+
+class CacheController:
+    """TTL cache of query results over the virtual clock."""
+
+    def __init__(self, clock: VirtualClock, *, ttl: float = 30.0) -> None:
+        if ttl < 0:
+            raise ValueError(f"negative ttl: {ttl!r}")
+        self.clock = clock
+        self.ttl = ttl
+        self._entries: dict[tuple[str, str], CachedResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, source_url: str, sql: str) -> tuple[str, str]:
+        return (source_url, normalise_sql(sql))
+
+    def lookup(
+        self, source_url: str, sql: str, *, max_age: float | None = None
+    ) -> Optional[CachedResult]:
+        """A live cached result, or None.  ``max_age`` tightens the TTL
+        per-request (a client may insist on fresher data)."""
+        entry = self._entries.get(self.key(source_url, sql))
+        if entry is None:
+            self.misses += 1
+            return None
+        limit = self.ttl if max_age is None else min(self.ttl, max_age)
+        if entry.age(self.clock.now()) > limit:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self, source_url: str, sql: str, columns: list[str], rows: list[list[Any]]
+    ) -> CachedResult:
+        entry = CachedResult(
+            columns=list(columns),
+            rows=[list(r) for r in rows],
+            cached_at=self.clock.now(),
+            source_url=source_url,
+            sql=sql,
+        )
+        self._entries[self.key(source_url, sql)] = entry
+        return entry
+
+    def invalidate(self, source_url: str | None = None) -> int:
+        """Drop entries (all, or those of one source); returns the count."""
+        if source_url is None:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+        doomed = [k for k in self._entries if k[0] == source_url]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    def entries_for(self, source_url: str) -> list[CachedResult]:
+        """All live entries of one source (the tree view reads these)."""
+        now = self.clock.now()
+        return [
+            e
+            for (url, _), e in self._entries.items()
+            if url == source_url and e.age(now) <= self.ttl
+        ]
+
+    def sweep(self) -> int:
+        """Evict expired entries; returns how many were dropped."""
+        now = self.clock.now()
+        doomed = [k for k, e in self._entries.items() if e.age(now) > self.ttl]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,28 @@
+"""Gateway-level error hierarchy."""
+
+from __future__ import annotations
+
+
+class GridRmError(Exception):
+    """Base class for gateway failures."""
+
+
+class SecurityError(GridRmError):
+    """The principal is not allowed to perform the operation."""
+
+
+class SessionError(GridRmError):
+    """Missing, expired or invalid session."""
+
+
+class NoSuitableDriverError(GridRmError):
+    """No registered driver can serve the data source."""
+
+
+class DataSourceError(GridRmError):
+    """The data source failed after the configured failure policy was
+    exhausted (connect errors, timeouts, driver errors)."""
+
+
+class PolicyError(GridRmError):
+    """Invalid gateway policy configuration."""

@@ -1,0 +1,381 @@
+"""The GridRM Gateway (paper §1.1, Figure 2).
+
+"GridRM Gateways are used to coordinate the management and monitoring of
+resources at each Grid site.  This includes the controlled access to
+real-time and historical data harvested from local resources."
+
+A Gateway wires together the entire Local layer — security, sessions,
+schema manager, driver manager, connection pool, query cache, history,
+events, request manager, ACIL — over one simulated network host, and
+manages the set of data sources the site monitors (the list the JSP tree
+view of Figures 6-9 presents).  The Global layer (:mod:`repro.gma`)
+attaches to a Gateway to route remote queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, MutableMapping, Optional, Sequence
+
+from repro.core.acil import AbstractClientInterface
+from repro.core.cache import CacheController
+from repro.core.connection_manager import ConnectionManager
+from repro.core.driver_manager import GridRmDriverManager
+from repro.core.errors import GridRmError
+from repro.core.events import EventManager, SnmpTrapEventDriver
+from repro.core.history import HistoryStore
+from repro.core.policy import GatewayPolicy
+from repro.core.request_manager import QueryMode, QueryResult, RequestManager
+from repro.core.schema_manager import SchemaManager
+from repro.core.security import (
+    ANONYMOUS,
+    CoarseGrainedSecurity,
+    FineGrainedSecurity,
+    Principal,
+)
+from repro.core.sessions import Session, SessionManager
+from repro.dbapi.interfaces import Driver
+from repro.dbapi.registry import DriverRegistry
+from repro.dbapi.url import JdbcUrl
+from repro.drivers import default_driver_set
+from repro.simnet.network import Address, Network
+from repro.sql.parser import parse_select
+
+
+@dataclass
+class DataSource:
+    """One entry in the gateway's monitored-source list.
+
+    The trailing fields hold the poll status the JSP tree view renders
+    (Figure 9's icons: data fresh / poll failed / never polled).
+    """
+
+    url: JdbcUrl
+    label: str = ""
+    enabled: bool = True
+    added_at: float = 0.0
+    last_polled: float | None = None
+    last_ok: bool | None = None
+    last_error: str = ""
+
+
+class Gateway:
+    """One Grid site's GridRM gateway."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        *,
+        site: str | None = None,
+        policy: GatewayPolicy | None = None,
+        schema_manager: SchemaManager | None = None,
+        register_default_drivers: bool = True,
+        install_event_drivers: bool = True,
+        persistent_store: MutableMapping[str, str] | None = None,
+    ) -> None:
+        if not network.has_host(host):
+            network.add_host(host, site=site or "default")
+        self.network = network
+        self.host = host
+        self.site = network.site_of(host)
+        self.policy = policy if policy is not None else GatewayPolicy()
+
+        self.schema_manager = (
+            schema_manager if schema_manager is not None else SchemaManager()
+        )
+        self.registry = DriverRegistry()
+        self.driver_manager = GridRmDriverManager(
+            self.registry, self.policy, persistent_store=persistent_store
+        )
+        self.connection_manager = ConnectionManager(
+            self.driver_manager, network.clock, self.policy
+        )
+        self.cache = CacheController(network.clock, ttl=self.policy.query_cache_ttl)
+        self.history = HistoryStore(
+            self.schema_manager.schema,
+            max_rows_per_group=self.policy.history_max_rows_per_group,
+        )
+        self.events = EventManager(
+            network, host, self.policy, history=self.history
+        )
+        self.request_manager = RequestManager(
+            self.connection_manager, self.cache, self.history, self.policy
+        )
+        self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
+        self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)
+        self.sessions = SessionManager(network.clock, ttl=self.policy.session_ttl)
+        self.acil = AbstractClientInterface(self)
+        # Threshold alerting over the query path (Figure 3); imported
+        # here to keep module import order acyclic.
+        from repro.core.alerts import AlertMonitor
+
+        self.alerts = AlertMonitor(self)
+
+        self._sources: dict[str, DataSource] = {}
+        #: Set by repro.gma.GlobalLayer when this gateway joins the GMA
+        #: fabric; enables transparent routing of remote-site URLs.
+        self.global_layer = None
+
+        if register_default_drivers:
+            for driver in default_driver_set(network, gateway_host=host):
+                self.driver_manager.register(driver)
+        # Drivers persisted by an earlier gateway incarnation re-register
+        # on start-up (paper §3.2.2) — skip specs already live.
+        live = set(self.driver_manager.driver_names())
+        for spec, name in list(self.driver_manager.persistent_store.items()):
+            if name not in live:
+                from repro.core.driver_manager import load_driver
+
+                self.driver_manager.register(
+                    load_driver(spec, network, gateway_host=host), persist=False
+                )
+        if install_event_drivers:
+            self.events.install_driver(SnmpTrapEventDriver())
+
+    # ------------------------------------------------------------------
+    # Data-source list management (paper §4, Figure 9)
+    # ------------------------------------------------------------------
+    def add_source(self, url: JdbcUrl | str, *, label: str = "") -> DataSource:
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        key = str(url)
+        if key in self._sources:
+            return self._sources[key]
+        source = DataSource(
+            url=url, label=label or url.host, added_at=self.network.clock.now()
+        )
+        self._sources[key] = source
+        return source
+
+    def remove_source(self, url: JdbcUrl | str) -> bool:
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        removed = self._sources.pop(str(url), None) is not None
+        if removed:
+            self.cache.invalidate(str(url))
+        return removed
+
+    def sources(self) -> list[DataSource]:
+        return sorted(self._sources.values(), key=lambda s: str(s.url))
+
+    def source(self, url: JdbcUrl | str) -> Optional[DataSource]:
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        return self._sources.get(str(url))
+
+    # ------------------------------------------------------------------
+    # Sessions / security
+    # ------------------------------------------------------------------
+    def login(self, principal: Principal) -> Session:
+        """Authenticate a principal (authentication itself is assumed, as
+        in the paper's testbeds) and open a session."""
+        return self.sessions.open(principal)
+
+    def _authorise(
+        self, principal: Principal, urls: Sequence[JdbcUrl], sql: str, operation: str
+    ) -> None:
+        self.cgsl.check(principal, operation)
+        for group in parse_select(sql).tables:
+            for url in urls:
+                self.fgsl.check(principal, url.host, group)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        urls: str | JdbcUrl | Sequence[str | JdbcUrl],
+        sql: str,
+        *,
+        mode: QueryMode = QueryMode.REALTIME,
+        principal: Principal = ANONYMOUS,
+        max_age: float | None = None,
+    ) -> QueryResult:
+        """Run a client query against one or more local data sources."""
+        if isinstance(urls, (str, JdbcUrl)):
+            urls = [urls]
+        parsed = [JdbcUrl.parse(u) if isinstance(u, str) else u for u in urls]
+        operation = "history" if mode is QueryMode.HISTORY else "query"
+        self._authorise(principal, parsed, sql, operation)
+
+        # Transparent Global-layer routing (paper §1.1): URLs whose host
+        # belongs to another site are forwarded to the owning gateway
+        # when this gateway has joined the GMA fabric.
+        local, remote_by_site = self._partition_by_site(parsed)
+        info = {
+            "schema_manager": self.schema_manager,
+            "schema": self.schema_manager.schema,
+        }
+        started = self.network.clock.now()
+        if local:
+            result = self.request_manager.execute(
+                local, sql, mode=mode, max_age=max_age, info=info
+            )
+        else:
+            from repro.core.request_manager import QueryResult
+
+            result = QueryResult(columns=[], rows=[], mode=mode, started_at=started)
+        for site_name, site_urls in remote_by_site.items():
+            self._query_remote_site(
+                site_name, site_urls, sql, mode, max_age, principal, result
+            )
+        result.elapsed = self.network.clock.now() - started
+        # Update per-source poll status for the tree view (Figure 9).
+        now = self.network.clock.now()
+        for status in result.statuses:
+            source = self._sources.get(status.url)
+            if source is not None and not status.from_cache:
+                source.last_polled = now
+                source.last_ok = status.ok
+                source.last_error = status.error
+        return result
+
+    def _partition_by_site(
+        self, urls: Sequence[JdbcUrl]
+    ) -> tuple[list[JdbcUrl], dict[str, list[str]]]:
+        """Split URLs into locally served vs remote-site batches.
+
+        Without a Global layer everything is treated as local: the
+        simulated internet does allow a driver to poll a remote agent
+        directly over the WAN, it is just slower and bypasses the owning
+        gateway's cache and security — exactly why the paper routes
+        through gateways.
+        """
+        if self.global_layer is None:
+            return list(urls), {}
+        local: list[JdbcUrl] = []
+        remote: dict[str, list[str]] = {}
+        for url in urls:
+            try:
+                site = self.network.site_of(url.host)
+            except KeyError:
+                local.append(url)  # unknown host: fail locally, visibly
+                continue
+            if site == self.site:
+                local.append(url)
+            else:
+                remote.setdefault(site, []).append(str(url))
+        return local, remote
+
+    def _query_remote_site(
+        self,
+        site_name: str,
+        site_urls: list[str],
+        sql: str,
+        mode: QueryMode,
+        max_age: float | None,
+        principal: Principal,
+        result,
+    ) -> None:
+        """Forward one remote batch via the Global layer, merging the
+        remote answer (or failure) into ``result``."""
+        from repro.core.request_manager import SourceStatus
+        from repro.gma.global_layer import RemoteQueryError
+
+        try:
+            remote = self.global_layer.query_remote(
+                site_name,
+                sql,
+                urls=site_urls,
+                mode=mode.value,
+                max_age=max_age,
+                principal=principal,
+            )
+        except RemoteQueryError as exc:
+            for u in site_urls:
+                result.statuses.append(SourceStatus(url=u, ok=False, error=str(exc)))
+            return
+        if not result.columns:
+            result.columns = list(remote.columns)
+            result.rows.extend(list(r) for r in remote.rows)
+        elif list(remote.columns) == result.columns:
+            result.rows.extend(list(r) for r in remote.rows)
+        else:
+            index = {c: i for i, c in enumerate(remote.columns)}
+            for row in remote.rows:
+                result.rows.append(
+                    [row[index[c]] if c in index else None for c in result.columns]
+                )
+        for s in remote.statuses:
+            result.statuses.append(
+                SourceStatus(
+                    url=s.get("url", f"gma://{site_name}"),
+                    ok=bool(s.get("ok")),
+                    rows=int(s.get("rows", 0) or 0),
+                    from_cache=bool(s.get("from_cache")),
+                    error=str(s.get("error", "") or ""),
+                )
+            )
+
+    def query_all_sources(
+        self,
+        sql: str,
+        *,
+        mode: QueryMode = QueryMode.CACHED_OK,
+        principal: Principal = ANONYMOUS,
+        max_age: float | None = None,
+    ) -> QueryResult:
+        """Run one query across every enabled configured source."""
+        urls = [s.url for s in self.sources() if s.enabled]
+        if not urls:
+            raise GridRmError("no data sources configured")
+        return self.query(
+            urls, sql, mode=mode, principal=principal, max_age=max_age
+        )
+
+    # ------------------------------------------------------------------
+    # Driver administration (paper §4, Figure 8)
+    # ------------------------------------------------------------------
+    def register_driver(
+        self, driver: Driver, *, principal: Principal = ANONYMOUS
+    ) -> None:
+        self.cgsl.check(principal, "admin")
+        self.driver_manager.register(driver)
+
+    def unregister_driver(
+        self, driver: Driver, *, principal: Principal = ANONYMOUS
+    ) -> bool:
+        self.cgsl.check(principal, "admin")
+        return self.driver_manager.unregister(driver)
+
+    def set_driver_preference(
+        self,
+        url: JdbcUrl | str,
+        driver_names: list[str],
+        *,
+        principal: Principal = ANONYMOUS,
+    ) -> None:
+        self.cgsl.check(principal, "admin")
+        self.driver_manager.set_preference(url, driver_names)
+
+    # ------------------------------------------------------------------
+    @property
+    def trap_sink_address(self) -> Address:
+        """Where local agents should send SNMP traps."""
+        return Address(self.host, SnmpTrapEventDriver.port)
+
+    def shutdown(self) -> None:
+        """Orderly stop: cancel periodic work, drain pools, unbind ports.
+
+        The gateway object stays queryable for post-mortem inspection
+        (stats, history) but performs no further background activity and
+        accepts no further native events.
+        """
+        for rule in [r.name for r in self.alerts.rules()]:
+            self.alerts.remove_rule(rule)
+        self.events.stop()
+        self.connection_manager.close_all()
+        self.cache.invalidate()
+
+    def stats(self) -> dict[str, Any]:
+        """One merged stats snapshot across all managers."""
+        return {
+            "requests": dict(self.request_manager.stats),
+            "connections": dict(self.connection_manager.stats),
+            "drivers": dict(self.driver_manager.stats),
+            "events": dict(self.events.stats),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "entries": len(self.cache),
+            },
+            "history_rows": self.history.row_count(),
+        }

@@ -1,0 +1,196 @@
+"""Historical data store (paper §3.1.1-§3.1.2).
+
+"Historical data is retrieved from the Gateway's internal database": this
+module is that database, built on the :mod:`repro.sql` engine.  Every
+real-time result the RequestManager produces is recorded into a per-GLUE-
+group table (the group's fields plus ``SourceUrl`` and ``RecordedAt``
+provenance columns), so a client's historical query is *the same SQL*
+executed against the same group name — only the mode flag differs.
+
+Tables are ring-bounded per group to keep long-running gateways at a
+fixed memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.glue.schema import GlueSchema
+from repro.sql.ast_nodes import ColumnDef
+from repro.sql.database import Database
+from repro.sql.executor import SelectResult
+from repro.sql.parser import parse_select
+
+#: Provenance columns appended to every history table.
+PROVENANCE = (
+    ColumnDef("SourceUrl", "TEXT"),
+    ColumnDef("RecordedAt", "TIMESTAMP"),
+)
+
+
+class HistoryStore:
+    """Per-group historical tables with provenance and ring bounding."""
+
+    def __init__(
+        self,
+        schema: GlueSchema,
+        *,
+        max_rows_per_group: int = 100_000,
+    ) -> None:
+        if max_rows_per_group < 1:
+            raise ValueError(
+                f"max_rows_per_group must be >= 1: {max_rows_per_group!r}"
+            )
+        self.schema = schema
+        self.max_rows_per_group = max_rows_per_group
+        self.db = Database()
+        self.rows_recorded = 0
+        self.rows_evicted = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_table(self, group_name: str):
+        group = self.schema.group(group_name)
+        if group.name not in self.db.tables:
+            columns = [ColumnDef(f.name, f.type) for f in group.fields]
+            columns.extend(PROVENANCE)
+            self.db.create_table(group.name, columns)
+        return self.db.table(group.name)
+
+    def record(
+        self,
+        group_name: str,
+        rows: Iterable[Mapping[str, Any]],
+        *,
+        source_url: str,
+        recorded_at: float,
+    ) -> int:
+        """Record GLUE rows for a group; returns the number stored."""
+        table = self._ensure_table(group_name)
+        n = 0
+        for row in rows:
+            stored = {k: v for k, v in row.items() if k in set(table.column_names)}
+            stored["SourceUrl"] = source_url
+            stored["RecordedAt"] = recorded_at
+            table.insert_row(stored)
+            n += 1
+        self.rows_recorded += n
+        overflow = len(table.rows) - self.max_rows_per_group
+        if overflow > 0:
+            # Rows are appended in time order, so the oldest are first.
+            del table.rows[:overflow]
+            self.rows_evicted += overflow
+        return n
+
+    # ------------------------------------------------------------------
+    def query(self, sql: str, *, source_url: str | None = None) -> SelectResult:
+        """Run a client SELECT against a group's history.
+
+        ``source_url`` optionally narrows to one data source's records —
+        the RequestManager passes the URL of the source the client
+        addressed.  The WHERE clause may reference ``RecordedAt`` for
+        time ranges.
+        """
+        select = parse_select(sql)
+        self._ensure_table(select.table)
+        table = self.db.table(self.schema.group(select.table).name)
+        rows = table.rows
+        if source_url is not None:
+            rows = [r for r in rows if r.get("SourceUrl") == source_url]
+        from repro.sql.executor import execute_select
+
+        return execute_select(select, table.column_names, rows)
+
+    def series(
+        self,
+        group_name: str,
+        field: str,
+        *,
+        source_url: str | None = None,
+        host: str | None = None,
+        since: float | None = None,
+    ) -> list[tuple[float, Any]]:
+        """(RecordedAt, value) pairs for one field — the console's plots."""
+        if group_name not in self.db.tables:
+            return []
+        out: list[tuple[float, Any]] = []
+        for row in self.db.table(group_name).rows:
+            if source_url is not None and row.get("SourceUrl") != source_url:
+                continue
+            if host is not None and row.get("HostName") != host:
+                continue
+            t = row.get("RecordedAt")
+            if since is not None and (t is None or t < since):
+                continue
+            out.append((t, row.get(field)))
+        return out
+
+    def rollup(
+        self,
+        group_name: str,
+        field: str,
+        *,
+        bucket: float,
+        host: str | None = None,
+        source_url: str | None = None,
+        since: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Downsample one field's history into fixed time buckets.
+
+        Returns one dict per non-empty bucket with ``bucket_start``,
+        ``n``, ``min``, ``avg`` and ``max`` — what the console's plots
+        and capacity reports consume when the raw series outgrows the
+        screen (a long-running gateway records thousands of samples per
+        day even with caching).
+        """
+        if bucket <= 0:
+            raise ValueError(f"bucket must be > 0: {bucket!r}")
+        series = self.series(
+            group_name, field, host=host, source_url=source_url, since=since
+        )
+        buckets: dict[int, list[float]] = {}
+        for t, value in series:
+            if t is None or not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            buckets.setdefault(int(t // bucket), []).append(float(value))
+        out = []
+        for index in sorted(buckets):
+            values = buckets[index]
+            out.append(
+                {
+                    "bucket_start": index * bucket,
+                    "n": len(values),
+                    "min": min(values),
+                    "avg": sum(values) / len(values),
+                    "max": max(values),
+                }
+            )
+        return out
+
+    def trim_older_than(self, cutoff: float) -> int:
+        """Time-based retention: drop rows recorded before ``cutoff``.
+
+        Complements the per-group ring bound: a site with bursty polling
+        can cap history by age instead of (or as well as) by count.
+        Returns the number of rows dropped.
+        """
+        dropped = 0
+        for table in self.db.tables.values():
+            before = len(table.rows)
+            table.rows = [
+                r
+                for r in table.rows
+                if r.get("RecordedAt") is None or r["RecordedAt"] >= cutoff
+            ]
+            dropped += before - len(table.rows)
+        self.rows_evicted += dropped
+        return dropped
+
+    def row_count(self, group_name: str | None = None) -> int:
+        if group_name is not None:
+            if group_name not in self.db.tables:
+                return 0
+            return len(self.db.table(group_name).rows)
+        return sum(len(t.rows) for t in self.db.tables.values())
+
+    def groups_recorded(self) -> list[str]:
+        return sorted(self.db.tables)

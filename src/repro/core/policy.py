@@ -1,0 +1,101 @@
+"""Gateway policy.
+
+The paper's Figure 2 shows a "Gateway Policy and Schemas" module feeding
+the Local layer; §3.1.3 and §4 enumerate the configurable behaviours:
+what to do when a cached driver reference is no longer valid or a
+preferred driver fails (retry / try another / report the error), cache
+lifetimes, and connection pooling.  :class:`GatewayPolicy` gathers them
+in one validated value object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import PolicyError
+
+
+class FailureAction(enum.Enum):
+    """What the driver manager does when the selected driver(s) fail
+    (paper §4: notify / retry n iterations / dynamically select anew)."""
+
+    REPORT = "report"
+    RETRY = "retry"
+    TRY_NEXT = "try_next"
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class GatewayPolicy:
+    """All tunables of one gateway.
+
+    Attributes:
+        query_cache_ttl: lifetime of gateway-level query results backing
+            the tree view and remote-gateway answers (s, virtual).
+        history_enabled: record every real-time result into the internal
+            database for historical queries.
+        history_max_rows_per_group: ring-buffer bound per history table.
+        pool_max_per_source: connection-pool capacity per data source.
+        pool_idle_ttl: pooled connections idle longer than this are
+            revalidated before reuse (s, virtual).
+        pool_enabled: disable to measure unpooled behaviour (E1).
+        failure_action: driver failure policy (paper §4).
+        failure_retries: retry budget when ``failure_action`` is RETRY.
+        driver_cache_enabled: remember the last driver that worked for a
+            source (paper §3.1.3) — disable for the E2 ablation.
+        security_enabled: enforce CGSL/FGSL checks.
+        session_ttl: idle lifetime of client sessions (s, virtual).
+        default_query_timeout: per-source deadline for native requests.
+        event_fast_buffer_size: capacity of the EventManager's in-memory
+            fast buffer ("ensures events are not lost in a busy system").
+        event_disk_buffer_size: capacity of the spill buffer behind it.
+        event_history_enabled: record events into the history database.
+    """
+
+    query_cache_ttl: float = 30.0
+    history_enabled: bool = True
+    history_max_rows_per_group: int = 100_000
+    pool_max_per_source: int = 8
+    pool_idle_ttl: float = 120.0
+    pool_enabled: bool = True
+    failure_action: FailureAction = FailureAction.DYNAMIC
+    failure_retries: int = 1
+    driver_cache_enabled: bool = True
+    security_enabled: bool = False
+    session_ttl: float = 3600.0
+    default_query_timeout: float = 5.0
+    event_fast_buffer_size: int = 1024
+    event_disk_buffer_size: int = 65536
+    event_history_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.query_cache_ttl < 0:
+            raise PolicyError(f"query_cache_ttl < 0: {self.query_cache_ttl!r}")
+        if self.pool_max_per_source < 1:
+            raise PolicyError(
+                f"pool_max_per_source must be >= 1: {self.pool_max_per_source!r}"
+            )
+        if self.pool_idle_ttl <= 0:
+            raise PolicyError(f"pool_idle_ttl must be > 0: {self.pool_idle_ttl!r}")
+        if self.failure_retries < 0:
+            raise PolicyError(f"failure_retries < 0: {self.failure_retries!r}")
+        if self.session_ttl <= 0:
+            raise PolicyError(f"session_ttl must be > 0: {self.session_ttl!r}")
+        if self.default_query_timeout <= 0:
+            raise PolicyError(
+                f"default_query_timeout must be > 0: {self.default_query_timeout!r}"
+            )
+        if self.event_fast_buffer_size < 1:
+            raise PolicyError(
+                f"event_fast_buffer_size must be >= 1: {self.event_fast_buffer_size!r}"
+            )
+        if self.event_disk_buffer_size < 0:
+            raise PolicyError(
+                f"event_disk_buffer_size < 0: {self.event_disk_buffer_size!r}"
+            )
+        if self.history_max_rows_per_group < 1:
+            raise PolicyError(
+                "history_max_rows_per_group must be >= 1: "
+                f"{self.history_max_rows_per_group!r}"
+            )

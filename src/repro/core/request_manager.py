@@ -1,0 +1,282 @@
+"""RequestManager (paper §3.1.1).
+
+"SQL requests are received from the Abstract Client Interface Layer, the
+queries are processed and the results returned to the ACIL.  The
+RequestManager coordinates queries across multiple data sources and
+consolidates results.  Furthermore, the manager is responsible for
+executing queries that span real-time resource requests and historical
+(or cached) data.  The RequestManager uses the ConnectionManager to
+execute real-time queries, while historical data is retrieved from the
+Gateway's internal database."
+
+Modes:
+
+* ``REALTIME`` — always poll the data source(s).
+* ``CACHED_OK`` — serve from the gateway query cache when fresh enough,
+  else fall through to real time (the tree-view default, §4).
+* ``HISTORY`` — run the same SQL against the internal historical store.
+
+Multi-source queries consolidate per-source results into one relation;
+sources that fail contribute a status entry rather than failing the whole
+request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.cache import CacheController
+from repro.core.connection_manager import ConnectionManager
+from repro.core.errors import DataSourceError, GridRmError, NoSuitableDriverError
+from repro.core.history import HistoryStore
+from repro.core.policy import GatewayPolicy
+from repro.dbapi.exceptions import SQLException
+from repro.dbapi.resultset import ListResultSet
+from repro.dbapi.url import JdbcUrl
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse_select
+
+
+class QueryMode(enum.Enum):
+    REALTIME = "realtime"
+    CACHED_OK = "cached_ok"
+    HISTORY = "history"
+
+
+@dataclass
+class SourceStatus:
+    """Outcome of one data source within a consolidated query."""
+
+    url: str
+    ok: bool
+    rows: int = 0
+    from_cache: bool = False
+    error: str = ""
+
+
+@dataclass
+class QueryResult:
+    """A consolidated query result."""
+
+    columns: list[str]
+    rows: list[list[Any]]
+    statuses: list[SourceStatus] = field(default_factory=list)
+    mode: QueryMode = QueryMode.REALTIME
+    started_at: float = 0.0
+    elapsed: float = 0.0
+
+    @property
+    def ok_sources(self) -> int:
+        return sum(1 for s in self.statuses if s.ok)
+
+    @property
+    def failed_sources(self) -> int:
+        return sum(1 for s in self.statuses if not s.ok)
+
+    def dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, r)) for r in self.rows]
+
+    def result_set(self) -> ListResultSet:
+        """The consolidated relation as a standard ResultSet."""
+        return ListResultSet(self.columns, self.rows)
+
+
+class RequestManager:
+    """Coordinates real-time, cached and historical queries."""
+
+    def __init__(
+        self,
+        connection_manager: ConnectionManager,
+        cache: CacheController,
+        history: HistoryStore,
+        policy: GatewayPolicy,
+    ) -> None:
+        self.connection_manager = connection_manager
+        self.cache = cache
+        self.history = history
+        self.policy = policy
+        self.clock = connection_manager.clock
+        self.stats = {
+            "queries": 0,
+            "realtime_fetches": 0,
+            "cache_served": 0,
+            "history_served": 0,
+            "source_failures": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        urls: str | JdbcUrl | Sequence[str | JdbcUrl],
+        sql: str,
+        *,
+        mode: QueryMode = QueryMode.REALTIME,
+        max_age: float | None = None,
+        info: Mapping[str, Any] | None = None,
+    ) -> QueryResult:
+        """Run ``sql`` against one or many data sources and consolidate."""
+        self.stats["queries"] += 1
+        if isinstance(urls, (str, JdbcUrl)):
+            urls = [urls]
+        parsed = [JdbcUrl.parse(u) if isinstance(u, str) else u for u in urls]
+        if not parsed:
+            raise GridRmError("query requires at least one data source URL")
+        # Validate the SQL once up front so a syntax error is reported to
+        # the client, not charged to the first data source.
+        try:
+            parse_select(sql)
+        except SqlError as exc:
+            raise GridRmError(f"bad query: {exc}") from exc
+
+        started = self.clock.now()
+        select = parse_select(sql)
+        if select.is_join:
+            result = self._execute_join(parsed, select, mode, max_age, info)
+            result.started_at = started
+        else:
+            result = QueryResult(columns=[], rows=[], mode=mode, started_at=started)
+            for url in parsed:
+                if mode is QueryMode.HISTORY:
+                    self._one_history(url, sql, result)
+                else:
+                    self._one_realtime(url, sql, result, mode, max_age, info)
+        result.elapsed = self.clock.now() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _execute_join(
+        self,
+        urls: list[JdbcUrl],
+        select,
+        mode: QueryMode,
+        max_age: float | None,
+        info: Mapping[str, Any] | None,
+    ) -> QueryResult:
+        """Multi-group query: "Clients select one or more GLUE group
+        names to query" (paper §3.2.3).
+
+        Drivers only ever see single-group statements, so the gateway
+        decomposes ``FROM Processor, MainMemory`` into one full-group
+        sub-query per group, natural-joins the per-source results on the
+        row identity keys (HostName + SiteName — sample Timestamps never
+        match across agents), and evaluates the original projection /
+        WHERE / ORDER BY / aggregation over the joined relation.
+        """
+        from repro.sql.executor import execute_select, natural_join
+
+        self.stats["join_queries"] = self.stats.get("join_queries", 0) + 1
+        result = QueryResult(columns=[], rows=[], mode=mode)
+        relations = []
+        for group in select.tables:
+            sub = self.execute(
+                urls, f"SELECT * FROM {group}", mode=mode, max_age=max_age, info=info
+            )
+            result.statuses.extend(sub.statuses)
+            relations.append((sub.columns, sub.dicts()))
+        if any(not columns for columns, _ in relations):
+            # A group nobody could serve: the inner join is empty, which
+            # is a degraded answer, not an error (statuses carry why).
+            return result
+        try:
+            columns, rows = natural_join(
+                relations, key_columns=("HostName", "SiteName")
+            )
+            sel = execute_select(select, columns, rows)
+        except SqlError as exc:
+            raise GridRmError(f"join failed: {exc}") from exc
+        result.columns = sel.columns
+        result.rows = sel.rows
+        return result
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        result: QueryResult,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> int:
+        """Append one source's rows, aligning columns by name."""
+        rows = [list(r) for r in rows]
+        if not result.columns:
+            result.columns = list(columns)
+            result.rows.extend(rows)
+            return len(rows)
+        if list(columns) == result.columns:
+            result.rows.extend(rows)
+            return len(rows)
+        # Heterogeneous projections (e.g. history adds provenance
+        # columns): align by name, None-filling gaps.
+        index = {c: i for i, c in enumerate(columns)}
+        for row in rows:
+            result.rows.append(
+                [row[index[c]] if c in index else None for c in result.columns]
+            )
+        return len(rows)
+
+    def _one_realtime(
+        self,
+        url: JdbcUrl,
+        sql: str,
+        result: QueryResult,
+        mode: QueryMode,
+        max_age: float | None,
+        info: Mapping[str, Any] | None,
+    ) -> None:
+        url_text = str(url)
+        if mode is QueryMode.CACHED_OK:
+            cached = self.cache.lookup(url_text, sql, max_age=max_age)
+            if cached is not None:
+                self.stats["cache_served"] += 1
+                n = self._merge(result, cached.columns, cached.rows)
+                result.statuses.append(
+                    SourceStatus(url=url_text, ok=True, rows=n, from_cache=True)
+                )
+                return
+        try:
+            columns, rows = self._fetch(url, sql, info)
+        except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
+            self.stats["source_failures"] += 1
+            result.statuses.append(
+                SourceStatus(url=url_text, ok=False, error=str(exc))
+            )
+            return
+        self.stats["realtime_fetches"] += 1
+        n = self._merge(result, columns, rows)
+        result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))
+        self.cache.store(url_text, sql, list(columns), [list(r) for r in rows])
+        if self.policy.history_enabled:
+            group = parse_select(sql).table
+            if self.history.schema.has_group(group):
+                canonical = self.history.schema.group(group)
+                dict_rows = [dict(zip(columns, r)) for r in rows]
+                # Only record rows that carry the group's fields (star
+                # queries); narrow projections are not representative.
+                if set(canonical.field_names()) <= set(columns):
+                    self.history.record(
+                        canonical.name,
+                        dict_rows,
+                        source_url=url_text,
+                        recorded_at=self.clock.now(),
+                    )
+
+    def _fetch(
+        self, url: JdbcUrl, sql: str, info: Mapping[str, Any] | None
+    ) -> tuple[list[str], list[list[Any]]]:
+        with self.connection_manager.connection(url, info) as conn:
+            statement = conn.create_statement()
+            rs = statement.execute_query(sql)
+            assert isinstance(rs, ListResultSet)
+            return rs.columns, rs.raw_rows()
+
+    def _one_history(self, url: JdbcUrl, sql: str, result: QueryResult) -> None:
+        url_text = str(url)
+        try:
+            sel = self.history.query(sql, source_url=url_text)
+        except SqlError as exc:
+            result.statuses.append(SourceStatus(url=url_text, ok=False, error=str(exc)))
+            return
+        self.stats["history_served"] += 1
+        n = self._merge(result, sel.columns, sel.rows)
+        result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))

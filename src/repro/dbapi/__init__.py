@@ -1,0 +1,59 @@
+"""JDBC-equivalent driver SPI.
+
+The paper implements GridRM drivers against the Java JDBC 3.0 API and
+notes that only a small subset of its methods needs implementing for a
+minimal driver; the remainder are generated to throw ``SQLException`` so
+drivers can be developed incrementally (§3.2.1).  This package is the
+Python rendering of that contract:
+
+* :mod:`repro.dbapi.exceptions` — the ``SQLException`` hierarchy.
+* :mod:`repro.dbapi.interfaces` — ``Driver`` / ``Connection`` /
+  ``Statement`` / ``ResultSet`` / ``ResultSetMetaData`` /
+  ``DatabaseMetaData`` base classes whose every method raises
+  ``SQLFeatureNotSupportedException`` until overridden.
+* :mod:`repro.dbapi.resultset` — concrete list-backed ``ResultSet``.
+* :mod:`repro.dbapi.url` — ``jdbc:<protocol>://host[:port]/path`` parsing,
+  including the paper's protocol-less form ``jdbc://host/path`` meaning
+  "any compatible driver".
+* :mod:`repro.dbapi.registry` — the ``DriverManager`` equivalent with the
+  ``accepts_url`` scan of paper Table 2.
+"""
+
+from repro.dbapi.exceptions import (
+    SQLException,
+    SQLFeatureNotSupportedException,
+    SQLSyntaxErrorException,
+    SQLTimeoutException,
+    SQLConnectionException,
+    SQLDataException,
+)
+from repro.dbapi.url import JdbcUrl
+from repro.dbapi.interfaces import (
+    Driver,
+    Connection,
+    Statement,
+    ResultSet,
+    ResultSetMetaData,
+    DatabaseMetaData,
+)
+from repro.dbapi.resultset import ListResultSet, ListResultSetMetaData
+from repro.dbapi.registry import DriverRegistry
+
+__all__ = [
+    "SQLException",
+    "SQLFeatureNotSupportedException",
+    "SQLSyntaxErrorException",
+    "SQLTimeoutException",
+    "SQLConnectionException",
+    "SQLDataException",
+    "JdbcUrl",
+    "Driver",
+    "Connection",
+    "Statement",
+    "ResultSet",
+    "ResultSetMetaData",
+    "DatabaseMetaData",
+    "ListResultSet",
+    "ListResultSetMetaData",
+    "DriverRegistry",
+]

@@ -1,0 +1,37 @@
+"""SQLException hierarchy, mirroring the java.sql exceptions GridRM uses."""
+
+from __future__ import annotations
+
+
+class SQLException(Exception):
+    """Base driver-layer failure, as thrown throughout the JDBC API."""
+
+    def __init__(self, message: str = "", *, sql_state: str = "", cause: Exception | None = None) -> None:
+        super().__init__(message)
+        self.sql_state = sql_state
+        self.cause = cause
+
+
+class SQLFeatureNotSupportedException(SQLException):
+    """Raised by every unimplemented method of the abstract driver bases.
+
+    The paper: "the JDBC API interfaces were implemented to return nulls
+    or throw SQLExceptions. The resulting classes are then used as
+    super-classes for driver implementations" (§3.2.1).
+    """
+
+
+class SQLSyntaxErrorException(SQLException):
+    """The SQL text was rejected by the driver's parser."""
+
+
+class SQLTimeoutException(SQLException):
+    """The data source did not answer within the driver's deadline."""
+
+
+class SQLConnectionException(SQLException):
+    """The driver could not establish or keep a session with the source."""
+
+
+class SQLDataException(SQLException):
+    """Returned data could not be represented as the requested type."""

@@ -1,0 +1,184 @@
+"""Abstract driver interfaces.
+
+Every method of every class here raises
+:class:`~repro.dbapi.exceptions.SQLFeatureNotSupportedException` until a
+driver overrides it.  This is the paper's incremental-development scheme
+verbatim (§3.2.1): "if a call is made to a ResultSet method that is not
+implemented, an SQLException is thrown, as one would expect from a fully
+implemented driver that had experienced errors".
+
+A minimal GridRM driver overrides the members the paper lists:
+
+* ``Driver.accepts_url`` and ``Driver.connect``
+* ``Connection.create_statement`` / ``close``
+* ``Statement.execute_query``
+* ``ResultSet`` row-cursor and typed getters
+* ``ResultSetMetaData`` column descriptors
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, TYPE_CHECKING
+
+from repro.dbapi.exceptions import SQLFeatureNotSupportedException
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dbapi.url import JdbcUrl
+
+
+def _unsupported(what: str) -> SQLFeatureNotSupportedException:
+    return SQLFeatureNotSupportedException(f"{what} is not implemented by this driver")
+
+
+class ResultSetMetaData:
+    """Describes the columns of a :class:`ResultSet` (JDBC
+    ``java.sql.ResultSetMetaData``)."""
+
+    def column_count(self) -> int:
+        raise _unsupported("ResultSetMetaData.column_count")
+
+    def column_name(self, index: int) -> str:
+        """1-based, as in JDBC."""
+        raise _unsupported("ResultSetMetaData.column_name")
+
+    def column_type(self, index: int) -> str:
+        """Declared type keyword ("TEXT", "REAL", ...); 1-based index."""
+        raise _unsupported("ResultSetMetaData.column_type")
+
+    def column_index(self, name: str) -> int:
+        """1-based index of a named column."""
+        raise _unsupported("ResultSetMetaData.column_index")
+
+
+class ResultSet:
+    """Cursor over query results (JDBC ``java.sql.ResultSet``).
+
+    The Java original has 139 methods; the reproduction keeps the cursor
+    protocol and the typed getters GridRM actually calls, and inherits the
+    throw-by-default behaviour for everything else.
+    """
+
+    def next(self) -> bool:
+        """Advance to the next row; False once the set is exhausted."""
+        raise _unsupported("ResultSet.next")
+
+    def get(self, column: int | str) -> Any:
+        """Value in the current row, by 1-based index or column name."""
+        raise _unsupported("ResultSet.get")
+
+    def get_string(self, column: int | str) -> str | None:
+        raise _unsupported("ResultSet.get_string")
+
+    def get_int(self, column: int | str) -> int | None:
+        raise _unsupported("ResultSet.get_int")
+
+    def get_float(self, column: int | str) -> float | None:
+        raise _unsupported("ResultSet.get_float")
+
+    def get_bool(self, column: int | str) -> bool | None:
+        raise _unsupported("ResultSet.get_bool")
+
+    def was_null(self) -> bool:
+        """Whether the last value read was NULL (JDBC ``wasNull``)."""
+        raise _unsupported("ResultSet.was_null")
+
+    def metadata(self) -> ResultSetMetaData:
+        raise _unsupported("ResultSet.metadata")
+
+    def close(self) -> None:
+        raise _unsupported("ResultSet.close")
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        """Pythonic iteration: yields each remaining row as a dict."""
+        raise _unsupported("ResultSet.__iter__")
+
+
+class Statement:
+    """An executable statement bound to a connection (JDBC
+    ``java.sql.Statement``)."""
+
+    def execute_query(self, sql: str) -> ResultSet:
+        """Run a SELECT against the data source, returning a ResultSet."""
+        raise _unsupported("Statement.execute_query")
+
+    def execute_update(self, sql: str) -> int:
+        """Run DML; most monitoring sources are read-only and keep the
+        default (throwing) behaviour."""
+        raise _unsupported("Statement.execute_update")
+
+    def set_query_timeout(self, seconds: float) -> None:
+        raise _unsupported("Statement.set_query_timeout")
+
+    def close(self) -> None:
+        raise _unsupported("Statement.close")
+
+
+class DatabaseMetaData:
+    """Static facts about the data source (JDBC ``DatabaseMetaData``,
+    165 methods in Java; we keep the handful GridRM's console shows)."""
+
+    def driver_name(self) -> str:
+        raise _unsupported("DatabaseMetaData.driver_name")
+
+    def driver_version(self) -> str:
+        raise _unsupported("DatabaseMetaData.driver_version")
+
+    def url(self) -> str:
+        raise _unsupported("DatabaseMetaData.url")
+
+    def get_tables(self) -> list[str]:
+        """GLUE group names this source can answer queries for."""
+        raise _unsupported("DatabaseMetaData.get_tables")
+
+
+class Connection:
+    """A session with one data source (JDBC ``java.sql.Connection``).
+
+    Per the paper, the connection "creates a session with the data source
+    and initialises schema settings for the session" — the GLUE mapping is
+    cached at connection time (Figure 5) and statements check cache
+    consistency before use.
+    """
+
+    def create_statement(self) -> Statement:
+        raise _unsupported("Connection.create_statement")
+
+    def close(self) -> None:
+        raise _unsupported("Connection.close")
+
+    def is_closed(self) -> bool:
+        raise _unsupported("Connection.is_closed")
+
+    def is_valid(self, timeout: float = 1.0) -> bool:
+        """Liveness probe used by the connection pool before reuse."""
+        raise _unsupported("Connection.is_valid")
+
+    def get_metadata(self) -> DatabaseMetaData:
+        raise _unsupported("Connection.get_metadata")
+
+
+class Driver:
+    """A data-source driver plug-in (JDBC ``java.sql.Driver``).
+
+    ``accepts_url`` + ``connect`` are the two members every driver must
+    provide; the registry's dynamic-selection loop (paper Table 2) calls
+    ``accepts_url`` on each registered driver in turn.
+    """
+
+    def accepts_url(self, url: "JdbcUrl") -> bool:
+        """Whether this driver can plausibly serve ``url``.
+
+        Implementations should be cheap (string checks); expensive
+        liveness probes belong in ``connect``.
+        """
+        raise _unsupported("Driver.accepts_url")
+
+    def connect(self, url: "JdbcUrl", info: dict[str, Any] | None = None) -> Connection:
+        """Open a session, raising ``SQLConnectionException`` on failure."""
+        raise _unsupported("Driver.connect")
+
+    def name(self) -> str:
+        raise _unsupported("Driver.name")
+
+    def version(self) -> str:
+        return "1.0"

@@ -1,0 +1,126 @@
+"""Driver registry — the ``java.sql.DriverManager`` equivalent.
+
+Implements the dynamic driver-location loop of paper Table 2: iterate the
+registered drivers in registration order and use the first whose
+``accepts_url`` returns True.  Registration is name-agnostic, mirroring
+Table 1's reflection-based ``Class.forName(...)`` trick: anything
+implementing the :class:`~repro.dbapi.interfaces.Driver` interface can be
+registered, at start-up or at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.dbapi.exceptions import SQLConnectionException, SQLException
+from repro.dbapi.interfaces import Connection, Driver
+from repro.dbapi.url import JdbcUrl
+
+
+class DriverRegistry:
+    """An ordered set of registered driver plug-ins.
+
+    Unlike Java's global ``DriverManager``, registries are instances — a
+    GridRM gateway owns one, so runtime (un)registration is scoped to the
+    gateway (paper §3.2.2: drivers "can be added or removed at runtime
+    without affecting normal Gateway operation").
+    """
+
+    def __init__(self) -> None:
+        self._drivers: list[Driver] = []
+
+    # ------------------------------------------------------------------
+    def register(self, driver: Driver) -> None:
+        """Register a driver; re-registering the same instance is a no-op."""
+        if not isinstance(driver, Driver):
+            raise SQLException(
+                f"not a Driver: {type(driver).__name__} (drivers must subclass "
+                "repro.dbapi.Driver, as any java.sql.Driver implementor could "
+                "be registered in the original)"
+            )
+        if driver not in self._drivers:
+            self._drivers.append(driver)
+
+    def unregister(self, driver: Driver) -> bool:
+        """Remove a driver; returns whether it was present."""
+        try:
+            self._drivers.remove(driver)
+            return True
+        except ValueError:
+            return False
+
+    def drivers(self) -> list[Driver]:
+        """Snapshot of registered drivers in registration order."""
+        return list(self._drivers)
+
+    def driver_names(self) -> list[str]:
+        return [d.name() for d in self._drivers]
+
+    def __len__(self) -> int:
+        return len(self._drivers)
+
+    def __contains__(self, driver: Driver) -> bool:
+        return driver in self._drivers
+
+    # ------------------------------------------------------------------
+    def locate(self, url: JdbcUrl | str) -> Driver:
+        """Find the first registered driver accepting ``url`` (Table 2).
+
+        Raises :class:`SQLException` when no driver matches.
+        """
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        for driver in self._drivers:
+            try:
+                if driver.accepts_url(url):
+                    return driver
+            except SQLException:
+                # A driver that cannot even parse the URL does not accept it.
+                continue
+        raise SQLException(f"no suitable driver for {url}")
+
+    def locate_all(self, url: JdbcUrl | str) -> list[Driver]:
+        """All drivers accepting ``url``, in registration order.
+
+        Used by the driver manager's failover policies ("register a number
+        of drivers to be used in prioritised order", paper §4).
+        """
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        out = []
+        for driver in self._drivers:
+            try:
+                if driver.accepts_url(url):
+                    out.append(driver)
+            except SQLException:
+                continue
+        return out
+
+    def connect(
+        self, url: JdbcUrl | str, info: dict[str, Any] | None = None
+    ) -> Connection:
+        """Locate a driver for ``url`` and open a connection through it.
+
+        Where several drivers accept the URL, tries each in order until
+        one connects — this is the "Have we found a driver that supports
+        the URL AND can connect to the data source?" semantics the paper's
+        Table 2 comment describes.
+        """
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        candidates = self.locate_all(url)
+        if not candidates:
+            raise SQLException(f"no suitable driver for {url}")
+        last_error: SQLException | None = None
+        for driver in candidates:
+            try:
+                return driver.connect(url, info)
+            except SQLException as exc:
+                last_error = exc
+        raise SQLConnectionException(
+            f"all {len(candidates)} candidate driver(s) failed for {url}",
+            cause=last_error,
+        )
+
+
+def register_all(registry: DriverRegistry, drivers: Iterable[Driver]) -> None:
+    """Register several drivers (start-up default set, paper §3.2.2)."""
+    for d in drivers:
+        registry.register(d)

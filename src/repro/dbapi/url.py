@@ -1,0 +1,108 @@
+"""JDBC-style URL parsing.
+
+GridRM clients address data sources with JDBC URLs.  The paper gives two
+forms (§3.2.2):
+
+* ``jdbc:nws://snowboard.workgroup/perfdata`` — protocol pinned: only the
+  NWS driver may serve the request;
+* ``jdbc:://snowboard.workgroup/perfdata`` — protocol empty: "use the
+  first available driver" (the registry scans ``accepts_url``).
+
+We additionally accept ``jdbc://host/path`` as the protocol-less form and
+``?key=value&...`` query parameters (community strings, ports, cache
+hints), which real JDBC URLs carry the same way.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.dbapi.exceptions import SQLException
+
+_URL_RE = re.compile(
+    r"""
+    ^jdbc:
+    (?:(?P<protocol>[A-Za-z][A-Za-z0-9+._-]*)?:)?   # optional ":<subprotocol>:"
+    //
+    (?P<host>[^:/?\#\s]+)
+    (?::(?P<port>\d+))?
+    (?P<path>/[^?\#\s]*)?
+    (?:\?(?P<query>[^\#\s]*))?
+    $
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class JdbcUrl:
+    """A parsed ``jdbc:`` URL.
+
+    Attributes:
+        protocol: subprotocol selecting a driver family ("snmp", "ganglia",
+            ...); empty string means "any compatible driver".
+        host: data source host name.
+        port: explicit port, or None for the protocol default.
+        path: path component without leading slash ("perfdata").
+        params: parsed query parameters.
+    """
+
+    protocol: str
+    host: str
+    port: int | None = None
+    path: str = ""
+    params: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise SQLException("JDBC URL requires a host")
+
+    @classmethod
+    def parse(cls, text: str) -> "JdbcUrl":
+        """Parse URL text; raises :class:`SQLException` on malformed input."""
+        m = _URL_RE.match(text.strip())
+        if m is None:
+            raise SQLException(f"malformed JDBC URL: {text!r}")
+        params: dict[str, str] = {}
+        query = m.group("query")
+        if query:
+            for pair in query.split("&"):
+                if not pair:
+                    continue
+                key, _, value = pair.partition("=")
+                params[key] = value
+        path = (m.group("path") or "").lstrip("/")
+        port = m.group("port")
+        return cls(
+            protocol=(m.group("protocol") or "").lower(),
+            host=m.group("host"),
+            port=int(port) if port else None,
+            path=path,
+            params=params,
+        )
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when no subprotocol was given (dynamic driver selection)."""
+        return self.protocol == ""
+
+    def with_protocol(self, protocol: str) -> "JdbcUrl":
+        """A copy of this URL pinned to ``protocol``."""
+        return JdbcUrl(
+            protocol=protocol.lower(),
+            host=self.host,
+            port=self.port,
+            path=self.path,
+            params=dict(self.params),
+        )
+
+    def __str__(self) -> str:
+        port = f":{self.port}" if self.port is not None else ""
+        path = f"/{self.path}" if self.path else ""
+        query = (
+            "?" + "&".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            if self.params
+            else ""
+        )
+        return f"jdbc:{self.protocol}://{self.host}{port}{path}{query}"

@@ -1,0 +1,50 @@
+"""GridRM data-source drivers.
+
+One plug-in per native agent, all built on the driver development kit in
+:mod:`repro.drivers.base` (the paper ships an equivalent kit: SQL parsing,
+schema mapping and data-source interaction helpers, §3.2.1).  Every driver
+follows the same contract: SQL strings in, GLUE-normalised ResultSets out,
+with the native protocol fully encapsulated.
+"""
+
+from repro.drivers.base import (
+    GridRmDriver,
+    GridRmConnection,
+    GridRmStatement,
+    ResponseCache,
+    DEFAULT_CACHE_TTL,
+)
+from repro.drivers.snmp_driver import SnmpDriver
+from repro.drivers.ganglia_driver import GangliaDriver
+from repro.drivers.nws_driver import NwsDriver
+from repro.drivers.netlogger_driver import NetLoggerDriver
+from repro.drivers.scms_driver import ScmsDriver
+from repro.drivers.sql_driver import SqlDriver
+
+
+def default_driver_set(network, *, gateway_host: str = "gateway"):
+    """The start-up driver set a gateway registers by default (§3.2.2)."""
+    return [
+        SnmpDriver(network, gateway_host=gateway_host),
+        GangliaDriver(network, gateway_host=gateway_host),
+        NwsDriver(network, gateway_host=gateway_host),
+        NetLoggerDriver(network, gateway_host=gateway_host),
+        ScmsDriver(network, gateway_host=gateway_host),
+        SqlDriver(network, gateway_host=gateway_host),
+    ]
+
+
+__all__ = [
+    "GridRmDriver",
+    "GridRmConnection",
+    "GridRmStatement",
+    "ResponseCache",
+    "DEFAULT_CACHE_TTL",
+    "SnmpDriver",
+    "GangliaDriver",
+    "NwsDriver",
+    "NetLoggerDriver",
+    "ScmsDriver",
+    "SqlDriver",
+    "default_driver_set",
+]

@@ -1,0 +1,401 @@
+"""Driver development kit.
+
+The paper's minimal-driver recipe (§3.2.1) requires implementing a small
+subset of the JDBC surface plus, "typically implemented in separate
+classes within the driver":
+
+* a class to parse the SQL query strings (supplied as part of a GridRM
+  driver development API) — here :func:`repro.sql.parser.parse_select`;
+* a class to perform mapping of data requests to the data source based on
+  the naming schema — here :class:`repro.glue.mapping.SchemaMapping`,
+  fetched from the gateway's SchemaManager at connection time;
+* code to interact with the data source agent via native protocols;
+* code to translate result data into the format required by GLUE.
+
+:class:`GridRmDriver` / :class:`GridRmConnection` / :class:`GridRmStatement`
+implement everything except the two native-protocol hooks, which each
+concrete driver supplies:
+
+* ``probe(url)`` — cheap liveness check (used for wildcard-URL driver
+  selection and connection-pool validation);
+* ``fetch_group(connection, group, select)`` — return native records for
+  one GLUE group.
+
+Per-driver caching policy (§3.3: "implementations should address these
+issues by using caching policies within the plug-in, as appropriate for
+the characteristics of a particular type of data source") is provided by
+:class:`ResponseCache`, a virtual-clock TTL cache coarse-grained drivers
+wrap around their expensive full-dump fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.dbapi.exceptions import (
+    SQLConnectionException,
+    SQLException,
+    SQLSyntaxErrorException,
+    SQLTimeoutException,
+)
+from repro.dbapi.interfaces import (
+    Connection,
+    DatabaseMetaData,
+    Driver,
+    ResultSet,
+    Statement,
+)
+from repro.dbapi.resultset import ListResultSet
+from repro.dbapi.url import JdbcUrl
+from repro.glue.mapping import SchemaMapping
+from repro.glue.schema import GlueSchema, STANDARD_SCHEMA
+from repro.simnet.errors import NetworkError, TimeoutError_
+from repro.simnet.network import Address, Network
+from repro.sql import ast_nodes as sql_ast
+from repro.sql.errors import SqlError
+from repro.sql.executor import execute_select
+from repro.sql.parser import parse_select
+
+#: Default TTL for coarse-grained response caches, virtual seconds.
+DEFAULT_CACHE_TTL = 15.0
+
+
+class ResponseCache:
+    """A tiny TTL cache keyed on arbitrary hashables, over virtual time."""
+
+    def __init__(self, network: Network, ttl: float = DEFAULT_CACHE_TTL) -> None:
+        if ttl < 0:
+            raise ValueError(f"negative ttl: {ttl!r}")
+        self.network = network
+        self.ttl = ttl
+        self._entries: dict[Any, tuple[float, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_fetch(self, key: Any, fetch: Callable[[], Any]) -> Any:
+        now = self.network.clock.now()
+        entry = self._entries.get(key)
+        if entry is not None and self.ttl > 0 and now - entry[0] <= self.ttl:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        value = fetch()
+        self._entries[key] = (now, value)
+        return value
+
+    def invalidate(self, key: Any = None) -> None:
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _MappingHandle:
+    """The connection's cached schema mapping plus its version stamp.
+
+    Paper Figure 5: "Schema is cached when the connection is created.
+    Statement checks cache consistency before using schema instance."
+    """
+
+    mapping: SchemaMapping
+    version: int
+
+
+class GridRmStatement(Statement):
+    """Statement: parse SQL, fetch native records, translate, filter."""
+
+    def __init__(self, connection: "GridRmConnection") -> None:
+        self._connection = connection
+        self._closed = False
+        self._timeout: float | None = None
+
+    def execute_query(self, sql: str) -> ResultSet:
+        if self._closed:
+            raise SQLException("statement is closed")
+        conn = self._connection
+        if conn.is_closed():
+            raise SQLConnectionException("connection is closed")
+        try:
+            select = parse_select(sql)
+        except SqlError as exc:
+            raise SQLSyntaxErrorException(str(exc), cause=exc) from exc
+
+        if select.is_join:
+            raise SQLException(
+                "drivers serve one GLUE group per statement; multi-group "
+                "queries are joined by the gateway's RequestManager"
+            )
+        conn.refresh_mapping_if_stale()
+        mapping = conn.mapping
+        schema = conn.schema
+        group_name = select.table
+        if not mapping.supports(group_name):
+            raise SQLException(
+                f"driver {conn.driver.name()!r} does not serve group "
+                f"{group_name!r} (supported: {mapping.groups()})"
+            )
+        group = schema.group(group_name)
+        try:
+            records = conn.driver.fetch_group(conn, group.name, select)
+        except TimeoutError_ as exc:
+            raise SQLTimeoutException(str(exc), cause=exc) from exc
+        except NetworkError as exc:
+            raise SQLConnectionException(str(exc), cause=exc) from exc
+
+        rows = mapping.translate(group.name, records, schema)
+        result = execute_select(select, group.field_names(), rows)
+        types: Sequence[str] | None = None
+        if select.is_star:
+            types = group.column_types()
+        return ListResultSet(result.columns, result.rows, types)
+
+    def set_query_timeout(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise SQLException(f"timeout must be positive: {seconds!r}")
+        self._timeout = seconds
+
+    @property
+    def query_timeout(self) -> float | None:
+        return self._timeout
+
+    def close(self) -> None:
+        self._closed = True
+
+    def is_closed(self) -> bool:
+        return self._closed
+
+
+class GridRmDatabaseMetaData(DatabaseMetaData):
+    """Connection metadata surfaced by the management console."""
+
+    def __init__(self, connection: "GridRmConnection") -> None:
+        self._connection = connection
+
+    def driver_name(self) -> str:
+        return self._connection.driver.name()
+
+    def driver_version(self) -> str:
+        return self._connection.driver.version()
+
+    def url(self) -> str:
+        return str(self._connection.url)
+
+    def get_tables(self) -> list[str]:
+        return self._connection.mapping.groups()
+
+
+class GridRmConnection(Connection):
+    """A session with one data source.
+
+    Creating the connection costs a native probe round-trip plus the
+    schema-mapping fetch — the overhead the ConnectionManager's pool
+    amortises (paper §3.1.2, experiment E1).
+    """
+
+    def __init__(
+        self,
+        driver: "GridRmDriver",
+        url: JdbcUrl,
+        info: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.driver = driver
+        self.url = url
+        self.info = dict(info or {})
+        self._closed = False
+        self.schema: GlueSchema = self.info.get("schema", STANDARD_SCHEMA)
+        self._schema_manager = self.info.get("schema_manager")
+        self._mapping_handle = self._fetch_mapping()
+        # Session state usable by concrete drivers (per-connection caches).
+        self.session: dict[str, Any] = {}
+
+    # -- schema mapping lifecycle --------------------------------------
+    def _fetch_mapping(self) -> _MappingHandle:
+        if self._schema_manager is not None:
+            mapping = self._schema_manager.mapping_for(
+                self.driver.name(), default=self.driver.default_mapping()
+            )
+            version = self._schema_manager.version
+        else:
+            mapping = self.driver.default_mapping()
+            version = 0
+        return _MappingHandle(mapping=mapping, version=version)
+
+    def refresh_mapping_if_stale(self) -> None:
+        """Statement-time consistency check against the SchemaManager."""
+        if self._schema_manager is None:
+            return
+        if self._schema_manager.version != self._mapping_handle.version:
+            self._mapping_handle = self._fetch_mapping()
+
+    @property
+    def mapping(self) -> SchemaMapping:
+        return self._mapping_handle.mapping
+
+    # -- Connection interface -------------------------------------------
+    def create_statement(self) -> GridRmStatement:
+        if self._closed:
+            raise SQLConnectionException("connection is closed")
+        return GridRmStatement(self)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def is_valid(self, timeout: float = 1.0) -> bool:
+        if self._closed:
+            return False
+        try:
+            return self.driver.probe(self.url, timeout=timeout)
+        except NetworkError:
+            return False
+
+    def get_metadata(self) -> GridRmDatabaseMetaData:
+        return GridRmDatabaseMetaData(self)
+
+    # -- helpers for concrete drivers ------------------------------------
+    @property
+    def network(self) -> Network:
+        return self.driver.network
+
+    def agent_address(self) -> Address:
+        """The native agent endpoint this connection talks to."""
+        port = self.url.port if self.url.port is not None else self.driver.default_port
+        return Address(self.url.host, port)
+
+    def request(self, payload: Any, *, timeout: float | None = None) -> Any:
+        """One native round-trip from the gateway host to the agent."""
+        return self.network.request(
+            self.driver.gateway_host,
+            self.agent_address(),
+            payload,
+            timeout=timeout,
+        )
+
+
+class GridRmDriver(Driver):
+    """Base class for all GridRM data-source drivers.
+
+    Concrete drivers set :attr:`protocol` and :attr:`default_port`, build
+    their GLUE mapping in :meth:`build_mapping`, and implement
+    :meth:`probe` and :meth:`fetch_group`.
+    """
+
+    #: JDBC subprotocol this driver serves ("snmp", "ganglia", ...).
+    protocol = ""
+    #: Agent port assumed when the URL does not carry one.
+    default_port = 0
+    #: Human-readable driver name.
+    display_name = "GridRM driver"
+
+    def __init__(self, network: Network, *, gateway_host: str = "gateway") -> None:
+        if not self.protocol:
+            raise SQLException(f"{type(self).__name__} must define a protocol")
+        self.network = network
+        self.gateway_host = gateway_host
+        self._mapping: SchemaMapping | None = None
+        #: Probe/connect/query counters for the experiments.
+        self.stats = {"probes": 0, "connects": 0, "fetches": 0}
+
+    # -- Driver interface -------------------------------------------------
+    def accepts_url(self, url: JdbcUrl) -> bool:
+        """Protocol-pinned URLs match by string; wildcard URLs require a
+        live probe of the data source (Table 2's "supports the URL AND can
+        connect" semantics)."""
+        if not isinstance(url, JdbcUrl):
+            raise SQLException(f"expected JdbcUrl, got {type(url).__name__}")
+        if url.protocol == self.protocol:
+            return True
+        if url.is_wildcard:
+            try:
+                return self.probe(url)
+            except NetworkError:
+                return False
+        return False
+
+    def connect(
+        self, url: JdbcUrl | str, info: Mapping[str, Any] | None = None
+    ) -> GridRmConnection:
+        url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        if not url.is_wildcard and url.protocol != self.protocol:
+            raise SQLConnectionException(
+                f"{self.name()} cannot serve protocol {url.protocol!r}"
+            )
+        self.stats["connects"] += 1
+        try:
+            alive = self.probe(url)
+        except NetworkError as exc:
+            raise SQLConnectionException(
+                f"{self.name()}: cannot reach {url.host}: {exc}", cause=exc
+            ) from exc
+        if not alive:
+            raise SQLConnectionException(
+                f"{self.name()}: no compatible agent at {url.host}"
+            )
+        return GridRmConnection(self, url, info)
+
+    def name(self) -> str:
+        return self.display_name
+
+    # -- mapping ----------------------------------------------------------
+    def default_mapping(self) -> SchemaMapping:
+        """The driver's built-in GLUE implementation (built once)."""
+        if self._mapping is None:
+            self._mapping = self.build_mapping()
+        return self._mapping
+
+    def build_mapping(self) -> SchemaMapping:
+        raise NotImplementedError
+
+    # -- native protocol hooks ---------------------------------------------
+    def probe(self, url: JdbcUrl, *, timeout: float = 1.0) -> bool:
+        """Cheap native liveness check; must not raise on a clean 'no'."""
+        raise NotImplementedError
+
+    def fetch_group(
+        self,
+        connection: GridRmConnection,
+        group: str,
+        select: sql_ast.Select,
+    ) -> list[dict[str, Any]]:
+        """Return native records (dicts of native keys) for ``group``.
+
+        ``select`` is provided so fine-grained drivers can fetch only the
+        fields the query touches and push down LIMIT/WHERE where the
+        native protocol allows.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+    def fields_needed(
+        self, select: sql_ast.Select, group_fields: Sequence[str]
+    ) -> list[str]:
+        """GLUE fields a query actually touches (projection + WHERE +
+        ORDER BY + GROUP BY); all fields for ``SELECT *``."""
+        if select.is_star:
+            return list(group_fields)
+        needed: set[str] = set()
+        for item in select.items:
+            needed |= sql_ast.columns_in(item.expr)
+        if select.where is not None:
+            needed |= sql_ast.columns_in(select.where)
+        for g in select.group_by:
+            needed |= sql_ast.columns_in(g)
+        for o in select.order_by:
+            needed |= sql_ast.columns_in(o.expr)
+        # Normalise case against the group's canonical field names.
+        canonical = {f.lower(): f for f in group_fields}
+        out = []
+        for n in needed:
+            hit = canonical.get(n.lower())
+            if hit is not None:
+                out.append(hit)
+        return sorted(out)

@@ -1,0 +1,146 @@
+"""JDBC-NWS driver.
+
+Serves the ``NetworkForecast`` GLUE group from a Network Weather Service
+sensor: one native ``RESOURCES`` round-trip to enumerate what the sensor
+measures, then one ``FORECAST`` request per resource.  Responses are
+plain ``KEY=VALUE`` text the driver parses — the paper files NWS with
+Ganglia under coarse-grained sources needing real parsing work (§3.3) —
+and the resource list is cached per connection session, the per-driver
+caching policy the paper recommends.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agents.nws import NWS_PORT
+from repro.dbapi.url import JdbcUrl
+from repro.drivers.base import GridRmConnection, GridRmDriver
+from repro.glue.mapping import GroupMapping, MappingRule, SchemaMapping
+from repro.simnet.errors import PortClosedError
+from repro.simnet.network import Address
+from repro.sql import ast_nodes as sql_ast
+
+
+def parse_forecast_line(line: str) -> dict[str, str]:
+    """Parse one ``KEY=VALUE ...`` forecast response line."""
+    out: dict[str, str] = {}
+    for part in line.split():
+        key, sep, value = part.partition("=")
+        if sep:
+            out[key] = value
+    return out
+
+
+def _num_or_none(text: str | None) -> float | None:
+    if text is None or text == "NA":
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+class NwsDriver(GridRmDriver):
+    """Network Weather Service data-source driver."""
+
+    protocol = "nws"
+    default_port = NWS_PORT
+    display_name = "JDBC-NWS"
+
+    # ------------------------------------------------------------------
+    def build_mapping(self) -> SchemaMapping:
+        return SchemaMapping(
+            self.display_name,
+            [
+                GroupMapping(
+                    "NetworkForecast",
+                    [
+                        MappingRule("HostName", "_host"),
+                        MappingRule("SiteName", "_site"),
+                        MappingRule("Timestamp", "TIME"),
+                        MappingRule("Resource", "_resource"),
+                        MappingRule("MeasuredValue", "MEASURED"),
+                        MappingRule("ForecastValue", "FORECAST"),
+                        MappingRule("ForecastError", "MAE"),
+                        MappingRule("Method", "METHOD"),
+                        MappingRule("PeerHost", "_peer"),
+                    ],
+                ),
+                GroupMapping(
+                    "Host",
+                    [
+                        MappingRule("HostName", "_host"),
+                        MappingRule("SiteName", "_site"),
+                        MappingRule("Timestamp", "_time"),
+                        MappingRule(
+                            "UniqueId", None, transform=lambda r: f"{r['_host']}#nws"
+                        ),
+                        MappingRule("Reachable", None, transform=lambda r: True),
+                        MappingRule("AgentName", None, transform=lambda r: "nws-sensor"),
+                    ],
+                ),
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def probe(self, url: JdbcUrl, *, timeout: float = 1.0) -> bool:
+        self.stats["probes"] += 1
+        port = url.port if url.port is not None else self.default_port
+        try:
+            response = self.network.request(
+                self.gateway_host, Address(url.host, port), "RESOURCES", timeout=timeout
+            )
+        except PortClosedError:
+            return False
+        return isinstance(response, str) and not response.startswith("ERROR")
+
+    def _resources(self, connection: GridRmConnection) -> list[str]:
+        cached = connection.session.get("nws_resources")
+        if cached is not None:
+            return cached
+        response = connection.request("RESOURCES")
+        resources = [r for r in str(response).splitlines() if r and not r.startswith("ERROR")]
+        connection.session["nws_resources"] = resources
+        return resources
+
+    def fetch_group(
+        self,
+        connection: GridRmConnection,
+        group: str,
+        select: sql_ast.Select,
+    ) -> list[dict[str, Any]]:
+        self.stats["fetches"] += 1
+        url = connection.url
+        site = (
+            self.network.site_of(url.host) if self.network.has_host(url.host) else None
+        )
+        if group == "Host":
+            return [
+                {
+                    "_host": url.host,
+                    "_site": site,
+                    "_time": self.network.clock.now(),
+                }
+            ]
+        records: list[dict[str, Any]] = []
+        for resource in self._resources(connection):
+            line = str(connection.request(f"FORECAST {resource.replace(':', ' ')}"))
+            if line.startswith("ERROR"):
+                continue
+            fields = parse_forecast_line(line)
+            name, _, peer = resource.partition(":")
+            records.append(
+                {
+                    "_host": url.host,
+                    "_site": site,
+                    "_resource": name,
+                    "_peer": peer or None,
+                    "TIME": _num_or_none(fields.get("TIME")),
+                    "MEASURED": _num_or_none(fields.get("MEASURED")),
+                    "FORECAST": _num_or_none(fields.get("FORECAST")),
+                    "MAE": _num_or_none(fields.get("MAE")),
+                    "METHOD": fields.get("METHOD"),
+                }
+            )
+        return records

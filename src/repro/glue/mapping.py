@@ -1,0 +1,193 @@
+"""Native-to-GLUE mapping.
+
+Each driver owns a :class:`SchemaMapping`: for every GLUE group it can
+serve, a list of :class:`MappingRule` instances saying which native key
+feeds which GLUE field and how to convert it (unit scaling, parsing,
+custom transforms).  Fields with no rule — or whose rule fails — come out
+NULL, which is the paper's prescribed behaviour for untranslatable data
+(§3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.glue.schema import GlueGroup, GlueSchema
+
+
+class UnitConversionError(ValueError):
+    """No conversion path between the given units."""
+
+
+#: (from_unit, to_unit) -> multiplicative factor.  Units not listed are
+#: either identical or unconvertible.
+_UNIT_FACTORS: dict[tuple[str, str], float] = {
+    ("B", "MB"): 1.0 / (1024 * 1024),
+    ("KB", "MB"): 1.0 / 1024,
+    ("GB", "MB"): 1024.0,
+    ("MB", "B"): 1024.0 * 1024,
+    ("MB", "KB"): 1024.0,
+    ("MB", "GB"): 1.0 / 1024,
+    ("KB", "B"): 1024.0,
+    ("B", "KB"): 1.0 / 1024,
+    ("Hz", "MHz"): 1e-6,
+    ("KHz", "MHz"): 1e-3,
+    ("GHz", "MHz"): 1e3,
+    ("MHz", "GHz"): 1e-3,
+    ("MHz", "Hz"): 1e6,
+    ("bps", "Mbps"): 1e-6,
+    ("Kbps", "Mbps"): 1e-3,
+    ("Gbps", "Mbps"): 1e3,
+    ("Mbps", "bps"): 1e6,
+    ("ms", "s"): 1e-3,
+    ("us", "s"): 1e-6,
+    ("s", "ms"): 1e3,
+    ("min", "s"): 60.0,
+    ("hour", "s"): 3600.0,
+    ("fraction", "percent"): 100.0,
+    ("percent", "fraction"): 0.01,
+}
+
+
+def convert_unit(value: float, from_unit: str, to_unit: str) -> float:
+    """Convert ``value`` between units; identity when units match/blank."""
+    if from_unit == to_unit or not from_unit or not to_unit:
+        return value
+    factor = _UNIT_FACTORS.get((from_unit, to_unit))
+    if factor is None:
+        raise UnitConversionError(f"no conversion {from_unit!r} -> {to_unit!r}")
+    return value * factor
+
+
+@dataclass
+class MappingRule:
+    """How one GLUE field is produced from a native record.
+
+    Attributes:
+        glue_field: target GLUE field name.
+        native_key: key in the native record; None for transform-only rules.
+        unit: unit of the native value; converted to the GLUE field's
+            canonical unit automatically when both are known.
+        transform: optional callable applied to the raw native value (or,
+            when ``native_key`` is None, to the whole record).
+        default: value used when the native key is absent (left None to
+            signal "not translatable").
+    """
+
+    glue_field: str
+    native_key: Optional[str] = None
+    unit: str = ""
+    transform: Optional[Callable[[Any], Any]] = None
+    default: Any = None
+
+    def apply(self, record: Mapping[str, Any], target: "GlueGroup") -> Any:
+        """Produce the GLUE value, or None on any failure (paper §3.2.3)."""
+        if self.native_key is not None:
+            if self.native_key not in record:
+                return self.default
+            raw: Any = record[self.native_key]
+        else:
+            raw = record
+        try:
+            if self.transform is not None:
+                raw = self.transform(raw)
+            if raw is None:
+                return self.default
+            fdef = target.field(self.glue_field)
+            if fdef.type in ("REAL", "INTEGER", "TIMESTAMP") and not isinstance(
+                raw, bool
+            ):
+                numeric = float(raw)
+                numeric = convert_unit(numeric, self.unit, fdef.unit)
+                return int(numeric) if fdef.type == "INTEGER" else numeric
+            if fdef.type == "BOOLEAN":
+                if isinstance(raw, str):
+                    return raw.strip().lower() in ("true", "t", "yes", "1", "on")
+                return bool(raw)
+            return str(raw) if fdef.type == "TEXT" else raw
+        except (TypeError, ValueError, KeyError, UnitConversionError):
+            # "drivers can return null values, indicating a translation was
+            # either not possible or currently not implemented"
+            return None
+
+
+@dataclass
+class GroupMapping:
+    """All rules producing one GLUE group from one native record shape."""
+
+    group: str
+    rules: list[MappingRule] = field(default_factory=list)
+
+    def rule_for(self, glue_field: str) -> Optional[MappingRule]:
+        for r in self.rules:
+            if r.glue_field == glue_field:
+                return r
+        return None
+
+    def translate(
+        self, record: Mapping[str, Any], schema: GlueSchema
+    ) -> dict[str, Any]:
+        """Translate one native record into a full GLUE row.
+
+        Every field of the group is present in the output; unmapped or
+        failed fields are None.
+        """
+        target = schema.group(self.group)
+        row: dict[str, Any] = {}
+        by_field = {r.glue_field: r for r in self.rules}
+        for fdef in target.fields:
+            rule = by_field.get(fdef.name)
+            row[fdef.name] = rule.apply(record, target) if rule else None
+        return row
+
+    def coverage(self, schema: GlueSchema) -> float:
+        """Fraction of the group's fields that have a mapping rule."""
+        target = schema.group(self.group)
+        if not target.fields:
+            return 1.0
+        mapped = sum(1 for f in target.fields if self.rule_for(f.name))
+        return mapped / len(target.fields)
+
+
+class SchemaMapping:
+    """A driver's complete GLUE implementation: group name -> rules.
+
+    Drivers fetch this from the ``SchemaManager`` when a connection is
+    created and consult it per-statement (paper Figure 5).
+    """
+
+    def __init__(self, driver_name: str, groups: Iterable[GroupMapping] = ()) -> None:
+        self.driver_name = driver_name
+        self._groups: dict[str, GroupMapping] = {}
+        for g in groups:
+            self.add(g)
+
+    def add(self, mapping: GroupMapping) -> None:
+        if mapping.group in self._groups:
+            raise ValueError(
+                f"duplicate mapping for group {mapping.group!r} in "
+                f"{self.driver_name!r}"
+            )
+        self._groups[mapping.group] = mapping
+
+    def supports(self, group: str) -> bool:
+        return group in self._groups
+
+    def group_mapping(self, group: str) -> GroupMapping:
+        m = self._groups.get(group)
+        if m is None:
+            raise KeyError(
+                f"driver {self.driver_name!r} has no mapping for group {group!r}"
+            )
+        return m
+
+    def groups(self) -> list[str]:
+        return sorted(self._groups)
+
+    def translate(
+        self, group: str, records: Iterable[Mapping[str, Any]], schema: GlueSchema
+    ) -> list[dict[str, Any]]:
+        """Translate a batch of native records into GLUE rows."""
+        mapping = self.group_mapping(group)
+        return [mapping.translate(r, schema) for r in records]

@@ -1,0 +1,163 @@
+"""GLUE renderings (paper §3.1.4).
+
+"Currently a number of GLUE implementations are underway, including
+relational, XML and LDAP versions."  The relational rendering is this
+repository's native form (groups = tables, the SQL engine).  This module
+adds the other two, for interoperability with era tooling:
+
+* :func:`schema_to_xml` / :func:`rows_to_xml` — XML documents in the
+  OGSA/R-GMA style (group element per row, attribute elements per field);
+* :func:`rows_to_ldif` — LDAP LDIF entries in the MDS-2 style
+  (``GlueProcessorUniqueID=...,Mds-Vo-name=site,o=grid`` DNs with
+  ``Glue<Group><Field>`` attribute names);
+* the matching parsers, so the renderings round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.glue.schema import GlueGroup, GlueSchema
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+# ----------------------------------------------------------------------
+# XML
+# ----------------------------------------------------------------------
+def schema_to_xml(schema: GlueSchema) -> str:
+    """Render the schema definition itself (groups, fields, types, units)."""
+    out = ['<?xml version="1.0"?>']
+    out.append(f'<GlueSchema version="{_esc(schema.version)}">')
+    for group in schema:
+        out.append(f'  <Group name="{_esc(group.name)}">')
+        for f in group.fields:
+            out.append(
+                f'    <Field name="{_esc(f.name)}" type="{f.type}"'
+                f' unit="{_esc(f.unit)}"/>'
+            )
+        out.append("  </Group>")
+    out.append("</GlueSchema>")
+    return "\n".join(out)
+
+
+def rows_to_xml(group: GlueGroup, rows: Iterable[Mapping[str, Any]]) -> str:
+    """Render GLUE rows as an XML document; NULL fields are omitted."""
+    out = ['<?xml version="1.0"?>', f'<GlueData group="{_esc(group.name)}">']
+    for row in rows:
+        out.append(f"  <{group.name}>")
+        for f in group.fields:
+            value = row.get(f.name)
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                text = "true" if value else "false"
+            else:
+                text = str(value)
+            out.append(f"    <{f.name}>{_esc(text)}</{f.name}>")
+        out.append(f"  </{group.name}>")
+    out.append("</GlueData>")
+    return "\n".join(out)
+
+
+def xml_to_rows(group: GlueGroup, xml: str) -> list[dict[str, Any]]:
+    """Parse :func:`rows_to_xml` output back into GLUE rows."""
+    import re
+
+    rows: list[dict[str, Any]] = []
+    record_re = re.compile(
+        rf"<{group.name}>(.*?)</{group.name}>", re.DOTALL
+    )
+    field_re = re.compile(r"<(\w+)>(.*?)</\1>", re.DOTALL)
+    for m in record_re.finditer(xml):
+        row: dict[str, Any] = {f.name: None for f in group.fields}
+        for fm in field_re.finditer(m.group(1)):
+            name, raw = fm.group(1), fm.group(2)
+            raw = (
+                raw.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+            )
+            if not group.has_field(name):
+                continue
+            row[name] = _coerce(group, name, raw)
+        rows.append(row)
+    return rows
+
+
+def _coerce(group: GlueGroup, name: str, raw: str) -> Any:
+    ftype = group.field(name).type
+    try:
+        if ftype == "INTEGER":
+            return int(float(raw))
+        if ftype in ("REAL", "TIMESTAMP"):
+            return float(raw)
+        if ftype == "BOOLEAN":
+            return raw.strip().lower() in ("true", "1", "yes")
+    except ValueError:
+        return None
+    return raw
+
+
+# ----------------------------------------------------------------------
+# LDAP / LDIF
+# ----------------------------------------------------------------------
+def rows_to_ldif(
+    group: GlueGroup,
+    rows: Iterable[Mapping[str, Any]],
+    *,
+    vo: str = "local",
+) -> str:
+    """Render rows as MDS-2 style LDIF entries.
+
+    DN shape: ``Glue<Group>UniqueID=<host>#<i>,Mds-Vo-name=<vo>,o=grid``;
+    attribute names are ``Glue<Group><Field>``, NULLs omitted — matching
+    how the era's LDAP GLUE rendering flattened the conceptual schema.
+    """
+    out = []
+    for i, row in enumerate(rows):
+        uid = f"{row.get('HostName', 'unknown')}#{i}"
+        out.append(f"dn: Glue{group.name}UniqueID={uid},Mds-Vo-name={vo},o=grid")
+        out.append(f"objectClass: Glue{group.name}")
+        for f in group.fields:
+            value = row.get(f.name)
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                value = "TRUE" if value else "FALSE"
+            out.append(f"Glue{group.name}{f.name}: {value}")
+        out.append("")
+    return "\n".join(out)
+
+
+def ldif_to_rows(group: GlueGroup, ldif: str) -> list[dict[str, Any]]:
+    """Parse :func:`rows_to_ldif` output back into GLUE rows."""
+    rows: list[dict[str, Any]] = []
+    current: dict[str, Any] | None = None
+    prefix = f"Glue{group.name}"
+    for line in ldif.splitlines():
+        line = line.rstrip()
+        if line.startswith("dn:"):
+            if current is not None:
+                rows.append(current)
+            current = {f.name: None for f in group.fields}
+            continue
+        if not line or current is None:
+            continue
+        key, sep, value = line.partition(": ")
+        if not sep or key == "objectClass":
+            continue
+        if not key.startswith(prefix):
+            continue
+        field_name = key[len(prefix):]
+        if not group.has_field(field_name):
+            continue
+        if group.field(field_name).type == "BOOLEAN":
+            current[field_name] = value.strip().upper() == "TRUE"
+        else:
+            current[field_name] = _coerce(group, field_name, value)
+    if current is not None:
+        rows.append(current)
+    return rows

@@ -1,0 +1,159 @@
+"""Multi-gateway event archiver — an archiving GMA consumer.
+
+The GMA architecture the paper builds on explicitly anticipates
+"archiver" consumers: components that subscribe to many producers and
+record the event stream for later analysis (R-GMA, which the paper cites,
+is exactly this shape).  :class:`EventArchiver` subscribes to any number
+of gateway :class:`~repro.gma.subscription.EventPublisher` endpoints and
+records every received event into its own relational store, queryable
+with the same SQL engine the rest of GridRM uses.
+
+It renews its subscription leases automatically while running, so it
+survives publisher lease expiry, and exposes small report helpers the
+operations examples/benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.core.events import Event
+from repro.gma.subscription import EventPublisher, EventSubscriber
+from repro.simnet.errors import NetworkError
+from repro.simnet.network import Address, Network
+from repro.sql.database import Database
+from repro.sql.executor import SelectResult
+
+
+@dataclass
+class _Feed:
+    publisher: Address
+    subscription_id: int
+    lease: float
+
+
+class EventArchiver:
+    """Subscribes to gateways and archives their event streams."""
+
+    RENEW_FRACTION = 0.5  # renew when half the lease has elapsed
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        *,
+        port: int = 8450,
+        max_rows: int = 100_000,
+    ) -> None:
+        if not network.has_host(host):
+            network.add_host(host, site="archiver")
+        self.network = network
+        self.host = host
+        self.max_rows = max_rows
+        self.subscriber = EventSubscriber(network, host, port=port)
+        self.subscriber.on_event(self._archive)
+        self._feeds: list[_Feed] = []
+        self._renew_timer = None
+        self.db = Database()
+        self.db.create_table(
+            "events",
+            [
+                ("source_host", "TEXT"),
+                ("name", "TEXT"),
+                ("severity", "TEXT"),
+                ("time", "TIMESTAMP"),
+                ("native_kind", "TEXT"),
+                ("received_at", "TIMESTAMP"),
+            ],
+        )
+        self.stats = {"archived": 0, "renewals": 0, "renewal_failures": 0}
+
+    # ------------------------------------------------------------------
+    def follow(
+        self,
+        publisher: EventPublisher | Address,
+        *,
+        name_prefix: str = "",
+        lease: float = 300.0,
+    ) -> int:
+        """Subscribe to a gateway's events; returns the subscription id."""
+        address = (
+            publisher.address if isinstance(publisher, EventPublisher) else publisher
+        )
+        sid = self.subscriber.subscribe(
+            address, name_prefix=name_prefix, lease=lease
+        )
+        self._feeds.append(_Feed(publisher=address, subscription_id=sid, lease=lease))
+        self._ensure_renewals()
+        return sid
+
+    def _ensure_renewals(self) -> None:
+        if self._renew_timer is not None or not self._feeds:
+            return
+        period = min(f.lease for f in self._feeds) * self.RENEW_FRACTION
+        self._renew_timer = self.network.clock.call_every(period, self._renew_all)
+
+    def _renew_all(self) -> None:
+        for feed in self._feeds:
+            try:
+                ok = self.subscriber.renew(
+                    feed.publisher, feed.subscription_id, feed.lease
+                )
+            except NetworkError:
+                ok = False
+            if ok:
+                self.stats["renewals"] += 1
+            else:
+                self.stats["renewal_failures"] += 1
+
+    def stop(self) -> None:
+        """Unsubscribe everywhere and stop renewing."""
+        for feed in self._feeds:
+            try:
+                self.subscriber.unsubscribe(feed.publisher, feed.subscription_id)
+            except NetworkError:
+                pass
+        self._feeds.clear()
+        if self._renew_timer is not None:
+            self._renew_timer.cancel()
+            self._renew_timer = None
+
+    # ------------------------------------------------------------------
+    def _archive(self, event: Event) -> None:
+        table = self.db.table("events")
+        table.insert_row(
+            {
+                "source_host": event.source_host,
+                "name": event.name,
+                "severity": event.severity,
+                "time": event.time,
+                "native_kind": event.native_kind,
+                "received_at": self.network.clock.now(),
+            }
+        )
+        overflow = len(table.rows) - self.max_rows
+        if overflow > 0:
+            del table.rows[:overflow]
+        self.stats["archived"] += 1
+
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> SelectResult:
+        """Arbitrary SQL over the archive (table: ``events``)."""
+        return self.db.query(sql)
+
+    def event_count(self) -> int:
+        return len(self.db.table("events").rows)
+
+    def noisiest_hosts(self, limit: int = 5) -> list[tuple[str, int]]:
+        result = self.db.query(
+            "SELECT source_host, COUNT(*) AS n FROM events "
+            f"GROUP BY source_host ORDER BY n DESC, source_host ASC LIMIT {limit}"
+        )
+        return [(r[0], r[1]) for r in result.rows]
+
+    def severity_breakdown(self) -> dict[str, int]:
+        result = self.db.query(
+            "SELECT severity, COUNT(*) FROM events GROUP BY severity"
+        )
+        return {r[0]: r[1] for r in result.rows}

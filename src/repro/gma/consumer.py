@@ -1,0 +1,114 @@
+"""GMA consumer: the client side of gateway-to-gateway queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gma.directory import DirectoryClient
+from repro.gma.records import ProducerRecord
+from repro.simnet.errors import NetworkError
+from repro.simnet.network import Address, Network
+
+
+class RemoteQueryFailure(Exception):
+    """The remote gateway rejected or failed the query."""
+
+
+@dataclass
+class RemoteResult:
+    """A remote gateway's answer, mirroring QueryResult's shape."""
+
+    columns: list[str]
+    rows: list[list[Any]]
+    statuses: list[dict[str, Any]] = field(default_factory=list)
+    producer: ProducerRecord | None = None
+
+    def dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, r)) for r in self.rows]
+
+
+class GatewayConsumer:
+    """Looks producers up in the directory and queries them."""
+
+    def __init__(
+        self,
+        network: Network,
+        from_host: str,
+        directory: DirectoryClient,
+        *,
+        from_site: str = "",
+    ) -> None:
+        self.network = network
+        self.from_host = from_host
+        self.directory = directory
+        self.from_site = from_site or network.site_of(from_host)
+        self.queries_sent = 0
+
+    # ------------------------------------------------------------------
+    def producers_for(self, site: str) -> list[ProducerRecord]:
+        return self.directory.lookup_site(site)
+
+    def query_producer(
+        self,
+        producer: ProducerRecord,
+        sql: str,
+        *,
+        urls: list[str] | None = None,
+        mode: str = "cached_ok",
+        max_age: float | None = None,
+        timeout: float | None = None,
+    ) -> RemoteResult:
+        """Send one query to one producer."""
+        self.queries_sent += 1
+        payload = {
+            "op": "query",
+            "sql": sql,
+            "urls": urls,
+            "mode": mode,
+            "max_age": max_age,
+            "from_site": self.from_site,
+        }
+        try:
+            response = self.network.request(
+                self.from_host,
+                Address(producer.gateway_host, producer.port),
+                payload,
+                timeout=timeout,
+            )
+        except NetworkError as exc:
+            raise RemoteQueryFailure(f"producer {producer.key()} unreachable: {exc}")
+        if not isinstance(response, dict) or not response.get("ok"):
+            error = response.get("error") if isinstance(response, dict) else "garbage"
+            raise RemoteQueryFailure(f"producer {producer.key()}: {error}")
+        return RemoteResult(
+            columns=list(response.get("columns", [])),
+            rows=[list(r) for r in response.get("rows", [])],
+            statuses=list(response.get("statuses", [])),
+            producer=producer,
+        )
+
+    def query_site(
+        self,
+        site: str,
+        sql: str,
+        *,
+        urls: list[str] | None = None,
+        mode: str = "cached_ok",
+        max_age: float | None = None,
+    ) -> RemoteResult:
+        """Query a site via its first reachable registered producer."""
+        producers = self.producers_for(site)
+        if not producers:
+            raise RemoteQueryFailure(f"no producer registered for site {site!r}")
+        last: Exception | None = None
+        for producer in producers:
+            try:
+                return self.query_producer(
+                    producer, sql, urls=urls, mode=mode, max_age=max_age
+                )
+            except RemoteQueryFailure as exc:
+                last = exc
+        raise RemoteQueryFailure(
+            f"all {len(producers)} producer(s) for {site!r} failed: {last}"
+        )

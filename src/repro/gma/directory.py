@@ -1,0 +1,105 @@
+"""GMA directory service.
+
+The directory is itself a networked service (Figure 1 shows gateways
+registering with a "GMA Directory"): it runs on its own host and answers
+register / unregister / lookup requests.  :class:`DirectoryClient` is the
+stub gateways and consumers use.
+
+Wire protocol (tuples over the simulated network):
+
+* ``("register_producer", record_fields)`` -> ``("ok",)``
+* ``("unregister_producer", key)`` -> ``("ok",)`` | ``("missing",)``
+* ``("lookup_site", site)`` -> ``("ok", [record_fields...])``
+* ``("list_producers",)`` -> ``("ok", [record_fields...])``
+* ``("register_consumer", record_fields)`` -> ``("ok",)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any
+
+from repro.gma.records import ConsumerRecord, ProducerRecord
+from repro.simnet.network import Address, Network
+
+DIRECTORY_PORT = 8200
+
+
+class GMADirectory:
+    """The directory service process."""
+
+    def __init__(
+        self, network: Network, host: str = "gma-directory", *, port: int = DIRECTORY_PORT
+    ) -> None:
+        if not network.has_host(host):
+            network.add_host(host, site="gma")
+        self.network = network
+        self.address = Address(host, port)
+        self._producers: dict[str, ProducerRecord] = {}
+        self._consumers: dict[str, ConsumerRecord] = {}
+        self.requests_served = 0
+        network.listen(self.address, self._handle)
+
+    # ------------------------------------------------------------------
+    def _handle(self, payload: Any, src: Address) -> tuple:
+        self.requests_served += 1
+        if not isinstance(payload, tuple) or not payload:
+            return ("error", "malformed request")
+        op = payload[0]
+        if op == "register_producer":
+            record = ProducerRecord(**payload[1])
+            self._producers[record.key()] = record
+            return ("ok",)
+        if op == "unregister_producer":
+            return ("ok",) if self._producers.pop(payload[1], None) else ("missing",)
+        if op == "lookup_site":
+            hits = [asdict(r) for r in self._producers.values() if r.site == payload[1]]
+            return ("ok", hits)
+        if op == "list_producers":
+            return ("ok", [asdict(r) for r in self._producers.values()])
+        if op == "register_consumer":
+            record = ConsumerRecord(**payload[1])
+            self._consumers[record.key()] = record
+            return ("ok",)
+        if op == "list_consumers":
+            return ("ok", [asdict(r) for r in self._consumers.values()])
+        return ("error", f"unknown op {op!r}")
+
+    # Direct (in-process) views, for tests and the console.
+    def producers(self) -> list[ProducerRecord]:
+        return sorted(self._producers.values(), key=ProducerRecord.key)
+
+    def consumers(self) -> list[ConsumerRecord]:
+        return sorted(self._consumers.values(), key=ConsumerRecord.key)
+
+
+class DirectoryClient:
+    """Network stub for the directory service."""
+
+    def __init__(self, network: Network, from_host: str, directory: Address) -> None:
+        self.network = network
+        self.from_host = from_host
+        self.directory = directory
+
+    def _call(self, *payload: Any) -> tuple:
+        response = self.network.request(self.from_host, self.directory, tuple(payload))
+        if not isinstance(response, tuple) or not response:
+            raise RuntimeError("malformed directory response")
+        if response[0] == "error":
+            raise RuntimeError(f"directory error: {response[1]}")
+        return response
+
+    def register_producer(self, record: ProducerRecord) -> None:
+        self._call("register_producer", asdict(record))
+
+    def unregister_producer(self, key: str) -> bool:
+        return self._call("unregister_producer", key)[0] == "ok"
+
+    def lookup_site(self, site: str) -> list[ProducerRecord]:
+        return [ProducerRecord(**d) for d in self._call("lookup_site", site)[1]]
+
+    def list_producers(self) -> list[ProducerRecord]:
+        return [ProducerRecord(**d) for d in self._call("list_producers")[1]]
+
+    def register_consumer(self, record: ConsumerRecord) -> None:
+        self._call("register_consumer", asdict(record))

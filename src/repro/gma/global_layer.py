@@ -1,0 +1,121 @@
+"""GlobalLayer: a gateway's attachment to the GMA fabric.
+
+"Clients are free to connect to any Gateway; requests for remote resource
+data are routed through to the Global layer for processing by the gateway
+that owns the required data" (paper §1.1).  The GlobalLayer:
+
+* registers the gateway's producer with the GMA directory;
+* answers ``query_remote``: route a query to the owning site's gateway;
+* caches remote answers in the local gateway's CacheController — "this
+  approach is used between gateways to increase scalability by reducing
+  unnecessary requests" (§4, experiment E7).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.errors import GridRmError
+from repro.core.security import ANONYMOUS, Principal
+from repro.gma.consumer import GatewayConsumer, RemoteQueryFailure, RemoteResult
+from repro.gma.directory import DirectoryClient, GMADirectory
+from repro.gma.producer import PRODUCER_PORT, GatewayProducer
+from repro.gma.records import ProducerRecord
+from repro.simnet.network import Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gateway import Gateway
+
+
+class RemoteQueryError(GridRmError):
+    """A remote (inter-site) query could not be served."""
+
+
+class GlobalLayer:
+    """One gateway's Global-layer endpoint + routing logic."""
+
+    def __init__(
+        self,
+        gateway: "Gateway",
+        directory: GMADirectory | Address,
+        *,
+        producer_port: int = PRODUCER_PORT,
+        cache_remote: bool = True,
+    ) -> None:
+        self.gateway = gateway
+        directory_address = (
+            directory.address if isinstance(directory, GMADirectory) else directory
+        )
+        self.directory = DirectoryClient(
+            gateway.network, gateway.host, directory_address
+        )
+        self.producer = GatewayProducer(gateway, port=producer_port)
+        self.consumer = GatewayConsumer(
+            gateway.network, gateway.host, self.directory, from_site=gateway.site
+        )
+        self.cache_remote = cache_remote
+        self.stats = {"remote_queries": 0, "remote_cache_hits": 0}
+        self.register()
+        # Enable the gateway's transparent remote-URL routing (paper
+        # §1.1: remote requests "are routed through to the Global layer").
+        gateway.global_layer = self
+
+    # ------------------------------------------------------------------
+    def register(self) -> None:
+        """(Re-)register this gateway's producer with the directory."""
+        record = ProducerRecord(
+            site=self.gateway.site,
+            gateway_host=self.gateway.host,
+            port=self.producer.address.port,
+            groups=tuple(self.gateway.schema_manager.group_names()),
+            registered_at=self.gateway.network.clock.now(),
+        )
+        self.directory.register_producer(record)
+
+    def unregister(self) -> None:
+        record_key = (
+            f"{self.gateway.site}@{self.gateway.host}:{self.producer.address.port}"
+        )
+        self.directory.unregister_producer(record_key)
+
+    # ------------------------------------------------------------------
+    def query_remote(
+        self,
+        site: str,
+        sql: str,
+        *,
+        urls: list[str] | None = None,
+        mode: str = "cached_ok",
+        max_age: float | None = None,
+        principal: Principal = ANONYMOUS,
+    ) -> RemoteResult:
+        """Route a query to the gateway owning ``site``'s resources.
+
+        The local CGSL gates outbound remote queries; the remote FGSL is
+        applied by the owning gateway when it executes them.
+        """
+        self.gateway.cgsl.check(principal, "query_remote")
+        self.stats["remote_queries"] += 1
+        cache_key_url = f"gma://{site}" + (f"/{','.join(urls)}" if urls else "")
+        if self.cache_remote:
+            cached = self.gateway.cache.lookup(cache_key_url, sql, max_age=max_age)
+            if cached is not None:
+                self.stats["remote_cache_hits"] += 1
+                return RemoteResult(
+                    columns=list(cached.columns),
+                    rows=[list(r) for r in cached.rows],
+                    statuses=[{"url": cache_key_url, "ok": True, "from_cache": True}],
+                )
+        try:
+            result = self.consumer.query_site(
+                site, sql, urls=urls, mode=mode, max_age=max_age
+            )
+        except RemoteQueryFailure as exc:
+            raise RemoteQueryError(str(exc)) from exc
+        if self.cache_remote:
+            self.gateway.cache.store(cache_key_url, sql, result.columns, result.rows)
+        return result
+
+    def known_sites(self) -> list[str]:
+        """All sites with a registered producer (for the console)."""
+        return sorted({p.site for p in self.directory.list_producers()})

@@ -1,0 +1,94 @@
+"""Gateway-side GMA producer.
+
+Listens on the gateway host and answers remote query requests: the paper
+deploys each gateway as a servlet reachable from other sites (Figure 1);
+the producer is that servlet's query endpoint.  Security decisions are
+made *here*, by the owning gateway (paper §2: "In a hierarchy of GridRM
+Gateways, security decisions can be deferred to the local Gateway
+responsible for a given resource"), against a ``remote:<site>`` role
+principal.
+
+Wire protocol::
+
+    {"op": "query", "urls": [...], "sql": "...", "mode": "cached_ok",
+     "from_site": "site-b", "max_age": 10.0}
+      -> {"ok": True, "columns": [...], "rows": [...], "statuses": [...]}
+    {"op": "groups"} -> {"ok": True, "groups": [...]}
+    {"op": "sources"} -> {"ok": True, "urls": [...]}
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.core.errors import GridRmError
+from repro.core.request_manager import QueryMode
+from repro.core.security import Principal
+from repro.dbapi.exceptions import SQLException
+from repro.simnet.network import Address
+from repro.sql.errors import SqlError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gateway import Gateway
+
+PRODUCER_PORT = 8300
+
+
+class GatewayProducer:
+    """The gateway's Global-layer query endpoint."""
+
+    def __init__(self, gateway: "Gateway", *, port: int = PRODUCER_PORT) -> None:
+        self.gateway = gateway
+        self.address = Address(gateway.host, port)
+        self.requests_served = 0
+        gateway.network.listen(self.address, self._handle)
+
+    def _handle(self, payload: Any, src: Address) -> dict[str, Any]:
+        self.requests_served += 1
+        if not isinstance(payload, dict) or "op" not in payload:
+            return {"ok": False, "error": "malformed request"}
+        op = payload["op"]
+        try:
+            if op == "query":
+                return self._query(payload)
+            if op == "groups":
+                return {"ok": True, "groups": self.gateway.schema_manager.group_names()}
+            if op == "sources":
+                return {
+                    "ok": True,
+                    "urls": [str(s.url) for s in self.gateway.sources() if s.enabled],
+                }
+        except (GridRmError, SQLException, SqlError) as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        urls = payload.get("urls") or [
+            str(s.url) for s in self.gateway.sources() if s.enabled
+        ]
+        sql = payload["sql"]
+        mode = QueryMode(payload.get("mode", "cached_ok"))
+        from_site = payload.get("from_site", "unknown")
+        principal = Principal.with_roles(f"remote:{from_site}", "remote")
+        result = self.gateway.query(
+            urls,
+            sql,
+            mode=mode,
+            principal=principal,
+            max_age=payload.get("max_age"),
+        )
+        return {
+            "ok": True,
+            "columns": result.columns,
+            "rows": result.rows,
+            "statuses": [
+                {
+                    "url": s.url,
+                    "ok": s.ok,
+                    "rows": s.rows,
+                    "from_cache": s.from_cache,
+                    "error": s.error,
+                }
+                for s in result.statuses
+            ],
+        }

@@ -1,0 +1,219 @@
+"""Inter-gateway event subscriptions (paper §3.1.5, GMA publish/subscribe).
+
+"This behaviour allows GridRM to propagate events between Gateways and
+groups of diverse data sources."  GMA's third interaction mode (besides
+request/response and query) is subscription: a consumer registers
+interest with a producer, which then pushes events as they occur.
+
+:class:`EventPublisher` attaches to a gateway: it accepts subscription
+requests on a control port and forwards every matching local event —
+whether translated from a native trap or synthesised by the alert
+monitor — to each subscriber as a one-way datagram carrying the
+serialised GridRM event.  :class:`EventSubscriber` is the consumer side:
+it subscribes a local callback to a remote gateway's events.
+
+Subscriptions lease-expire: publishers drop subscribers that have not
+renewed within the lease, so crashed consumers do not accumulate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.core.events import Event
+from repro.simnet.errors import NetworkError
+from repro.simnet.network import Address, Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gateway import Gateway
+
+PUBLISHER_PORT = 8400
+
+#: Wire form of an event (plain dict so any endpoint can consume it).
+def encode_event(event: Event) -> dict[str, Any]:
+    return {
+        "kind": "gridrm-event",
+        "source_host": event.source_host,
+        "name": event.name,
+        "severity": event.severity,
+        "time": event.time,
+        "fields": dict(event.fields),
+        "native_kind": event.native_kind,
+    }
+
+
+def decode_event(payload: Any) -> Optional[Event]:
+    if not isinstance(payload, dict) or payload.get("kind") != "gridrm-event":
+        return None
+    try:
+        return Event(
+            source_host=str(payload["source_host"]),
+            name=str(payload["name"]),
+            severity=str(payload["severity"]),
+            time=float(payload["time"]),
+            fields=dict(payload.get("fields", {})),
+            native_kind=str(payload.get("native_kind", "")),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+@dataclass
+class _Subscription:
+    subscriber: Address
+    name_prefix: str
+    source_host: Optional[str]
+    expires_at: float
+    delivered: int = 0
+
+
+class EventPublisher:
+    """Gateway-side event publisher with leased subscriptions.
+
+    Control protocol (request/response on :data:`PUBLISHER_PORT`):
+
+    * ``("subscribe", reply_host, reply_port, name_prefix, source_host,
+      lease_s)`` -> ``("ok", subscription_id)``
+    * ``("renew", subscription_id, lease_s)`` -> ``("ok",)`` | ``("missing",)``
+    * ``("unsubscribe", subscription_id)`` -> ``("ok",)`` | ``("missing",)``
+    """
+
+    DEFAULT_LEASE = 300.0
+    SWEEP_PERIOD = 60.0
+
+    def __init__(self, gateway: "Gateway", *, port: int = PUBLISHER_PORT) -> None:
+        self.gateway = gateway
+        self.address = Address(gateway.host, port)
+        self._subs: dict[int, _Subscription] = {}
+        self._ids = itertools.count(1)
+        self.stats = {"published": 0, "expired": 0, "subscribes": 0}
+        gateway.network.listen(self.address, self._handle_control)
+        gateway.events.register_listener(self._on_event)
+        gateway.network.clock.call_every(self.SWEEP_PERIOD, self.sweep)
+
+    # ------------------------------------------------------------------
+    def _handle_control(self, payload: Any, src: Address) -> tuple:
+        if not isinstance(payload, tuple) or not payload:
+            return ("error", "malformed request")
+        op = payload[0]
+        now = self.gateway.network.clock.now()
+        if op == "subscribe":
+            try:
+                _, host, port, prefix, source_host, lease = payload
+            except ValueError:
+                return ("error", "subscribe needs 5 arguments")
+            sid = next(self._ids)
+            self._subs[sid] = _Subscription(
+                subscriber=Address(str(host), int(port)),
+                name_prefix=str(prefix or ""),
+                source_host=source_host,
+                expires_at=now + float(lease or self.DEFAULT_LEASE),
+            )
+            self.stats["subscribes"] += 1
+            return ("ok", sid)
+        if op == "renew":
+            sub = self._subs.get(payload[1])
+            if sub is None:
+                return ("missing",)
+            sub.expires_at = now + float(payload[2] or self.DEFAULT_LEASE)
+            return ("ok",)
+        if op == "unsubscribe":
+            return ("ok",) if self._subs.pop(payload[1], None) else ("missing",)
+        return ("error", f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event: Event) -> None:
+        now = self.gateway.network.clock.now()
+        wire_event = encode_event(event)
+        for sub in self._subs.values():
+            if sub.expires_at < now:
+                continue
+            if sub.name_prefix and not event.name.startswith(sub.name_prefix):
+                continue
+            if sub.source_host is not None and event.source_host != sub.source_host:
+                continue
+            self.gateway.network.send(self.gateway.host, sub.subscriber, wire_event)
+            sub.delivered += 1
+            self.stats["published"] += 1
+
+    def sweep(self) -> int:
+        """Drop expired subscriptions; returns how many were removed."""
+        now = self.gateway.network.clock.now()
+        dead = [sid for sid, s in self._subs.items() if s.expires_at < now]
+        for sid in dead:
+            del self._subs[sid]
+        self.stats["expired"] += len(dead)
+        return len(dead)
+
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+
+class EventSubscriber:
+    """Consumer side: receive a remote gateway's events locally."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        *,
+        port: int = 8401,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.address = Address(host, port)
+        self._callbacks: list[Callable[[Event], None]] = []
+        self.received = 0
+        network.listen(
+            self.address, lambda p, s: None, datagram_handler=self._on_datagram
+        )
+
+    def _on_datagram(self, payload: Any, src: Address) -> None:
+        event = decode_event(payload)
+        if event is None:
+            return
+        self.received += 1
+        for cb in list(self._callbacks):
+            cb(event)
+
+    def on_event(self, callback: Callable[[Event], None]) -> None:
+        self._callbacks.append(callback)
+
+    def subscribe(
+        self,
+        publisher: Address,
+        *,
+        name_prefix: str = "",
+        source_host: str | None = None,
+        lease: float = EventPublisher.DEFAULT_LEASE,
+    ) -> int:
+        """Subscribe at a remote publisher; returns the subscription id."""
+        response = self.network.request(
+            self.host,
+            publisher,
+            (
+                "subscribe",
+                self.address.host,
+                self.address.port,
+                name_prefix,
+                source_host,
+                lease,
+            ),
+        )
+        if not isinstance(response, tuple) or response[0] != "ok":
+            raise NetworkError(f"subscribe rejected: {response!r}")
+        return response[1]
+
+    def renew(self, publisher: Address, subscription_id: int, lease: float) -> bool:
+        response = self.network.request(
+            self.host, publisher, ("renew", subscription_id, lease)
+        )
+        return isinstance(response, tuple) and response[0] == "ok"
+
+    def unsubscribe(self, publisher: Address, subscription_id: int) -> bool:
+        response = self.network.request(
+            self.host, publisher, ("unsubscribe", subscription_id)
+        )
+        return isinstance(response, tuple) and response[0] == "ok"

@@ -1,0 +1,33 @@
+"""Simulated network substrate for GridRM.
+
+The paper deploys GridRM against real agents on a LAN/WAN.  This package
+provides the laptop-runnable substitute: a deterministic virtual clock and
+an in-process message network with configurable latency, jitter, loss and
+partitions.  Every agent, driver and gateway in the reproduction talks
+through :class:`Network`, so the code paths exercised (timeouts, retries,
+connection setup cost, trap delivery) match a real deployment while staying
+seeded and fast.
+"""
+
+from repro.simnet.clock import VirtualClock, ScheduledCall
+from repro.simnet.errors import (
+    NetworkError,
+    HostUnreachableError,
+    PortClosedError,
+    TimeoutError_,
+)
+from repro.simnet.link import LinkModel
+from repro.simnet.network import Address, Endpoint, Network
+
+__all__ = [
+    "VirtualClock",
+    "ScheduledCall",
+    "NetworkError",
+    "HostUnreachableError",
+    "PortClosedError",
+    "TimeoutError_",
+    "LinkModel",
+    "Address",
+    "Endpoint",
+    "Network",
+]

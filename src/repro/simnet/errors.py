@@ -1,0 +1,23 @@
+"""Error hierarchy for the simulated network."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for all simulated-network failures."""
+
+
+class HostUnreachableError(NetworkError):
+    """The destination host is down or partitioned away from the source."""
+
+
+class PortClosedError(NetworkError):
+    """The destination host is up but nothing listens on the port."""
+
+
+class TimeoutError_(NetworkError):
+    """The request exceeded its deadline (lossy link or slow handler).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``TimeoutError`` while remaining greppable.
+    """

@@ -1,0 +1,300 @@
+"""In-process simulated network.
+
+The network is synchronous: :meth:`Network.request` performs a blocking
+RPC (advancing the virtual clock by the modelled round-trip delay), and
+:meth:`Network.send` delivers a one-way datagram (used for SNMP traps and
+GridRM event propagation) via the clock's schedule.
+
+Hosts belong to *sites*; traffic within a site uses the LAN link model and
+traffic between sites uses the WAN model, matching the paper's two-layer
+deployment (Figure 1).  Fault injection — dead hosts, partitions, extra
+loss — drives the failover experiments (E10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.simnet.clock import VirtualClock
+from repro.simnet.errors import (
+    HostUnreachableError,
+    PortClosedError,
+    TimeoutError_,
+)
+from repro.simnet.link import LAN, WAN, LinkModel
+
+#: RPC handler: (payload, source address) -> response payload.
+RequestHandler = Callable[[Any, "Address"], Any]
+#: One-way datagram handler: (payload, source address) -> None.
+DatagramHandler = Callable[[Any, "Address"], None]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A (host, port) pair on the simulated network."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class Endpoint:
+    """A listening socket: an address bound to a request handler."""
+
+    address: Address
+    handler: RequestHandler
+    datagram_handler: Optional[DatagramHandler] = None
+
+
+@dataclass
+class _Host:
+    name: str
+    site: str
+    up: bool = True
+    extra_loss: float = 0.0
+    ports: dict[int, Endpoint] = field(default_factory=dict)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters (reset-able; consumed by benchmarks)."""
+
+    requests: int = 0
+    datagrams: int = 0
+    drops: int = 0
+    bytes_sent: int = 0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.datagrams = 0
+        self.drops = 0
+        self.bytes_sent = 0
+
+
+def _payload_size(payload: Any) -> int:
+    """Rough wire size of a payload, for bandwidth-delay charging."""
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8", errors="replace"))
+    return len(repr(payload))
+
+
+class Network:
+    """The simulated internetwork joining all sites in an experiment.
+
+    >>> clock = VirtualClock()
+    >>> net = Network(clock, seed=7)
+    >>> net.add_host("a", site="s1"); net.add_host("b", site="s1")
+    >>> net.listen(Address("b", 9), lambda req, src: req.upper())
+    >>> net.request("a", Address("b", 9), "ping")
+    'PING'
+    """
+
+    DEFAULT_TIMEOUT = 5.0
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        *,
+        seed: int = 0,
+        lan: LinkModel = LAN,
+        wan: LinkModel = WAN,
+    ) -> None:
+        self.clock = clock
+        self._rng = random.Random(seed)
+        self._lan = lan
+        self._wan = wan
+        self._hosts: dict[str, _Host] = {}
+        self._partitions: Optional[list[set[str]]] = None
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, *, site: str = "default") -> None:
+        """Register a host; idempotent only for identical site membership."""
+        if name in self._hosts:
+            if self._hosts[name].site != site:
+                raise ValueError(
+                    f"host {name!r} already exists in site {self._hosts[name].site!r}"
+                )
+            return
+        self._hosts[name] = _Host(name=name, site=site)
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    def hosts(self, *, site: str | None = None) -> list[str]:
+        """All host names, optionally filtered to one site, sorted."""
+        return sorted(
+            h.name for h in self._hosts.values() if site is None or h.site == site
+        )
+
+    def site_of(self, host: str) -> str:
+        return self._require_host(host).site
+
+    def listen(
+        self,
+        address: Address,
+        handler: RequestHandler,
+        *,
+        datagram_handler: DatagramHandler | None = None,
+    ) -> Endpoint:
+        """Bind ``handler`` at ``address``; the host must already exist."""
+        host = self._require_host(address.host)
+        if address.port in host.ports:
+            raise ValueError(f"port already bound: {address}")
+        ep = Endpoint(address=address, handler=handler, datagram_handler=datagram_handler)
+        host.ports[address.port] = ep
+        return ep
+
+    def close(self, address: Address) -> None:
+        """Unbind whatever listens at ``address`` (no-op if nothing does)."""
+        host = self._hosts.get(address.host)
+        if host is not None:
+            host.ports.pop(address.port, None)
+
+    def is_listening(self, address: Address) -> bool:
+        host = self._hosts.get(address.host)
+        return host is not None and address.port in host.ports
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_host_up(self, name: str, up: bool) -> None:
+        """Crash (``up=False``) or revive a host."""
+        self._require_host(name).up = up
+
+    def set_extra_loss(self, name: str, loss: float) -> None:
+        """Add host-local loss probability on top of the link model."""
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss!r}")
+        self._require_host(name).extra_loss = loss
+
+    def partition(self, *groups: set[str]) -> None:
+        """Split the network: traffic may only flow within one group.
+
+        Hosts not named in any group can talk to nobody until
+        :meth:`heal` is called.
+        """
+        self._partitions = [set(g) for g in groups]
+
+    def heal(self) -> None:
+        """Remove any active partition."""
+        self._partitions = None
+
+    def _partitioned(self, a: str, b: str) -> bool:
+        if self._partitions is None or a == b:
+            return False
+        return not any(a in g and b in g for g in self._partitions)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def link_for(self, src: str, dst: str) -> LinkModel:
+        """The link model governing traffic between two hosts."""
+        if self._require_host(src).site == self._require_host(dst).site:
+            return self._lan
+        return self._wan
+
+    def request(
+        self,
+        src_host: str,
+        dst: Address,
+        payload: Any,
+        *,
+        timeout: float | None = None,
+    ) -> Any:
+        """Synchronous RPC from ``src_host`` to the endpoint at ``dst``.
+
+        Advances the virtual clock by the modelled round-trip time.
+        Raises :class:`HostUnreachableError`, :class:`PortClosedError` or
+        :class:`TimeoutError_` exactly where a real socket would fail.
+        """
+        timeout = self.DEFAULT_TIMEOUT if timeout is None else timeout
+        self.stats.requests += 1
+        size = _payload_size(payload)
+        self.stats.bytes_sent += size
+
+        src = self._require_host(src_host)
+        dst_host = self._hosts.get(dst.host)
+        if dst_host is None or self._partitioned(src_host, dst.host):
+            # An unreachable destination looks like a timeout on the wire.
+            self.clock.advance(timeout)
+            raise HostUnreachableError(f"{src_host} -> {dst}: no route")
+        if not dst_host.up:
+            self.clock.advance(timeout)
+            raise HostUnreachableError(f"{src_host} -> {dst}: host down")
+
+        link = self.link_for(src_host, dst.host)
+        loss = link.loss + src.extra_loss + dst_host.extra_loss
+        if loss > 0.0 and self._rng.random() < loss:
+            self.stats.drops += 1
+            self.clock.advance(timeout)
+            raise TimeoutError_(f"{src_host} -> {dst}: request lost")
+
+        self.clock.advance(link.delay(size, self._rng))
+        endpoint = dst_host.ports.get(dst.port)
+        if endpoint is None:
+            raise PortClosedError(f"{src_host} -> {dst}: connection refused")
+
+        response = endpoint.handler(payload, Address(src_host, 0))
+        rsize = _payload_size(response)
+        self.stats.bytes_sent += rsize
+        if loss > 0.0 and self._rng.random() < loss:
+            self.stats.drops += 1
+            self.clock.advance(timeout)
+            raise TimeoutError_(f"{dst} -> {src_host}: response lost")
+        self.clock.advance(link.delay(rsize, self._rng))
+        return response
+
+    def send(self, src_host: str, dst: Address, payload: Any) -> None:
+        """One-way datagram (trap/event); silently dropped on failure."""
+        self.stats.datagrams += 1
+        size = _payload_size(payload)
+        self.stats.bytes_sent += size
+
+        src = self._require_host(src_host)
+        dst_host = self._hosts.get(dst.host)
+        if (
+            dst_host is None
+            or not dst_host.up
+            or self._partitioned(src_host, dst.host)
+        ):
+            self.stats.drops += 1
+            return
+        link = self.link_for(src_host, dst.host)
+        loss = link.loss + src.extra_loss + dst_host.extra_loss
+        if loss > 0.0 and self._rng.random() < loss:
+            self.stats.drops += 1
+            return
+        delay = link.delay(size, self._rng)
+        src_addr = Address(src_host, 0)
+
+        def _deliver() -> None:
+            # Re-check liveness at delivery time: the host may have died
+            # or closed the port while the datagram was in flight.
+            live = self._hosts.get(dst.host)
+            if live is None or not live.up:
+                self.stats.drops += 1
+                return
+            ep = live.ports.get(dst.port)
+            if ep is None or ep.datagram_handler is None:
+                self.stats.drops += 1
+                return
+            ep.datagram_handler(payload, src_addr)
+
+        self.clock.call_later(delay, _deliver)
+
+    # ------------------------------------------------------------------
+    def _require_host(self, name: str) -> _Host:
+        host = self._hosts.get(name)
+        if host is None:
+            raise KeyError(f"unknown host: {name!r}")
+        return host

@@ -1,0 +1,20 @@
+"""SQL engine error hierarchy."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL engine failures."""
+
+
+class SqlParseError(SqlError):
+    """The statement text is not valid in the supported dialect."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SqlExecutionError(SqlError):
+    """The statement parsed but could not be executed (missing table,
+    unknown column, type error, ...)."""

@@ -1,0 +1,154 @@
+"""SQL lexer.
+
+Hand-written single-pass scanner producing a flat token list.  Keywords
+are case-insensitive; identifiers preserve case (GLUE group and attribute
+names are CamelCase, e.g. ``Processor.ClockSpeed``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sql.errors import SqlParseError
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+#: Reserved words recognised as keywords (upper-cased canonical form).
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE AND OR NOT IN LIKE BETWEEN IS NULL TRUE FALSE
+    ORDER BY ASC DESC LIMIT OFFSET GROUP HAVING DISTINCT AS
+    INSERT INTO VALUES UPDATE SET DELETE CREATE DROP TABLE IF EXISTS
+    COUNT SUM AVG MIN MAX
+    INTEGER REAL TEXT BOOLEAN TIMESTAMP
+    """.split()
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages).
+
+    ``raw`` preserves the source spelling for keywords (``value`` is the
+    upper-cased canonical form) so that keywords doubling as identifiers
+    — a column named ``Timestamp`` — keep their case.
+    """
+
+    type: TokenType
+    value: str
+    pos: int
+    raw: str = ""
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+class Lexer:
+    """Tokenise a SQL string.
+
+    >>> [t.value for t in Lexer("SELECT * FROM Processor").tokens()][:4]
+    ['SELECT', '*', 'FROM', 'Processor']
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            tok = self._next()
+            out.append(tok)
+            if tok.type is TokenType.EOF:
+                return out
+
+    # ------------------------------------------------------------------
+    def _next(self) -> Token:
+        text, n = self.text, len(self.text)
+        while self.pos < n and text[self.pos].isspace():
+            self.pos += 1
+        if self.pos >= n:
+            return Token(TokenType.EOF, "", self.pos)
+        start = self.pos
+        ch = text[start]
+
+        if ch == "'" or ch == '"':
+            return self._string(ch)
+        if ch.isdigit() or (ch == "." and start + 1 < n and text[start + 1].isdigit()):
+            return self._number()
+        if ch.isalpha() or ch == "_":
+            return self._word()
+        for op in _OPERATORS:
+            if text.startswith(op, start):
+                self.pos += len(op)
+                return Token(TokenType.OPERATOR, op, start)
+        if ch in _PUNCT:
+            self.pos += 1
+            return Token(TokenType.PUNCT, ch, start)
+        raise SqlParseError(f"unexpected character {ch!r} at position {start}", start)
+
+    def _string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        buf: list[str] = []
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch == quote:
+                # Doubled quote is an escaped quote ('' -> ').
+                if self.pos + 1 < n and text[self.pos + 1] == quote:
+                    buf.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token(TokenType.STRING, "".join(buf), start)
+            buf.append(ch)
+            self.pos += 1
+        raise SqlParseError(f"unterminated string starting at {start}", start)
+
+    def _number(self) -> Token:
+        start = self.pos
+        text, n = self.text, len(self.text)
+        seen_dot = False
+        while self.pos < n and (text[self.pos].isdigit() or text[self.pos] == "."):
+            if text[self.pos] == ".":
+                if seen_dot:
+                    break
+                seen_dot = True
+            self.pos += 1
+        # Exponent suffix (1e-3).
+        if self.pos < n and text[self.pos] in "eE":
+            save = self.pos
+            self.pos += 1
+            if self.pos < n and text[self.pos] in "+-":
+                self.pos += 1
+            if self.pos < n and text[self.pos].isdigit():
+                while self.pos < n and text[self.pos].isdigit():
+                    self.pos += 1
+            else:
+                self.pos = save
+        return Token(TokenType.NUMBER, text[start : self.pos], start)
+
+    def _word(self) -> Token:
+        start = self.pos
+        text, n = self.text, len(self.text)
+        while self.pos < n and (text[self.pos].isalnum() or text[self.pos] == "_"):
+            self.pos += 1
+        word = text[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start, raw=word)
+        return Token(TokenType.IDENT, word, start)

@@ -1,0 +1,177 @@
+"""Testbed construction helpers.
+
+One call builds a complete Grid site: simulated hosts, the native agents
+the paper's initial driver set targets (SNMP, Ganglia, NWS, NetLogger,
+SCMS + a site SQL database), and a configured gateway with every agent
+registered as a data source.  Used by the examples, the integration tests
+and every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.agents.ganglia import GangliaAgent
+from repro.agents.host_model import HostSpec, SimulatedHost
+from repro.agents.netlogger import NetLoggerAgent
+from repro.agents.nws import NwsAgent
+from repro.agents.scms import ScmsAgent
+from repro.agents.snmp import SnmpAgent
+from repro.agents.sqlagent import SqlAgent, seed_site_database
+from repro.core.gateway import Gateway
+from repro.core.policy import GatewayPolicy
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network
+
+#: Agent kinds :func:`build_site` understands.
+AGENT_KINDS = ("snmp", "ganglia", "nws", "netlogger", "scms", "sql")
+
+
+@dataclass
+class Site:
+    """Everything :func:`build_site` constructed for one Grid site."""
+
+    name: str
+    network: Network
+    hosts: list[SimulatedHost]
+    gateway: Gateway
+    agents: dict[str, list[Any]] = field(default_factory=dict)
+    source_urls: list[str] = field(default_factory=list)
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.network.clock
+
+    def host_names(self) -> list[str]:
+        return [h.spec.name for h in self.hosts]
+
+    def url_for(self, kind: str, host: str | None = None) -> str:
+        """The JDBC URL of one of this site's agents."""
+        hits = [u for u in self.source_urls if u.startswith(f"jdbc:{kind}:")]
+        if host is not None:
+            hits = [u for u in hits if f"//{host}/" in u]
+        if not hits:
+            raise KeyError(f"no {kind!r} source{f' on {host}' if host else ''}")
+        return hits[0]
+
+
+def build_site(
+    network: Network,
+    *,
+    name: str,
+    n_hosts: int = 4,
+    agents: Sequence[str] = ("snmp", "ganglia"),
+    seed: int = 0,
+    policy: GatewayPolicy | None = None,
+    gateway_host: str | None = None,
+    snmp_trap_threshold: float | None = None,
+) -> Site:
+    """Build one site: hosts + agents + gateway, all registered.
+
+    Args:
+        network: shared simulated network (one per experiment).
+        name: site name; hosts are ``<name>-nNN`` and the gateway host is
+            ``<name>-gw`` unless overridden.
+        n_hosts: number of monitored machines.
+        agents: which agent kinds to deploy (see :data:`AGENT_KINDS`).
+        seed: host-model seed, combined with host names.
+        policy: gateway policy (defaults applied when None).
+        gateway_host: override the gateway's host name.
+        snmp_trap_threshold: when set, SNMP agents send load-high traps
+            above this 1-minute load, sunk at the gateway's EventManager.
+    """
+    unknown = set(agents) - set(AGENT_KINDS)
+    if unknown:
+        raise ValueError(f"unknown agent kind(s): {sorted(unknown)}")
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1: {n_hosts}")
+
+    host_names = [f"{name}-n{i:02d}" for i in range(n_hosts)]
+    for h in host_names:
+        network.add_host(h, site=name)
+    hosts = [
+        SimulatedHost(HostSpec.generate(h, name, seed), network.clock)
+        for h in host_names
+    ]
+    gw_host = gateway_host or f"{name}-gw"
+    gateway = Gateway(network, gw_host, site=name, policy=policy)
+
+    site = Site(name=name, network=network, hosts=hosts, gateway=gateway)
+
+    if "snmp" in agents:
+        snmp_agents = []
+        for h in hosts:
+            agent = SnmpAgent(
+                h, network, load_trap_threshold=snmp_trap_threshold
+            )
+            if snmp_trap_threshold is not None:
+                agent.add_trap_sink(gateway.trap_sink_address)
+            snmp_agents.append(agent)
+            url = f"jdbc:snmp://{h.spec.name}/system"
+            gateway.add_source(url)
+            site.source_urls.append(url)
+        site.agents["snmp"] = snmp_agents
+    if "ganglia" in agents:
+        agent = GangliaAgent(name, hosts, network)
+        url = f"jdbc:ganglia://{agent.address.host}/cluster"
+        gateway.add_source(url)
+        site.source_urls.append(url)
+        site.agents["ganglia"] = [agent]
+    if "nws" in agents:
+        sensor_host = hosts[0]
+        peers = [h.spec.name for h in hosts[1:3]]
+        agent = NwsAgent(sensor_host, network, peers=peers)
+        url = f"jdbc:nws://{sensor_host.spec.name}/forecast"
+        gateway.add_source(url)
+        site.source_urls.append(url)
+        site.agents["nws"] = [agent]
+    if "netlogger" in agents:
+        nl_agents = []
+        for h in hosts:
+            nl_agents.append(NetLoggerAgent(h, network))
+            url = f"jdbc:netlogger://{h.spec.name}/ulm"
+            gateway.add_source(url)
+            site.source_urls.append(url)
+        site.agents["netlogger"] = nl_agents
+    if "scms" in agents:
+        agent = ScmsAgent(name, hosts, network)
+        url = f"jdbc:scms://{agent.address.host}/cluster"
+        gateway.add_source(url)
+        site.source_urls.append(url)
+        site.agents["scms"] = [agent]
+    if "sql" in agents:
+        db = seed_site_database(hosts, network)
+        bind = hosts[-1].spec.name
+        agent = SqlAgent(db, network, bind)
+        url = f"jdbc:sql://{bind}/sitedb"
+        gateway.add_source(url)
+        site.source_urls.append(url)
+        site.agents["sql"] = [agent]
+
+    return site
+
+
+def build_testbed(
+    *,
+    n_sites: int = 1,
+    n_hosts: int = 4,
+    agents: Sequence[str] = ("snmp", "ganglia"),
+    seed: int = 0,
+    policy: GatewayPolicy | None = None,
+) -> tuple[Network, list[Site]]:
+    """A fresh clock + network with ``n_sites`` identical sites."""
+    clock = VirtualClock()
+    network = Network(clock, seed=seed)
+    sites = [
+        build_site(
+            network,
+            name=f"site-{chr(ord('a') + i)}",
+            n_hosts=n_hosts,
+            agents=agents,
+            seed=seed + i,
+            policy=policy,
+        )
+        for i in range(n_sites)
+    ]
+    return network, sites

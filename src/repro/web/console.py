@@ -1,0 +1,210 @@
+"""The management console (paper Figures 6-9, rendered as text/HTML).
+
+Reproduces the JSP views' behaviour, including the crucial caching
+semantics of Figure 9: "The JSP tree view ... is populated with cached
+data from queries issued within the local gateway. ... To obtain
+real-time data either the user must explicitly poll a given resource or
+refresh their tree view after other users have initiated a poll."
+
+* :meth:`Console.tree_view` — the source tree with status icons, built
+  *only* from cache, events and recorded poll status (no agent traffic).
+* :meth:`Console.poll` — an explicit user poll of one source (real
+  time, repopulating the cache for everyone else).
+* :meth:`Console.refresh` — re-read of the tree (cached data only).
+* :meth:`Console.driver_panel` — the Figure 8 registration panel.
+* :meth:`Console.plot` — ASCII plot of a recorded historical series
+  ("Click icon to plot historical/current values").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.request_manager import QueryMode, QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gateway import Gateway
+
+#: Status icons, text renderings of Figure 9's legend.
+ICON_FRESH = "[ok]"     # recent successful poll, cached data available
+ICON_STALE = "[..]"     # polled long ago; cache may have expired
+ICON_FAILED = "[xx]"    # last poll failed (comms failure / security)
+ICON_NEVER = "[??]"     # never polled
+ICON_EVENT = "[!!]"     # event received in the last n minutes
+
+
+class Console:
+    """Stateless renderer over one gateway."""
+
+    def __init__(self, gateway: "Gateway", *, event_window: float = 300.0) -> None:
+        self.gateway = gateway
+        self.event_window = event_window
+
+    # ------------------------------------------------------------------
+    # Tree view (Figures 6 and 9)
+    # ------------------------------------------------------------------
+    def _icon(self, source) -> str:
+        now = self.gateway.network.clock.now()
+        recent_event = any(
+            e.source_host == source.url.host
+            and now - e.time <= self.event_window
+            for e in self.gateway.events.recent
+        )
+        if recent_event:
+            return ICON_EVENT
+        if source.last_polled is None:
+            return ICON_NEVER
+        if source.last_ok is False:
+            return ICON_FAILED
+        if now - source.last_polled <= self.gateway.cache.ttl:
+            return ICON_FRESH
+        return ICON_STALE
+
+    def tree_view(self) -> str:
+        """Render the data-source tree from cached state only."""
+        gw = self.gateway
+        now = gw.network.clock.now()
+        lines = [f"GridRM Gateway {gw.host} (site {gw.site})  t={now:.1f}s"]
+        for source in gw.sources():
+            icon = self._icon(source)
+            age = (
+                f"polled {now - source.last_polled:.1f}s ago"
+                if source.last_polled is not None
+                else "never polled"
+            )
+            lines.append(f"+- {icon} {source.url}  ({age})")
+            for entry in gw.cache.entries_for(str(source.url)):
+                try:
+                    from repro.sql.parser import parse_select
+
+                    group = parse_select(entry.sql).table
+                except Exception:
+                    group = "?"
+                lines.append(
+                    f"|    cached: {group} rows={len(entry.rows)} "
+                    f"age={entry.age(now):.1f}s"
+                )
+            if source.last_ok is False and source.last_error:
+                lines.append(f"|    error: {source.last_error[:70]}")
+        if not gw.sources():
+            lines.append("+- (no data sources configured)")
+        return "\n".join(lines)
+
+    def refresh(self) -> str:
+        """The user's refresh button: cached data only, no polling."""
+        return self.tree_view()
+
+    def poll(self, url: str, sql: str = "SELECT * FROM Host") -> QueryResult:
+        """An explicit user poll of one source (real-time, fills cache)."""
+        return self.gateway.query([url], sql, mode=QueryMode.REALTIME)
+
+    def poll_all(self, sql: str = "SELECT * FROM Host") -> list[QueryResult]:
+        """Poll every enabled source (the 'poll site' action)."""
+        return [
+            self.poll(str(s.url), sql) for s in self.gateway.sources() if s.enabled
+        ]
+
+    # ------------------------------------------------------------------
+    # Driver panel (Figure 8)
+    # ------------------------------------------------------------------
+    def driver_panel(self) -> str:
+        gw = self.gateway
+        lines = ["Registered data source drivers:"]
+        for driver in gw.registry.drivers():
+            protocol = getattr(driver, "protocol", "?")
+            lines.append(f"  - {driver.name()} v{driver.version()} (jdbc:{protocol}:)")
+        prefs = gw.driver_manager._preferences
+        if prefs:
+            lines.append("Static driver preferences:")
+            for key, pref in sorted(prefs.items()):
+                lines.append(f"  - {key}: {' > '.join(pref.driver_names)}")
+        lines.append(
+            f"Failure policy: {gw.policy.failure_action.value} "
+            f"(retries={gw.policy.failure_retries})"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Alerts view
+    # ------------------------------------------------------------------
+    def alerts_panel(self) -> str:
+        """Installed alert rules, their firing state, and recent events."""
+        gw = self.gateway
+        monitor = gw.alerts
+        lines = ["Alert rules:"]
+        firing = set(monitor.firing())
+        if not monitor.rules():
+            lines.append("  (none installed)")
+        for rule in monitor.rules():
+            hosts = sorted(h for (name, h) in firing if name == rule.name)
+            state = f"FIRING on {', '.join(hosts)}" if hosts else "quiet"
+            lines.append(
+                f"  - {rule.name}: every {rule.period:g}s, "
+                f"severity={rule.severity}  [{state}]"
+            )
+        stats = monitor.stats
+        lines.append(
+            f"Polls: {stats['polls']}, violations: {stats['violations']}, "
+            f"events: {stats['events_emitted']}, suppressed: {stats['suppressed']}"
+        )
+        recent = [e for e in self.gateway.events.recent if e.name.startswith("alert.")]
+        if recent:
+            lines.append("Recent alert events:")
+            for event in list(recent)[-5:]:
+                lines.append(
+                    f"  t={event.time:8.1f}s  {event.source_host:14s} "
+                    f"{event.name}  ({event.severity})"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Historical plot (Figure 9's click-to-plot)
+    # ------------------------------------------------------------------
+    def plot(
+        self,
+        group: str,
+        field: str,
+        *,
+        host: str | None = None,
+        source_url: str | None = None,
+        width: int = 60,
+        height: int = 10,
+    ) -> str:
+        """ASCII chart of a field's recorded history."""
+        series = self.gateway.history.series(
+            group, field, host=host, source_url=source_url
+        )
+        points = [(t, v) for t, v in series if isinstance(v, (int, float))]
+        title = f"{group}.{field}" + (f" @ {host}" if host else "")
+        if len(points) < 2:
+            return f"{title}: not enough recorded data ({len(points)} points)"
+        values = [v for _, v in points]
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+        # Downsample to the plot width.
+        step = max(1, len(points) // width)
+        sampled = points[::step][:width]
+        grid = [[" "] * len(sampled) for _ in range(height)]
+        for x, (_, v) in enumerate(sampled):
+            y = int((v - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = "*"
+        lines = [f"{title}  [{lo:.2f} .. {hi:.2f}]  n={len(points)}"]
+        lines += ["|" + "".join(row) for row in grid]
+        lines.append("+" + "-" * len(sampled))
+        lines.append(
+            f" t: {points[0][0]:.0f}s .. {points[-1][0]:.0f}s (virtual)"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def html(self) -> str:
+        """A minimal HTML rendering of the tree view (the JSP analogue)."""
+        tree = self.tree_view().replace("&", "&amp;").replace("<", "&lt;")
+        return (
+            "<html><head><title>GridRM Gateway "
+            f"{self.gateway.host}</title></head>"
+            f"<body><h1>GridRM: Grid Resource Monitoring</h1>"
+            f"<pre>{tree}</pre>"
+            f"<h2>Drivers</h2><pre>{self.driver_panel()}</pre>"
+            "</body></html>"
+        )

@@ -1,0 +1,74 @@
+"""Data-source discovery by network scan (paper §4).
+
+For every candidate host, each registered driver probes with its own
+native protocol; a host that answers any probe becomes a discovered data
+source addressed by that driver's JDBC subprotocol.  This is the same
+mechanism the dynamic driver selection uses, applied breadth-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TYPE_CHECKING
+
+from repro.dbapi.url import JdbcUrl
+from repro.drivers.base import GridRmDriver
+from repro.simnet.errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.gateway import Gateway
+
+
+@dataclass(frozen=True)
+class DiscoveredSource:
+    """One (host, protocol) hit from a scan."""
+
+    url: str
+    host: str
+    protocol: str
+    driver_name: str
+
+
+def discover_sources(
+    gateway: "Gateway",
+    hosts: Iterable[str] | None = None,
+    *,
+    add: bool = True,
+    probe_timeout: float = 0.25,
+) -> list[DiscoveredSource]:
+    """Scan hosts for data sources via every registered GridRM driver.
+
+    Args:
+        gateway: whose drivers, network and source list to use.
+        hosts: candidate hosts; defaults to every host in the gateway's
+            own site (a "specific range of addresses" in paper terms).
+        add: register hits as gateway data sources.
+        probe_timeout: per-probe deadline — scans should fail fast.
+    """
+    network = gateway.network
+    if hosts is None:
+        hosts = [
+            h for h in network.hosts(site=gateway.site) if h != gateway.host
+        ]
+    found: list[DiscoveredSource] = []
+    for host in hosts:
+        for driver in gateway.registry.drivers():
+            if not isinstance(driver, GridRmDriver):
+                continue
+            url = JdbcUrl(protocol=driver.protocol, host=host, path="discovered")
+            try:
+                alive = driver.probe(url, timeout=probe_timeout)
+            except NetworkError:
+                # Host down or partitioned: no point probing other ports.
+                break
+            if alive:
+                hit = DiscoveredSource(
+                    url=str(url),
+                    host=host,
+                    protocol=driver.protocol,
+                    driver_name=driver.name(),
+                )
+                found.append(hit)
+                if add:
+                    gateway.add_source(url)
+    return found

@@ -1,0 +1,84 @@
+"""Unit tests for the NetLogger agent and ULM format."""
+
+import pytest
+
+from repro.agents.netlogger import (
+    NetLoggerAgent,
+    format_ulm_date,
+    parse_ulm_line,
+)
+from repro.drivers.netlogger_driver import _parse_ulm_date
+
+
+@pytest.fixture
+def agent(network, host):
+    a = NetLoggerAgent(host, network)
+    network.clock.advance(300.0)  # generate some records
+    return a
+
+
+class TestUlmFormat:
+    def test_date_round_trip(self):
+        text = format_ulm_date(1234.567890)
+        assert _parse_ulm_date(text) == pytest.approx(1234.567890, abs=1e-5)
+
+    def test_date_zero(self):
+        assert _parse_ulm_date(format_ulm_date(0.0)) == 0.0
+
+    def test_parse_bad_date_returns_none(self):
+        assert _parse_ulm_date("not-a-date") is None
+        assert _parse_ulm_date("20039999") is None
+
+    def test_parse_line_fields(self):
+        line = "DATE=x HOST=n0 PROG=gridftp LVL=Info NL.EVNT=e SIZE=42"
+        fields = parse_ulm_line(line)
+        assert fields["PROG"] == "gridftp"
+        assert fields["NL.EVNT"] == "e"
+        assert fields["SIZE"] == "42"
+
+    def test_parse_line_ignores_bare_words(self):
+        assert parse_ulm_line("garbage PROG=x") == {"PROG": "x"}
+
+
+class TestAgent:
+    def test_records_generated_over_time(self, agent):
+        assert agent.record_count() > 0
+
+    def test_tail_returns_last_n(self, network, agent):
+        resp = network.request("gateway", agent.address, "TAIL 3")
+        assert len(resp.splitlines()) <= 3
+
+    def test_tail_lines_are_valid_ulm(self, network, agent):
+        resp = network.request("gateway", agent.address, "TAIL 5")
+        for line in resp.splitlines():
+            fields = parse_ulm_line(line)
+            assert {"DATE", "HOST", "PROG", "LVL", "NL.EVNT"} <= set(fields)
+            assert fields["HOST"] == "n0"
+
+    def test_since_filters_by_time(self, network, agent):
+        t_cut = network.clock.now()
+        network.clock.advance(100.0)
+        resp = network.request("gateway", agent.address, f"SINCE {t_cut}")
+        for line in resp.splitlines():
+            event_t = _parse_ulm_date(parse_ulm_line(line)["DATE"])
+            assert event_t >= t_cut
+
+    def test_match_filters_by_field(self, network, agent):
+        resp = network.request("gateway", agent.address, "MATCH LVL=Info")
+        for line in resp.splitlines():
+            if line:
+                assert parse_ulm_line(line)["LVL"] == "Info"
+
+    def test_match_with_limit(self, network, agent):
+        resp = network.request("gateway", agent.address, "MATCH LVL=Info 2")
+        assert len([l for l in resp.splitlines() if l]) <= 2
+
+    def test_bad_requests_error(self, network, agent):
+        assert network.request("gateway", agent.address, "SINCE notatime").startswith("ERROR")
+        assert network.request("gateway", agent.address, "MATCH nofield").startswith("ERROR")
+        assert network.request("gateway", agent.address, "WHAT").startswith("ERROR")
+
+    def test_ring_buffer_bounds_memory(self, network, host):
+        small = NetLoggerAgent(host, network, port=24830, capacity=10)
+        network.clock.advance(2000.0)
+        assert small.record_count() <= 10

@@ -1,0 +1,161 @@
+"""Unit tests for the NWS agent and the forecaster bank."""
+
+import pytest
+
+from repro.agents.nws import (
+    ExpSmooth,
+    Forecast,
+    ForecasterBank,
+    LastValue,
+    NwsAgent,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    default_bank,
+)
+
+
+class TestForecasters:
+    def test_last_value(self):
+        f = LastValue()
+        assert f.predict() is None
+        f.observe(3.0)
+        assert f.predict() == 3.0
+        f.observe(5.0)
+        assert f.predict() == 5.0
+
+    def test_running_mean(self):
+        f = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            f.observe(v)
+        assert f.predict() == pytest.approx(2.0)
+
+    def test_sliding_mean_window(self):
+        f = SlidingMean(2)
+        for v in (10.0, 1.0, 3.0):
+            f.observe(v)
+        assert f.predict() == pytest.approx(2.0)  # only last two
+
+    def test_sliding_median_robust_to_outlier(self):
+        f = SlidingMedian(5)
+        for v in (1.0, 1.0, 100.0, 1.0, 1.0):
+            f.observe(v)
+        assert f.predict() == 1.0
+
+    def test_exp_smooth_converges(self):
+        f = ExpSmooth(0.5)
+        for _ in range(20):
+            f.observe(4.0)
+        assert f.predict() == pytest.approx(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SlidingMean(0)
+        with pytest.raises(ValueError):
+            SlidingMedian(0)
+        with pytest.raises(ValueError):
+            ExpSmooth(0.0)
+        with pytest.raises(ValueError):
+            ExpSmooth(1.5)
+
+
+class TestBank:
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            ForecasterBank([])
+
+    def test_forecast_before_data(self):
+        bank = ForecasterBank()
+        fc = bank.forecast()
+        assert isinstance(fc, Forecast)
+        assert fc.value is None and fc.mae is None
+
+    def test_constant_series_perfect_forecast(self):
+        bank = ForecasterBank()
+        for _ in range(10):
+            bank.observe(5.0)
+        fc = bank.forecast()
+        assert fc.value == pytest.approx(5.0)
+        assert fc.mae == pytest.approx(0.0)
+
+    def test_picks_minimum_mae_predictor(self):
+        """On an alternating series the median/mean beat last-value."""
+        bank = ForecasterBank([LastValue(), SlidingMedian(21)])
+        for i in range(100):
+            bank.observe(1.0 if i % 2 == 0 else 3.0)
+        assert bank.mae(1) < bank.mae(0)
+        assert bank.forecast().method == "sliding_median_21"
+
+    def test_adaptive_never_worse_than_all_fixed(self):
+        """The selected predictor's MAE equals the minimum over the bank —
+        the NWS claim (experiment E12 benches this on realistic series)."""
+        bank = ForecasterBank()
+        import random
+
+        rng = random.Random(0)
+        level = 1.0
+        for _ in range(300):
+            level = max(0.0, level + rng.uniform(-0.2, 0.2))
+            bank.observe(level + rng.uniform(-0.05, 0.05))
+        maes = [bank.mae(i) for i in range(len(bank.forecasters))]
+        fc = bank.forecast()
+        assert fc.mae == pytest.approx(min(m for m in maes if m is not None))
+
+    def test_default_bank_composition(self):
+        names = {f.name for f in default_bank()}
+        assert "last_value" in names and "running_mean" in names
+        assert any(n.startswith("sliding_median") for n in names)
+
+
+@pytest.fixture
+def agent(network, hosts):
+    return NwsAgent(hosts[0], network, peers=[hosts[1].spec.name])
+
+
+class TestAgentProtocol:
+    def test_resources_lists_cpu_and_peers(self, network, agent, hosts):
+        resp = network.request("gateway", agent.address, "RESOURCES")
+        lines = resp.splitlines()
+        assert "availableCpu" in lines
+        assert f"latencyMs:{hosts[1].spec.name}" in lines
+
+    def test_forecast_line_fields(self, network, agent):
+        network.clock.advance(60.0)
+        line = network.request("gateway", agent.address, "FORECAST availableCpu")
+        fields = dict(p.split("=", 1) for p in line.split())
+        assert set(fields) >= {"RESOURCE", "TIME", "MEASURED", "FORECAST", "MAE", "METHOD"}
+        assert 0.0 <= float(fields["MEASURED"]) <= 1.0
+
+    def test_forecast_peer_resource(self, network, agent, hosts):
+        network.clock.advance(60.0)
+        line = network.request(
+            "gateway", agent.address, f"FORECAST latencyMs {hosts[1].spec.name}"
+        )
+        assert line.startswith("RESOURCE=latencyMs:")
+
+    def test_series_returns_n_points(self, network, agent):
+        network.clock.advance(100.0)
+        resp = network.request("gateway", agent.address, "SERIES availableCpu 5")
+        lines = resp.splitlines()
+        assert len(lines) == 5
+        t, v = lines[-1].split()
+        assert float(t) <= 100.0 and 0.0 <= float(v) <= 1.0
+
+    def test_unknown_resource_errors(self, network, agent):
+        assert network.request("gateway", agent.address, "FORECAST bogus").startswith("ERROR")
+
+    def test_unknown_command_errors(self, network, agent):
+        assert network.request("gateway", agent.address, "FROBNICATE").startswith("ERROR")
+
+    def test_measurements_accumulate_over_time(self, network, agent):
+        network.clock.advance(100.0)
+        n1 = len(network.request("gateway", agent.address, "SERIES availableCpu 1000").splitlines())
+        network.clock.advance(100.0)
+        n2 = len(network.request("gateway", agent.address, "SERIES availableCpu 1000").splitlines())
+        assert n2 > n1
+
+    def test_current_cpu_bounded(self, network, agent):
+        network.clock.advance(60.0)
+        line = network.request("gateway", agent.address, "FORECAST currentCpu")
+        fields = dict(p.split("=", 1) for p in line.split())
+        assert 0.0 < float(fields["MEASURED"]) <= 1.0

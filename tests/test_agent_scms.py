@@ -1,0 +1,65 @@
+"""Unit tests for the SCMS agent."""
+
+import pytest
+
+from repro.agents.scms import ScmsAgent
+from repro.drivers.scms_driver import parse_scms_queue, parse_scms_section
+
+
+@pytest.fixture
+def agent(network, hosts):
+    return ScmsAgent("cl", hosts, network)
+
+
+class TestAgent:
+    def test_requires_hosts(self, network):
+        with pytest.raises(ValueError):
+            ScmsAgent("cl", [], network)
+
+    def test_nodes_lists_all(self, network, agent, hosts):
+        resp = network.request("gateway", agent.address, "NODES")
+        assert resp.splitlines() == [h.spec.name for h in hosts]
+
+    def test_cpu_section_all_nodes(self, network, agent, hosts):
+        nodes = parse_scms_section(network.request("gateway", agent.address, "CPU"))
+        assert set(nodes) == {h.spec.name for h in hosts}
+        for values in nodes.values():
+            assert {"ncpu", "mhz", "load1", "idle"} <= set(values)
+
+    def test_cpu_section_single_node(self, network, agent, hosts):
+        name = hosts[1].spec.name
+        nodes = parse_scms_section(network.request("gateway", agent.address, f"CPU {name}"))
+        assert set(nodes) == {name}
+
+    def test_unknown_node_errors(self, network, agent):
+        assert network.request("gateway", agent.address, "CPU ghost").startswith("ERROR")
+
+    def test_mem_section(self, network, agent, hosts):
+        nodes = parse_scms_section(network.request("gateway", agent.address, "MEM"))
+        h = hosts[0]
+        assert int(nodes[h.spec.name]["memtotal"]) == int(h.spec.ram_mb)
+
+    def test_node_section_alive_flag(self, network, agent):
+        nodes = parse_scms_section(network.request("gateway", agent.address, "NODE"))
+        assert all(v["alive"] == "1" for v in nodes.values())
+
+    def test_queue_jobs_parse(self, network, agent):
+        network.clock.advance(120.0)
+        jobs = parse_scms_queue(network.request("gateway", agent.address, "QUEUE"))
+        for job in jobs:
+            assert {"jobid", "queue", "owner", "state", "node"} <= set(job)
+
+    def test_unknown_command_errors(self, network, agent):
+        assert network.request("gateway", agent.address, "BOGUS").startswith("ERROR")
+
+
+class TestParsers:
+    def test_section_parser_skips_garbage(self):
+        text = "n0.key v\nERROR nope\n\nnodot value\nn1.other w"
+        out = parse_scms_section(text)
+        assert out == {"n0": {"key": "v"}, "n1": {"other": "w"}}
+
+    def test_queue_parser_skips_garbage(self):
+        text = "jobid=1 queue=q\nERROR x\n\nbare words here"
+        out = parse_scms_queue(text)
+        assert out == [{"jobid": "1", "queue": "q"}]

@@ -1,0 +1,75 @@
+"""Unit tests for the networked SQL data source."""
+
+import pytest
+
+from repro.agents.sqlagent import SqlAgent, seed_site_database
+from repro.sql.database import Database
+
+
+@pytest.fixture
+def db(network, hosts):
+    return seed_site_database(hosts, network, refresh_period=30.0)
+
+
+@pytest.fixture
+def agent(network, db):
+    return SqlAgent(db, network, "n0")
+
+
+class TestSeededDatabase:
+    def test_hosts_table_populated(self, db, hosts):
+        result = db.query("SELECT name FROM hosts ORDER BY name")
+        assert [r[0] for r in result.rows] == [h.spec.name for h in hosts]
+
+    def test_hosts_refreshed_periodically(self, network, db):
+        before = db.query("SELECT MAX(updated) FROM hosts").rows[0][0]
+        network.clock.advance(65.0)
+        after = db.query("SELECT MAX(updated) FROM hosts").rows[0][0]
+        assert after > before
+
+    def test_jobs_accumulate(self, network, db):
+        network.clock.advance(1000.0)
+        n = db.query("SELECT COUNT(*) FROM jobs").rows[0][0]
+        assert n > 0
+
+    def test_host_row_matches_spec(self, db, hosts):
+        h = hosts[0]
+        row = db.query(
+            f"SELECT cpus, ram_mb FROM hosts WHERE name = '{h.spec.name}'"
+        ).rows[0]
+        assert row == [h.spec.cpu_count, h.spec.ram_mb]
+
+
+class TestAgentProtocol:
+    def test_select_ok(self, network, agent):
+        kind, cols, rows = network.request(
+            "gateway", agent.address, "SELECT name FROM hosts ORDER BY name LIMIT 1"
+        )
+        assert kind == "ok"
+        assert cols == ["name"]
+        assert len(rows) == 1
+
+    def test_read_only_blocks_dml(self, network, agent):
+        kind, msg = network.request("gateway", agent.address, "DELETE FROM hosts")
+        assert kind == "error" and "read-only" in msg
+
+    def test_sql_error_reported(self, network, agent):
+        kind, msg = network.request("gateway", agent.address, "SELECT * FROM nope")
+        assert kind == "error"
+
+    def test_parse_error_reported(self, network, agent):
+        kind, msg = network.request("gateway", agent.address, "SELEKT *")
+        assert kind == "error"
+
+    def test_writable_agent_accepts_dml(self, network, hosts):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER)")
+        agent = SqlAgent(db, network, "n1", port=6543, read_only=False)
+        kind, n = network.request(
+            "gateway", agent.address, "INSERT INTO t (a) VALUES (1)"
+        )
+        assert (kind, n) == ("count", 1)
+
+    def test_request_counter(self, network, agent):
+        network.request("gateway", agent.address, "SELECT COUNT(*) FROM hosts")
+        assert agent.requests_served == 1

@@ -1,0 +1,103 @@
+"""Unit tests for the gateway CacheController."""
+
+import pytest
+
+from repro.core.cache import CacheController, normalise_sql
+from repro.simnet.clock import VirtualClock
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return CacheController(clock, ttl=30.0)
+
+
+class TestNormalise:
+    def test_whitespace_collapsed(self):
+        assert normalise_sql("SELECT  *\n FROM   x") == "select * from x"
+
+    def test_trailing_semicolon_dropped(self):
+        assert normalise_sql("SELECT * FROM x;") == normalise_sql("SELECT * FROM x")
+
+    def test_case_folded(self):
+        assert normalise_sql("select * from X") == normalise_sql("SELECT * FROM X")
+
+
+class TestLookupStore:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup("u", "SELECT * FROM t") is None
+        cache.store("u", "SELECT * FROM t", ["a"], [[1]])
+        entry = cache.lookup("u", "select  * from t")
+        assert entry is not None and entry.rows == [[1]]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_expiry(self, cache, clock):
+        cache.store("u", "q from t", ["a"], [[1]])
+        clock.advance(31.0)
+        assert cache.lookup("u", "q from t") is None
+
+    def test_max_age_tightens_ttl(self, cache, clock):
+        cache.store("u", "select * from t", ["a"], [[1]])
+        clock.advance(10.0)
+        assert cache.lookup("u", "select * from t", max_age=5.0) is None
+        assert cache.lookup("u", "select * from t", max_age=15.0) is not None
+
+    def test_different_sources_isolated(self, cache):
+        cache.store("u1", "q", ["a"], [[1]])
+        assert cache.lookup("u2", "q") is None
+
+    def test_store_copies_rows(self, cache):
+        rows = [[1]]
+        cache.store("u", "q", ["a"], rows)
+        rows[0][0] = 99
+        assert cache.lookup("u", "q").rows == [[1]]
+
+    def test_age_reported(self, cache, clock):
+        entry = cache.store("u", "q", ["a"], [])
+        clock.advance(7.0)
+        assert entry.age(clock.now()) == pytest.approx(7.0)
+
+
+class TestInvalidation:
+    def test_invalidate_source(self, cache):
+        cache.store("u1", "q1", ["a"], [])
+        cache.store("u1", "q2", ["a"], [])
+        cache.store("u2", "q1", ["a"], [])
+        assert cache.invalidate("u1") == 2
+        assert cache.lookup("u2", "q1") is not None
+
+    def test_invalidate_all(self, cache):
+        cache.store("u1", "q", ["a"], [])
+        cache.store("u2", "q", ["a"], [])
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_sweep_evicts_only_expired(self, cache, clock):
+        cache.store("u1", "q", ["a"], [])
+        clock.advance(20.0)
+        cache.store("u2", "q", ["a"], [])
+        clock.advance(15.0)  # u1 is 35s old, u2 15s old
+        assert cache.sweep() == 1
+        assert len(cache) == 1
+
+
+class TestEntriesFor:
+    def test_lists_live_entries_of_source(self, cache, clock):
+        cache.store("u", "SELECT * FROM A", ["a"], [])
+        cache.store("u", "SELECT * FROM B", ["a"], [])
+        clock.advance(31.0)
+        cache.store("u", "SELECT * FROM C", ["a"], [])
+        live = cache.entries_for("u")
+        assert len(live) == 1
+        assert "C" in live[0].sql
+
+    def test_hit_ratio(self, cache):
+        assert cache.hit_ratio == 0.0
+        cache.store("u", "q", ["a"], [])
+        cache.lookup("u", "q")
+        cache.lookup("u", "other")
+        assert cache.hit_ratio == 0.5

@@ -1,0 +1,166 @@
+"""Unit tests for the ConnectionManager pool (paper §3.1.2)."""
+
+import pytest
+
+from repro.agents.snmp import SnmpAgent
+from repro.core.connection_manager import ConnectionManager
+from repro.core.driver_manager import GridRmDriverManager
+from repro.core.policy import GatewayPolicy
+from repro.dbapi.registry import DriverRegistry
+from repro.drivers.snmp_driver import SnmpDriver
+
+
+@pytest.fixture
+def agents(network, hosts):
+    return [SnmpAgent(h, network) for h in hosts]
+
+
+def make_cm(network, policy=None):
+    policy = policy or GatewayPolicy()
+    registry = DriverRegistry()
+    dm = GridRmDriverManager(registry, policy)
+    dm.register(SnmpDriver(network, gateway_host="gateway"))
+    return ConnectionManager(dm, network.clock, policy)
+
+
+URL = "jdbc:snmp://n0/x"
+
+
+class TestPooling:
+    def test_release_then_acquire_reuses(self, network, agents):
+        cm = make_cm(network)
+        conn = cm.acquire(URL)
+        cm.release(conn)
+        again = cm.acquire(URL)
+        assert again is conn
+        assert cm.stats["reused"] == 1 and cm.stats["created"] == 1
+
+    def test_pooling_avoids_connect_cost(self, network, agents):
+        cm = make_cm(network)
+        cm.release(cm.acquire(URL))
+        t0 = network.clock.now()
+        cm.release(cm.acquire(URL))
+        assert network.clock.now() == t0  # no network traffic at all
+
+    def test_unpooled_always_creates(self, network, agents):
+        cm = make_cm(network, GatewayPolicy(pool_enabled=False))
+        c1 = cm.acquire(URL)
+        cm.release(c1)
+        assert c1.is_closed()
+        c2 = cm.acquire(URL)
+        assert c2 is not c1
+        assert cm.stats["created"] == 2
+
+    def test_pool_capacity_closes_extras(self, network, agents):
+        cm = make_cm(network, GatewayPolicy(pool_max_per_source=1))
+        c1, c2 = cm.acquire(URL), cm.acquire(URL)
+        cm.release(c1)
+        cm.release(c2)
+        assert cm.idle_count(URL) == 1
+        assert c2.is_closed()
+        assert cm.stats["evicted_capacity"] == 1
+
+    def test_pools_keyed_per_source(self, network, agents):
+        cm = make_cm(network)
+        a = cm.acquire("jdbc:snmp://n0/x")
+        b = cm.acquire("jdbc:snmp://n1/x")
+        cm.release(a)
+        cm.release(b)
+        assert cm.idle_count("jdbc:snmp://n0/x") == 1
+        assert cm.idle_count("jdbc:snmp://n1/x") == 1
+        assert cm.idle_count() == 2
+
+    def test_released_closed_connection_not_pooled(self, network, agents):
+        cm = make_cm(network)
+        conn = cm.acquire(URL)
+        conn.close()
+        cm.release(conn)
+        assert cm.idle_count(URL) == 0
+
+    def test_close_all(self, network, agents):
+        cm = make_cm(network)
+        conns = [cm.acquire(URL) for _ in range(3)]
+        for c in conns:
+            cm.release(c)
+        assert cm.close_all() == 3
+        assert cm.idle_count() == 0
+
+
+class TestPoolIsolation:
+    def test_pools_isolated_per_protocol_on_same_endpoint(self, network, hosts):
+        """Regression: two agents on the same host with default ports and
+        identical paths must NOT share pooled connections — a Ganglia
+        session handed to a jdbc:scms:// query would answer with the
+        wrong driver entirely."""
+        from repro.agents.ganglia import GangliaAgent
+        from repro.agents.scms import ScmsAgent
+        from repro.drivers.ganglia_driver import GangliaDriver
+        from repro.drivers.scms_driver import ScmsDriver
+
+        GangliaAgent("cl", hosts, network)
+        ScmsAgent("cl", hosts, network)
+        policy = GatewayPolicy()
+        dm = GridRmDriverManager(DriverRegistry(), policy)
+        dm.register(GangliaDriver(network, gateway_host="gateway"))
+        dm.register(ScmsDriver(network, gateway_host="gateway"))
+        cm = ConnectionManager(dm, network.clock, policy)
+
+        host = hosts[0].spec.name
+        g_url = f"jdbc:ganglia://{host}/cluster"
+        s_url = f"jdbc:scms://{host}/cluster"
+        g_conn = cm.acquire(g_url)
+        cm.release(g_conn)
+        s_conn = cm.acquire(s_url)
+        assert s_conn is not g_conn
+        assert s_conn.driver.name() == "JDBC-SCMS"
+        assert g_conn.driver.name() == "JDBC-Ganglia"
+
+
+class TestRevalidation:
+    def test_fresh_idle_reused_without_probe(self, network, agents):
+        cm = make_cm(network)
+        driver = cm.driver_manager.driver_by_name("JDBC-SNMP")
+        cm.release(cm.acquire(URL))
+        probes = driver.stats["probes"]
+        cm.acquire(URL)
+        assert driver.stats["probes"] == probes
+
+    def test_stale_idle_revalidated(self, network, agents):
+        cm = make_cm(network, GatewayPolicy(pool_idle_ttl=10.0))
+        driver = cm.driver_manager.driver_by_name("JDBC-SNMP")
+        cm.release(cm.acquire(URL))
+        network.clock.advance(11.0)
+        probes = driver.stats["probes"]
+        conn = cm.acquire(URL)
+        assert driver.stats["probes"] == probes + 1
+        assert not conn.is_closed()
+        assert cm.stats["revalidated"] == 1
+
+    def test_stale_invalid_replaced(self, network, agents):
+        cm = make_cm(network, GatewayPolicy(pool_idle_ttl=10.0))
+        first = cm.acquire(URL)
+        cm.release(first)
+        network.clock.advance(11.0)
+        network.close(agents[0].address)  # agent gone
+        # Revalidation fails; a new connect is attempted and also fails.
+        from repro.core.errors import DataSourceError
+
+        with pytest.raises(DataSourceError):
+            cm.acquire(URL)
+        assert first.is_closed()
+        assert cm.stats["evicted_invalid"] == 1
+
+
+class TestContextManager:
+    def test_happy_path_releases(self, network, agents):
+        cm = make_cm(network)
+        with cm.connection(URL) as conn:
+            assert not conn.is_closed()
+        assert cm.idle_count(URL) == 1
+
+    def test_exception_discards(self, network, agents):
+        cm = make_cm(network)
+        with pytest.raises(RuntimeError):
+            with cm.connection(URL):
+                raise RuntimeError("query blew up")
+        assert cm.idle_count(URL) == 0

@@ -1,0 +1,178 @@
+"""Unit tests for the GridRMDriverManager: selection, caching, failover."""
+
+import pytest
+
+from repro.agents.ganglia import GangliaAgent
+from repro.agents.snmp import SnmpAgent
+from repro.core.driver_manager import (
+    GridRmDriverManager,
+    driver_spec,
+    load_driver,
+)
+from repro.core.errors import DataSourceError, NoSuitableDriverError
+from repro.core.policy import FailureAction, GatewayPolicy
+from repro.dbapi.registry import DriverRegistry
+from repro.dbapi.url import JdbcUrl
+from repro.drivers.ganglia_driver import GangliaDriver
+from repro.drivers.snmp_driver import SnmpDriver
+
+
+@pytest.fixture
+def agents(network, hosts):
+    return {
+        "snmp": [SnmpAgent(h, network) for h in hosts],
+        "ganglia": GangliaAgent("cl", hosts, network),
+    }
+
+
+def make_manager(network, policy=None, drivers=None):
+    registry = DriverRegistry()
+    manager = GridRmDriverManager(registry, policy or GatewayPolicy())
+    for d in drivers if drivers is not None else [
+        SnmpDriver(network, gateway_host="gateway"),
+        GangliaDriver(network, gateway_host="gateway"),
+    ]:
+        manager.register(d)
+    return manager
+
+
+class TestRegistration:
+    def test_register_persists_spec(self, network):
+        manager = make_manager(network)
+        specs = set(manager.persistent_store)
+        assert any("SnmpDriver" in s for s in specs)
+
+    def test_unregister_clears_persistence_and_cache(self, network, agents):
+        manager = make_manager(network)
+        conn = manager.open_connection("jdbc:snmp://n0/x")
+        conn.close()
+        snmp = manager.driver_by_name("JDBC-SNMP")
+        assert manager.unregister(snmp)
+        assert not any("SnmpDriver" in s for s in manager.persistent_store)
+        assert manager.cached_driver(JdbcUrl.parse("jdbc:snmp://n0/x")) is None
+
+    def test_driver_spec_and_load_round_trip(self, network):
+        driver = SnmpDriver(network, gateway_host="gateway")
+        spec = driver_spec(driver)
+        loaded = load_driver(spec, network, gateway_host="gateway")
+        assert type(loaded) is SnmpDriver
+
+    def test_load_driver_bad_spec(self, network):
+        with pytest.raises(NoSuitableDriverError):
+            load_driver("nope", network, gateway_host="g")
+        with pytest.raises(NoSuitableDriverError):
+            load_driver("os:path", network, gateway_host="g")
+        with pytest.raises(NoSuitableDriverError):
+            load_driver("repro.drivers:missing", network, gateway_host="g")
+
+    def test_restore_persisted(self, network):
+        manager = make_manager(network)
+        store = manager.persistent_store
+        # A "restarted" manager with the same persistent store.
+        fresh = GridRmDriverManager(DriverRegistry(), GatewayPolicy(), persistent_store=store)
+        restored = fresh.restore_persisted(network, gateway_host="gateway")
+        assert {type(d).__name__ for d in restored} == {"SnmpDriver", "GangliaDriver"}
+
+
+class TestSelection:
+    def test_pinned_protocol_selects_matching_driver(self, network, agents):
+        manager = make_manager(network)
+        conn = manager.open_connection("jdbc:snmp://n1/x")
+        assert conn.driver.name() == "JDBC-SNMP"
+
+    def test_wildcard_dynamic_selection(self, network, agents):
+        manager = make_manager(network)
+        conn = manager.open_connection("jdbc://n0/x")
+        assert conn.driver.name() == "JDBC-SNMP"  # first registered that probes ok
+        assert manager.stats["dynamic_scans"] >= 1
+
+    def test_last_driver_cached(self, network, agents):
+        manager = make_manager(network)
+        manager.open_connection("jdbc://n0/x").close()
+        scans = manager.stats["dynamic_scans"]
+        manager.open_connection("jdbc://n0/x").close()
+        assert manager.stats["dynamic_scans"] == scans
+        assert manager.stats["cache_hits"] == 1
+
+    def test_cache_disabled_by_policy(self, network, agents):
+        manager = make_manager(network, GatewayPolicy(driver_cache_enabled=False))
+        manager.open_connection("jdbc://n0/x").close()
+        manager.open_connection("jdbc://n0/x").close()
+        assert manager.stats["cache_hits"] == 0
+        assert manager.stats["dynamic_scans"] == 2
+
+    def test_static_preference_order(self, network, agents, hosts):
+        manager = make_manager(network)
+        gmond_host = hosts[0].spec.name
+        url = f"jdbc://{gmond_host}/x"
+        manager.set_preference(url, ["JDBC-Ganglia", "JDBC-SNMP"])
+        conn = manager.open_connection(url)
+        assert conn.driver.name() == "JDBC-Ganglia"
+
+    def test_clear_preference(self, network, agents, hosts):
+        manager = make_manager(network)
+        url = f"jdbc://{hosts[0].spec.name}/x"
+        manager.set_preference(url, ["JDBC-Ganglia"])
+        assert manager.clear_preference(url)
+        conn = manager.open_connection(url)
+        assert conn.driver.name() == "JDBC-SNMP"
+
+    def test_no_driver_for_url(self, network, agents):
+        manager = make_manager(network)
+        with pytest.raises(NoSuitableDriverError):
+            manager.open_connection("jdbc:zzz://n0/x")
+
+
+class TestFailurePolicies:
+    def test_report_raises_on_first_failure(self, network, agents):
+        manager = make_manager(
+            network, GatewayPolicy(failure_action=FailureAction.REPORT)
+        )
+        network.set_host_up("n0", False)
+        with pytest.raises(DataSourceError):
+            manager.open_connection("jdbc:snmp://n0/x")
+        assert manager.stats["connect_failures"] == 1
+
+    def test_retry_uses_budget(self, network, agents):
+        manager = make_manager(
+            network,
+            GatewayPolicy(failure_action=FailureAction.RETRY, failure_retries=2),
+        )
+        network.set_host_up("n0", False)
+        with pytest.raises(DataSourceError):
+            manager.open_connection("jdbc:snmp://n0/x")
+        assert manager.stats["connect_failures"] == 3  # 1 + 2 retries
+
+    def test_dynamic_rescans_after_cached_driver_dies(self, network, agents, hosts):
+        """The paper's scenario: cached driver invalid -> dynamic reselect."""
+        gmond_host = hosts[0].spec.name
+        manager = make_manager(
+            network, GatewayPolicy(failure_action=FailureAction.DYNAMIC)
+        )
+        url = f"jdbc://{gmond_host}/x"
+        first = manager.open_connection(url)
+        assert first.driver.name() == "JDBC-SNMP"
+        first.close()
+        # Kill the SNMP agent but keep Ganglia alive on the same host.
+        network.close(agents["snmp"][0].address)
+        conn = manager.open_connection(url)
+        assert conn.driver.name() == "JDBC-Ganglia"
+        assert manager.stats["failovers"] >= 1
+
+    def test_try_next_walks_preferences(self, network, agents, hosts):
+        gmond_host = hosts[0].spec.name
+        manager = make_manager(
+            network, GatewayPolicy(failure_action=FailureAction.TRY_NEXT)
+        )
+        url = f"jdbc://{gmond_host}/x"
+        manager.set_preference(url, ["JDBC-SNMP", "JDBC-Ganglia"])
+        network.close(agents["snmp"][0].address)
+        conn = manager.open_connection(url)
+        assert conn.driver.name() == "JDBC-Ganglia"
+
+    def test_all_failed_raises_with_policy_name(self, network, agents):
+        manager = make_manager(network)
+        network.set_host_up("n2", False)
+        with pytest.raises(DataSourceError) as err:
+            manager.open_connection("jdbc:snmp://n2/x")
+        assert "dynamic" in str(err.value)

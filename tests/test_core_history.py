@@ -1,0 +1,170 @@
+"""Unit tests for the historical data store."""
+
+import pytest
+
+from repro.core.history import HistoryStore
+from repro.glue.schema import standard_schema
+
+
+@pytest.fixture
+def store():
+    return HistoryStore(standard_schema(), max_rows_per_group=100)
+
+
+def proc_row(host="n0", load=1.0, **overrides):
+    row = {
+        "HostName": host,
+        "SiteName": "s",
+        "Timestamp": 1.0,
+        "Vendor": None,
+        "Model": None,
+        "ClockSpeedMHz": None,
+        "CPUCount": 2,
+        "LoadAverage1Min": load,
+        "LoadAverage5Min": load,
+        "LoadAverage15Min": load,
+        "CPUUtilization": 50.0,
+        "CPUIdle": 50.0,
+        "CPUUser": 35.0,
+        "CPUSystem": 15.0,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestRecord:
+    def test_record_and_count(self, store):
+        n = store.record("Processor", [proc_row()], source_url="u", recorded_at=1.0)
+        assert n == 1
+        assert store.row_count("Processor") == 1
+
+    def test_provenance_columns_attached(self, store):
+        store.record("Processor", [proc_row()], source_url="u1", recorded_at=5.0)
+        result = store.query("SELECT SourceUrl, RecordedAt FROM Processor")
+        assert result.rows == [["u1", 5.0]]
+
+    def test_extra_keys_dropped(self, store):
+        row = proc_row()
+        row["NotAGlueField"] = 1
+        store.record("Processor", [row], source_url="u", recorded_at=1.0)
+        assert store.row_count("Processor") == 1
+
+    def test_unknown_group_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.record("Bogus", [{}], source_url="u", recorded_at=1.0)
+
+    def test_ring_bound_evicts_oldest(self, store):
+        for i in range(150):
+            store.record(
+                "Processor",
+                [proc_row(load=float(i))],
+                source_url="u",
+                recorded_at=float(i),
+            )
+        assert store.row_count("Processor") == 100
+        assert store.rows_evicted == 50
+        oldest = store.query("SELECT MIN(RecordedAt) FROM Processor").rows[0][0]
+        assert oldest == 50.0
+
+    def test_groups_recorded(self, store):
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=1.0)
+        assert store.groups_recorded() == ["Processor"]
+
+
+class TestQuery:
+    def test_same_sql_as_realtime(self, store):
+        store.record("Processor", [proc_row(load=0.5)], source_url="u", recorded_at=1.0)
+        store.record("Processor", [proc_row(load=2.5)], source_url="u", recorded_at=2.0)
+        result = store.query("SELECT LoadAverage1Min FROM Processor WHERE LoadAverage1Min > 1")
+        assert result.rows == [[2.5]]
+
+    def test_source_url_narrows(self, store):
+        store.record("Processor", [proc_row()], source_url="u1", recorded_at=1.0)
+        store.record("Processor", [proc_row()], source_url="u2", recorded_at=1.0)
+        result = store.query("SELECT COUNT(*) FROM Processor", source_url="u1")
+        assert result.rows == [[1]]
+
+    def test_time_range_via_recorded_at(self, store):
+        for t in (1.0, 2.0, 3.0):
+            store.record("Processor", [proc_row()], source_url="u", recorded_at=t)
+        result = store.query("SELECT COUNT(*) FROM Processor WHERE RecordedAt >= 2")
+        assert result.rows == [[2]]
+
+    def test_query_before_any_record_is_empty(self, store):
+        assert store.query("SELECT * FROM Processor").rows == []
+
+
+class TestRollup:
+    def test_buckets_aggregate(self, store):
+        for t, load in [(1.0, 1.0), (5.0, 3.0), (12.0, 10.0)]:
+            store.record("Processor", [proc_row(load=load)], source_url="u", recorded_at=t)
+        out = store.rollup("Processor", "LoadAverage1Min", bucket=10.0)
+        assert len(out) == 2
+        first = out[0]
+        assert first["bucket_start"] == 0.0
+        assert first["n"] == 2
+        assert first["min"] == 1.0 and first["max"] == 3.0
+        assert first["avg"] == pytest.approx(2.0)
+        assert out[1]["avg"] == 10.0
+
+    def test_empty_buckets_omitted(self, store):
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=0.0)
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=100.0)
+        out = store.rollup("Processor", "LoadAverage1Min", bucket=10.0)
+        assert [b["bucket_start"] for b in out] == [0.0, 100.0]
+
+    def test_non_numeric_values_skipped(self, store):
+        store.record("Processor", [proc_row(Vendor="Intel")], source_url="u", recorded_at=1.0)
+        out = store.rollup("Processor", "Vendor", bucket=10.0)
+        assert out == []
+
+    def test_host_filter(self, store):
+        store.record("Processor", [proc_row(host="a", load=1.0)], source_url="u", recorded_at=1.0)
+        store.record("Processor", [proc_row(host="b", load=9.0)], source_url="u", recorded_at=2.0)
+        out = store.rollup("Processor", "LoadAverage1Min", bucket=10.0, host="a")
+        assert out[0]["max"] == 1.0
+
+    def test_bad_bucket_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.rollup("Processor", "LoadAverage1Min", bucket=0.0)
+
+
+class TestRetention:
+    def test_trim_older_than(self, store):
+        for t in (1.0, 5.0, 9.0):
+            store.record("Processor", [proc_row()], source_url="u", recorded_at=t)
+        assert store.trim_older_than(5.0) == 1
+        assert store.row_count("Processor") == 2
+        assert store.rows_evicted == 1
+
+    def test_trim_spans_all_groups(self, store):
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=1.0)
+        host_row = {"HostName": "n0", "SiteName": "s", "Timestamp": 1.0,
+                    "UniqueId": "x", "Reachable": True, "AgentName": "a"}
+        store.record("Host", [host_row], source_url="u", recorded_at=1.0)
+        assert store.trim_older_than(2.0) == 2
+
+    def test_trim_noop_when_all_fresh(self, store):
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=10.0)
+        assert store.trim_older_than(5.0) == 0
+
+
+class TestSeries:
+    def test_series_pairs(self, store):
+        for t, load in [(1.0, 0.1), (2.0, 0.2)]:
+            store.record("Processor", [proc_row(load=load)], source_url="u", recorded_at=t)
+        series = store.series("Processor", "LoadAverage1Min")
+        assert series == [(1.0, 0.1), (2.0, 0.2)]
+
+    def test_series_filters_by_host(self, store):
+        store.record("Processor", [proc_row(host="a")], source_url="u", recorded_at=1.0)
+        store.record("Processor", [proc_row(host="b")], source_url="u", recorded_at=2.0)
+        assert len(store.series("Processor", "LoadAverage1Min", host="a")) == 1
+
+    def test_series_since(self, store):
+        for t in (1.0, 5.0, 9.0):
+            store.record("Processor", [proc_row()], source_url="u", recorded_at=t)
+        assert len(store.series("Processor", "LoadAverage1Min", since=4.0)) == 2
+
+    def test_series_unknown_group_empty(self, store):
+        assert store.series("Job", "CPUSeconds") == []

@@ -1,0 +1,93 @@
+"""Unit tests for the SchemaManager."""
+
+import pytest
+
+from repro.core.schema_manager import SchemaManager
+from repro.glue.mapping import GroupMapping, MappingRule, SchemaMapping
+
+
+@pytest.fixture
+def sm():
+    return SchemaManager()
+
+
+def make_mapping(name="m"):
+    return SchemaMapping(name, [GroupMapping("Host", [MappingRule("HostName", "h")])])
+
+
+class TestMappings:
+    def test_default_returned_without_override(self, sm):
+        default = make_mapping()
+        assert sm.mapping_for("d", default=default) is default
+
+    def test_missing_default_raises(self, sm):
+        with pytest.raises(KeyError):
+            sm.mapping_for("d")
+
+    def test_override_wins(self, sm):
+        override = make_mapping("override")
+        sm.set_mapping("d", override)
+        assert sm.mapping_for("d", default=make_mapping()) is override
+
+    def test_clear_reverts_to_default(self, sm):
+        sm.set_mapping("d", make_mapping())
+        assert sm.clear_mapping("d")
+        default = make_mapping()
+        assert sm.mapping_for("d", default=default) is default
+
+    def test_clear_missing_returns_false(self, sm):
+        assert not sm.clear_mapping("d")
+
+    def test_overridden_drivers_listed(self, sm):
+        sm.set_mapping("b", make_mapping())
+        sm.set_mapping("a", make_mapping())
+        assert sm.overridden_drivers() == ["a", "b"]
+
+
+class TestVersioning:
+    def test_set_bumps_version(self, sm):
+        v0 = sm.version
+        sm.set_mapping("d", make_mapping())
+        assert sm.version == v0 + 1
+
+    def test_clear_bumps_version(self, sm):
+        sm.set_mapping("d", make_mapping())
+        v = sm.version
+        sm.clear_mapping("d")
+        assert sm.version == v + 1
+
+    def test_noop_clear_keeps_version(self, sm):
+        v = sm.version
+        sm.clear_mapping("nope")
+        assert sm.version == v
+
+
+class TestConnectionConsistency:
+    def test_statement_picks_up_runtime_mapping_change(self, network, host):
+        """Paper Figure 5: statements re-check the schema cache."""
+        from repro.agents.snmp import SnmpAgent
+        from repro.drivers.snmp_driver import SnmpDriver
+        from repro.glue.mapping import GroupMapping, MappingRule, SchemaMapping
+
+        SnmpAgent(host, network)
+        driver = SnmpDriver(network, gateway_host="gateway")
+        manager = SchemaManager()
+        conn = driver.connect(
+            "jdbc:snmp://n0/x", {"schema_manager": manager, "schema": manager.schema}
+        )
+        rows = conn.create_statement().execute_query("SELECT HostName FROM Host").to_dicts()
+        assert rows[0]["HostName"] == "n0"
+        # Install an override that renames hosts; the SAME connection must
+        # see it on its next statement.
+        override = SchemaMapping(
+            "JDBC-SNMP",
+            [
+                GroupMapping(
+                    "Host",
+                    [MappingRule("HostName", "_host", transform=lambda v: f"renamed-{v}")],
+                )
+            ],
+        )
+        manager.set_mapping("JDBC-SNMP", override)
+        rows = conn.create_statement().execute_query("SELECT HostName FROM Host").to_dicts()
+        assert rows[0]["HostName"] == "renamed-n0"

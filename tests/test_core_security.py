@@ -1,0 +1,104 @@
+"""Unit tests for the CGSL and FGSL security layers."""
+
+import pytest
+
+from repro.core.errors import SecurityError
+from repro.core.security import (
+    ANONYMOUS,
+    AccessRule,
+    CoarseGrainedSecurity,
+    FineGrainedSecurity,
+    Principal,
+)
+
+ALICE = Principal.with_roles("alice", "admin", "user")
+BOB = Principal.with_roles("bob", "user")
+EVE = Principal.with_roles("eve", "student")
+
+
+class TestCoarseGrained:
+    def test_query_open_by_default(self):
+        cgsl = CoarseGrainedSecurity()
+        assert cgsl.permits(EVE, "query")
+
+    def test_admin_restricted_to_admin_role(self):
+        cgsl = CoarseGrainedSecurity()
+        assert cgsl.permits(ALICE, "admin")
+        assert not cgsl.permits(BOB, "admin")
+
+    def test_check_raises(self):
+        cgsl = CoarseGrainedSecurity()
+        with pytest.raises(SecurityError):
+            cgsl.check(BOB, "admin")
+
+    def test_grant_by_name(self):
+        cgsl = CoarseGrainedSecurity()
+        cgsl.grant("admin", "bob")
+        assert cgsl.permits(BOB, "admin")
+
+    def test_revoke(self):
+        cgsl = CoarseGrainedSecurity()
+        cgsl.grant("admin", "bob")
+        cgsl.revoke("admin", "bob")
+        assert not cgsl.permits(BOB, "admin")
+
+    def test_restrict_replaces(self):
+        cgsl = CoarseGrainedSecurity()
+        cgsl.restrict("query", "role:user")
+        assert cgsl.permits(BOB, "query")
+        assert not cgsl.permits(EVE, "query")
+
+    def test_disabled_allows_everything(self):
+        cgsl = CoarseGrainedSecurity(enabled=False)
+        assert cgsl.permits(EVE, "admin")
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(SecurityError):
+            CoarseGrainedSecurity().permits(BOB, "frobnicate")
+
+
+class TestFineGrained:
+    def test_default_allow(self):
+        fgsl = FineGrainedSecurity()
+        assert fgsl.permits(EVE, "h1", "Processor")
+
+    def test_default_deny_mode(self):
+        fgsl = FineGrainedSecurity(default_allow=False)
+        assert not fgsl.permits(EVE, "h1", "Processor")
+
+    def test_first_match_wins(self):
+        fgsl = FineGrainedSecurity()
+        fgsl.add_rules(
+            [
+                AccessRule(allow=False, who="role:student", group_pattern="Job"),
+                AccessRule(allow=True, who="*"),
+            ]
+        )
+        assert not fgsl.permits(EVE, "h1", "Job")
+        assert fgsl.permits(EVE, "h1", "Processor")
+        assert fgsl.permits(BOB, "h1", "Job")
+
+    def test_host_pattern_wildcards(self):
+        fgsl = FineGrainedSecurity(default_allow=False)
+        fgsl.add_rule(AccessRule(allow=True, who="*", host_pattern="site-a-*"))
+        assert fgsl.permits(EVE, "site-a-n01", "Processor")
+        assert not fgsl.permits(EVE, "site-b-n01", "Processor")
+
+    def test_principal_name_rule(self):
+        fgsl = FineGrainedSecurity(default_allow=False)
+        fgsl.add_rule(AccessRule(allow=True, who="bob"))
+        assert fgsl.permits(BOB, "h", "G")
+        assert not fgsl.permits(EVE, "h", "G")
+
+    def test_disabled_allows_everything(self):
+        fgsl = FineGrainedSecurity(enabled=False, default_allow=False)
+        assert fgsl.permits(EVE, "h", "G")
+
+    def test_check_raises_with_context(self):
+        fgsl = FineGrainedSecurity(default_allow=False)
+        with pytest.raises(SecurityError) as err:
+            fgsl.check(EVE, "h1", "Job")
+        assert "Job" in str(err.value) and "h1" in str(err.value)
+
+    def test_anonymous_principal_has_role(self):
+        assert "anonymous" in ANONYMOUS.roles

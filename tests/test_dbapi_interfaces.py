@@ -1,0 +1,80 @@
+"""The throw-by-default contract of the abstract driver bases (§3.2.1)."""
+
+import pytest
+
+from repro.dbapi.exceptions import (
+    SQLException,
+    SQLFeatureNotSupportedException,
+)
+from repro.dbapi.interfaces import (
+    Connection,
+    DatabaseMetaData,
+    Driver,
+    ResultSet,
+    ResultSetMetaData,
+    Statement,
+)
+
+
+@pytest.mark.parametrize(
+    "obj,call",
+    [
+        (ResultSet(), lambda o: o.next()),
+        (ResultSet(), lambda o: o.get("x")),
+        (ResultSet(), lambda o: o.get_string("x")),
+        (ResultSet(), lambda o: o.get_int("x")),
+        (ResultSet(), lambda o: o.get_float("x")),
+        (ResultSet(), lambda o: o.get_bool("x")),
+        (ResultSet(), lambda o: o.was_null()),
+        (ResultSet(), lambda o: o.metadata()),
+        (ResultSet(), lambda o: o.close()),
+        (ResultSet(), lambda o: iter(o)),
+        (ResultSetMetaData(), lambda o: o.column_count()),
+        (ResultSetMetaData(), lambda o: o.column_name(1)),
+        (ResultSetMetaData(), lambda o: o.column_type(1)),
+        (ResultSetMetaData(), lambda o: o.column_index("x")),
+        (Statement(), lambda o: o.execute_query("SELECT 1 FROM t")),
+        (Statement(), lambda o: o.execute_update("DELETE FROM t")),
+        (Statement(), lambda o: o.set_query_timeout(1.0)),
+        (Statement(), lambda o: o.close()),
+        (Connection(), lambda o: o.create_statement()),
+        (Connection(), lambda o: o.close()),
+        (Connection(), lambda o: o.is_closed()),
+        (Connection(), lambda o: o.is_valid()),
+        (Connection(), lambda o: o.get_metadata()),
+        (DatabaseMetaData(), lambda o: o.driver_name()),
+        (DatabaseMetaData(), lambda o: o.driver_version()),
+        (DatabaseMetaData(), lambda o: o.url()),
+        (DatabaseMetaData(), lambda o: o.get_tables()),
+        (Driver(), lambda o: o.accepts_url(None)),
+        (Driver(), lambda o: o.connect(None)),
+        (Driver(), lambda o: o.name()),
+    ],
+)
+def test_every_unimplemented_method_raises_sql_exception(obj, call):
+    """Unimplemented methods must raise an SQLException 'as one would
+    expect from a fully implemented driver that had experienced errors'."""
+    with pytest.raises(SQLFeatureNotSupportedException):
+        call(obj)
+
+
+def test_feature_exception_is_sql_exception():
+    assert issubclass(SQLFeatureNotSupportedException, SQLException)
+
+
+def test_driver_version_has_default():
+    assert Driver().version() == "1.0"
+
+
+def test_partial_override_keeps_other_methods_throwing():
+    """The incremental-development pattern: override one method, the rest
+    still throw."""
+
+    class Partial(ResultSet):
+        def next(self):
+            return False
+
+    rs = Partial()
+    assert rs.next() is False
+    with pytest.raises(SQLFeatureNotSupportedException):
+        rs.get("x")

@@ -1,0 +1,138 @@
+"""Unit tests for the driver registry (paper Tables 1-2 semantics)."""
+
+import pytest
+
+from repro.dbapi.exceptions import SQLConnectionException, SQLException
+from repro.dbapi.interfaces import Connection, Driver
+from repro.dbapi.registry import DriverRegistry, register_all
+from repro.dbapi.url import JdbcUrl
+
+
+class FakeConnection(Connection):
+    def __init__(self):
+        self._closed = False
+
+    def close(self):
+        self._closed = True
+
+    def is_closed(self):
+        return self._closed
+
+
+class FakeDriver(Driver):
+    """Accepts a fixed protocol; optionally fails to connect."""
+
+    def __init__(self, protocol, *, connect_ok=True, accept_wildcard=False):
+        self.protocol = protocol
+        self.connect_ok = connect_ok
+        self.accept_wildcard = accept_wildcard
+        self.connect_calls = 0
+
+    def accepts_url(self, url):
+        if url.protocol == self.protocol:
+            return True
+        return url.is_wildcard and self.accept_wildcard
+
+    def connect(self, url, info=None):
+        self.connect_calls += 1
+        if not self.connect_ok:
+            raise SQLConnectionException(f"{self.protocol}: agent down")
+        return FakeConnection()
+
+    def name(self):
+        return f"fake-{self.protocol}"
+
+
+class TestRegistration:
+    def test_register_and_len(self):
+        reg = DriverRegistry()
+        reg.register(FakeDriver("a"))
+        assert len(reg) == 1
+
+    def test_register_non_driver_rejected(self):
+        reg = DriverRegistry()
+        with pytest.raises(SQLException):
+            reg.register(object())
+
+    def test_reregister_same_instance_noop(self):
+        reg = DriverRegistry()
+        d = FakeDriver("a")
+        reg.register(d)
+        reg.register(d)
+        assert len(reg) == 1
+
+    def test_unregister(self):
+        reg = DriverRegistry()
+        d = FakeDriver("a")
+        reg.register(d)
+        assert reg.unregister(d)
+        assert not reg.unregister(d)
+        assert len(reg) == 0
+
+    def test_register_all(self):
+        reg = DriverRegistry()
+        register_all(reg, [FakeDriver("a"), FakeDriver("b")])
+        assert reg.driver_names() == ["fake-a", "fake-b"]
+
+    def test_contains(self):
+        reg = DriverRegistry()
+        d = FakeDriver("a")
+        reg.register(d)
+        assert d in reg
+        assert FakeDriver("a") not in reg  # identity, not equality
+
+
+class TestLocate:
+    def test_first_accepting_driver_wins(self):
+        reg = DriverRegistry()
+        d1, d2 = FakeDriver("x"), FakeDriver("x")
+        register_all(reg, [d1, d2])
+        assert reg.locate("jdbc:x://h/p") is d1
+
+    def test_registration_order_respected(self):
+        reg = DriverRegistry()
+        d1, d2 = FakeDriver("a", accept_wildcard=True), FakeDriver("b", accept_wildcard=True)
+        register_all(reg, [d2, d1])
+        assert reg.locate("jdbc://h/p") is d2
+
+    def test_no_match_raises(self):
+        reg = DriverRegistry()
+        reg.register(FakeDriver("a"))
+        with pytest.raises(SQLException):
+            reg.locate("jdbc:zzz://h/p")
+
+    def test_locate_all(self):
+        reg = DriverRegistry()
+        drivers = [FakeDriver("a", accept_wildcard=True), FakeDriver("b", accept_wildcard=True)]
+        register_all(reg, drivers)
+        assert reg.locate_all(JdbcUrl.parse("jdbc://h/p")) == drivers
+
+    def test_driver_raising_in_accepts_is_skipped(self):
+        class Broken(FakeDriver):
+            def accepts_url(self, url):
+                raise SQLException("boom")
+
+        reg = DriverRegistry()
+        register_all(reg, [Broken("a"), FakeDriver("a")])
+        assert reg.locate("jdbc:a://h/p").name() == "fake-a"
+
+
+class TestConnect:
+    def test_connect_through_first_working_driver(self):
+        reg = DriverRegistry()
+        bad = FakeDriver("x", connect_ok=False)
+        good = FakeDriver("x")
+        register_all(reg, [bad, good])
+        conn = reg.connect("jdbc:x://h/p")
+        assert isinstance(conn, FakeConnection)
+        assert bad.connect_calls == 1 and good.connect_calls == 1
+
+    def test_all_failing_raises_connection_error(self):
+        reg = DriverRegistry()
+        register_all(reg, [FakeDriver("x", connect_ok=False)])
+        with pytest.raises(SQLConnectionException):
+            reg.connect("jdbc:x://h/p")
+
+    def test_connect_no_driver_raises(self):
+        with pytest.raises(SQLException):
+            DriverRegistry().connect("jdbc:x://h/p")

@@ -1,0 +1,154 @@
+"""Unit tests for ListResultSet and its metadata."""
+
+import pytest
+
+from repro.dbapi.exceptions import SQLDataException, SQLException
+from repro.dbapi.resultset import ListResultSet, ListResultSetMetaData
+
+
+@pytest.fixture
+def rs():
+    return ListResultSet(
+        ["host", "load", "cpus", "up"],
+        [["a", 0.5, 4, True], ["b", None, 8, False]],
+        ["TEXT", "REAL", "INTEGER", "BOOLEAN"],
+    )
+
+
+class TestCursor:
+    def test_starts_before_first_row(self, rs):
+        with pytest.raises(SQLException):
+            rs.get("host")
+
+    def test_next_walks_rows(self, rs):
+        assert rs.next() and rs.get("host") == "a"
+        assert rs.next() and rs.get("host") == "b"
+        assert not rs.next()
+
+    def test_next_after_end_stays_false(self, rs):
+        while rs.next():
+            pass
+        assert not rs.next()
+
+    def test_get_by_index_is_one_based(self, rs):
+        rs.next()
+        assert rs.get(1) == "a"
+        assert rs.get(2) == 0.5
+
+    def test_index_out_of_range(self, rs):
+        rs.next()
+        with pytest.raises(SQLException):
+            rs.get(5)
+        with pytest.raises(SQLException):
+            rs.get(0)
+
+    def test_unknown_column_name(self, rs):
+        rs.next()
+        with pytest.raises(SQLException):
+            rs.get("nope")
+
+    def test_case_insensitive_name(self, rs):
+        rs.next()
+        assert rs.get("HOST") == "a"
+
+    def test_closed_rejects_access(self, rs):
+        rs.close()
+        with pytest.raises(SQLException):
+            rs.next()
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(SQLException):
+            ListResultSet(["a", "b"], [[1]])
+
+
+class TestTypedGetters:
+    def test_get_string_converts(self, rs):
+        rs.next()
+        assert rs.get_string("load") == "0.5"
+
+    def test_get_int_from_float(self, rs):
+        rs.next()
+        assert rs.get_int("load") == 0
+
+    def test_get_int_from_numeric_string(self):
+        rs = ListResultSet(["x"], [["42.7"]])
+        rs.next()
+        assert rs.get_int("x") == 42
+
+    def test_get_int_garbage_raises(self):
+        rs = ListResultSet(["x"], [["nope"]])
+        rs.next()
+        with pytest.raises(SQLDataException):
+            rs.get_int("x")
+
+    def test_get_float(self, rs):
+        rs.next()
+        assert rs.get_float("cpus") == 4.0
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("Yes", True), ("1", True), ("on", True),
+        ("false", False), ("no", False), ("0", False), ("off", False),
+    ])
+    def test_get_bool_strings(self, raw, expected):
+        rs = ListResultSet(["x"], [[raw]])
+        rs.next()
+        assert rs.get_bool("x") is expected
+
+    def test_get_bool_garbage_raises(self):
+        rs = ListResultSet(["x"], [["maybe"]])
+        rs.next()
+        with pytest.raises(SQLDataException):
+            rs.get_bool("x")
+
+    def test_null_propagates_through_getters(self, rs):
+        rs.next(); rs.next()
+        assert rs.get_float("load") is None
+        assert rs.get_string("load") is None
+
+    def test_was_null(self, rs):
+        rs.next(); rs.next()
+        rs.get("load")
+        assert rs.was_null()
+        rs.get("host")
+        assert not rs.was_null()
+
+
+class TestMetadata:
+    def test_column_count(self, rs):
+        assert rs.metadata().column_count() == 4
+
+    def test_column_name_one_based(self, rs):
+        assert rs.metadata().column_name(1) == "host"
+
+    def test_column_type(self, rs):
+        assert rs.metadata().column_type(2) == "REAL"
+
+    def test_column_index(self, rs):
+        assert rs.metadata().column_index("cpus") == 3
+
+    def test_types_default_to_text(self):
+        md = ListResultSetMetaData(["a"])
+        assert md.column_type(1) == "TEXT"
+
+    def test_types_length_mismatch_rejected(self):
+        with pytest.raises(SQLException):
+            ListResultSetMetaData(["a", "b"], ["TEXT"])
+
+
+class TestPythonic:
+    def test_iteration_yields_dicts(self, rs):
+        rows = list(rs)
+        assert rows[0]["host"] == "a"
+        assert len(rows) == 2
+
+    def test_to_dicts_does_not_advance(self, rs):
+        rs.to_dicts()
+        assert rs.next()  # cursor untouched
+
+    def test_raw_rows_copies(self, rs):
+        raw = rs.raw_rows()
+        raw[0][0] = "mutated"
+        assert rs.to_dicts()[0]["host"] == "a"
+
+    def test_len(self, rs):
+        assert len(rs) == 2

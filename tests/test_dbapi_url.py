@@ -1,0 +1,72 @@
+"""Unit tests for JDBC URL parsing."""
+
+import pytest
+
+from repro.dbapi.exceptions import SQLException
+from repro.dbapi.url import JdbcUrl
+
+
+class TestParsing:
+    def test_paper_nws_example(self):
+        url = JdbcUrl.parse("jdbc:nws://snowboard.workgroup/perfdata")
+        assert url.protocol == "nws"
+        assert url.host == "snowboard.workgroup"
+        assert url.path == "perfdata"
+
+    def test_paper_wildcard_example(self):
+        url = JdbcUrl.parse("jdbc:://snowboard.workgroup/perfdata")
+        assert url.is_wildcard
+
+    def test_wildcard_without_colon(self):
+        assert JdbcUrl.parse("jdbc://host/x").is_wildcard
+
+    def test_port(self):
+        assert JdbcUrl.parse("jdbc:snmp://h:1161/x").port == 1161
+
+    def test_no_port_is_none(self):
+        assert JdbcUrl.parse("jdbc:snmp://h/x").port is None
+
+    def test_query_params(self):
+        url = JdbcUrl.parse("jdbc:snmp://h/x?community=secret&retries=3")
+        assert url.params == {"community": "secret", "retries": "3"}
+
+    def test_empty_path(self):
+        assert JdbcUrl.parse("jdbc:snmp://h").path == ""
+
+    def test_protocol_lowercased(self):
+        assert JdbcUrl.parse("jdbc:SNMP://h/x").protocol == "snmp"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "http://h/x", "jdbc:", "jdbc:snmp:/h", "jdbc:snmp://", "snmp://h"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SQLException):
+            JdbcUrl.parse(bad)
+
+    def test_whitespace_stripped(self):
+        assert JdbcUrl.parse("  jdbc:snmp://h/x  ").host == "h"
+
+
+class TestRendering:
+    def test_round_trip(self):
+        text = "jdbc:snmp://h:1161/x?community=public"
+        assert str(JdbcUrl.parse(text)) == text
+
+    def test_wildcard_round_trip(self):
+        url = JdbcUrl.parse("jdbc://h/x")
+        assert JdbcUrl.parse(str(url)) == url
+
+    def test_with_protocol(self):
+        url = JdbcUrl.parse("jdbc://h/x").with_protocol("NWS")
+        assert url.protocol == "nws"
+        assert not url.is_wildcard
+
+    def test_params_sorted_in_string(self):
+        url = JdbcUrl.parse("jdbc:snmp://h/x?b=2&a=1")
+        assert str(url).endswith("?a=1&b=2")
+
+    def test_equality_and_hash(self):
+        a = JdbcUrl.parse("jdbc:snmp://h/x")
+        b = JdbcUrl.parse("jdbc:snmp://h/x")
+        assert a == b

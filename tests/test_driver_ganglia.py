@@ -1,0 +1,117 @@
+"""Unit tests for the JDBC-Ganglia driver (coarse-grained, cached)."""
+
+import pytest
+
+from repro.agents.ganglia import GangliaAgent
+from repro.drivers.ganglia_driver import GangliaDriver
+
+
+@pytest.fixture
+def agent(network, hosts):
+    return GangliaAgent("cl", hosts, network)
+
+
+@pytest.fixture
+def driver(network):
+    return GangliaDriver(network, gateway_host="gateway", cache_ttl=15.0)
+
+
+@pytest.fixture
+def conn(driver, agent, hosts):
+    return driver.connect(f"jdbc:ganglia://{hosts[0].spec.name}/cl")
+
+
+def query(conn, sql):
+    return conn.create_statement().execute_query(sql)
+
+
+class TestCoarseGrained:
+    def test_one_query_returns_all_cluster_hosts(self, conn, hosts):
+        rows = query(conn, "SELECT * FROM Processor").to_dicts()
+        assert {r["HostName"] for r in rows} == {h.spec.name for h in hosts}
+
+    def test_single_metric_still_fetches_dump(self, conn, agent):
+        before = agent.requests_served
+        query(conn, "SELECT LoadAverage1Min FROM Processor")
+        assert agent.requests_served == before + 1
+
+    def test_sitename_from_cluster(self, conn):
+        rows = query(conn, "SELECT SiteName FROM Processor").to_dicts()
+        assert all(r["SiteName"] == "cl" for r in rows)
+
+    def test_memory_unit_conversion(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, RAMSizeMB FROM MainMemory").to_dicts()
+        by_host = {r["HostName"]: r for r in rows}
+        for h in hosts:
+            assert by_host[h.spec.name]["RAMSizeMB"] == pytest.approx(h.spec.ram_mb)
+
+    def test_vendor_null(self, conn):
+        rows = query(conn, "SELECT Vendor FROM Processor").to_dicts()
+        assert all(r["Vendor"] is None for r in rows)
+
+    def test_architecture_group(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, PlatformType, SMPSize FROM Architecture").to_dicts()
+        by_host = {r["HostName"]: r for r in rows}
+        h = hosts[0]
+        assert by_host[h.spec.name]["PlatformType"] == h.spec.platform
+        assert by_host[h.spec.name]["SMPSize"] == h.spec.cpu_count
+
+    def test_where_filters_hosts(self, conn, hosts):
+        name = hosts[1].spec.name
+        rows = query(conn, f"SELECT HostName FROM Processor WHERE HostName = '{name}'").to_dicts()
+        assert rows == [{"HostName": name}]
+
+
+class TestDriverCache:
+    def test_repeat_queries_hit_cache(self, driver, conn, agent):
+        before = agent.requests_served
+        query(conn, "SELECT * FROM Processor")
+        query(conn, "SELECT * FROM MainMemory")
+        query(conn, "SELECT * FROM Host")
+        assert agent.requests_served == before + 1
+        assert driver.cache.hits == 2
+
+    def test_cache_expires_after_ttl(self, driver, conn, agent, network):
+        query(conn, "SELECT * FROM Processor")
+        network.clock.advance(20.0)  # > ttl of 15
+        before = agent.requests_served
+        query(conn, "SELECT * FROM Processor")
+        assert agent.requests_served == before + 1
+
+    def test_zero_ttl_disables_cache(self, network, agent, hosts):
+        driver = GangliaDriver(network, gateway_host="gateway", cache_ttl=0.0)
+        conn = driver.connect(f"jdbc:ganglia://{hosts[0].spec.name}/cl")
+        before = agent.requests_served
+        query(conn, "SELECT * FROM Processor")
+        query(conn, "SELECT * FROM Processor")
+        assert agent.requests_served == before + 2
+
+    def test_lazy_parse_caches_raw_xml(self, network, agent, hosts):
+        lazy = GangliaDriver(network, gateway_host="gateway", lazy_parse=True)
+        conn = lazy.connect(f"jdbc:ganglia://{hosts[0].spec.name}/cl")
+        r1 = query(conn, "SELECT HostName FROM Processor").to_dicts()
+        r2 = query(conn, "SELECT HostName FROM Processor").to_dicts()
+        assert r1 == r2
+        assert lazy.cache.hits == 1  # raw XML reused, re-parsed per query
+
+
+class TestProbe:
+    def test_probe_true_for_live_gmond(self, driver, agent, hosts):
+        from repro.dbapi.url import JdbcUrl
+
+        assert driver.probe(JdbcUrl.parse(f"jdbc:ganglia://{hosts[0].spec.name}/x"))
+
+    def test_probe_false_for_wrong_service(self, network, driver, hosts):
+        """A host answering a non-Ganglia protocol on 8649 is rejected."""
+        from repro.dbapi.url import JdbcUrl
+        from repro.simnet.network import Address
+
+        network.add_host("imposter", site="default")
+        network.listen(Address("imposter", 8649), lambda p, s: "NOT GANGLIA")
+        assert not driver.probe(JdbcUrl.parse("jdbc:ganglia://imposter/x"))
+
+    def test_probe_false_when_port_closed(self, network, driver):
+        from repro.dbapi.url import JdbcUrl
+
+        network.add_host("silent", site="default")
+        assert not driver.probe(JdbcUrl.parse("jdbc:ganglia://silent/x"))

@@ -1,0 +1,104 @@
+"""Unit tests for the JDBC-NetLogger driver, especially pushdown."""
+
+import pytest
+
+from repro.agents.netlogger import NetLoggerAgent
+from repro.drivers.netlogger_driver import (
+    NetLoggerDriver,
+    _equality_pushdown,
+    _since_pushdown,
+)
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture
+def agent(network, host):
+    a = NetLoggerAgent(host, network)
+    network.clock.advance(600.0)
+    return a
+
+
+@pytest.fixture
+def conn(network, agent):
+    return NetLoggerDriver(network, gateway_host="gateway").connect(
+        "jdbc:netlogger://n0/ulm"
+    )
+
+
+def query(conn, sql):
+    return conn.create_statement().execute_query(sql)
+
+
+class TestPushdownDetection:
+    def test_program_equality(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE Program = 'gridftp'")
+        assert _equality_pushdown(sel.where) == ("PROG", "gridftp")
+
+    def test_reversed_operands(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE 'Info' = Level")
+        assert _equality_pushdown(sel.where) == ("LVL", "Info")
+
+    def test_event_name(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE EventName = 'job.start'")
+        assert _equality_pushdown(sel.where) == ("NL.EVNT", "job.start")
+
+    def test_non_pushable_field(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE Message = 'x'")
+        assert _equality_pushdown(sel.where) is None
+
+    def test_complex_where_not_pushed(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE Program = 'x' OR Level = 'y'")
+        assert _equality_pushdown(sel.where) is None
+
+    def test_since(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE EventTime >= 100.5")
+        assert _since_pushdown(sel.where) == 100.5
+
+    def test_since_requires_numeric(self):
+        sel = parse_select("SELECT * FROM LogEvent WHERE EventTime >= 'soon'")
+        assert _since_pushdown(sel.where) is None
+
+
+class TestQueries:
+    def test_rows_have_glue_shape(self, conn):
+        rows = query(conn, "SELECT * FROM LogEvent LIMIT 5").to_dicts()
+        assert rows
+        for r in rows:
+            assert r["HostName"] == "n0"
+            assert isinstance(r["EventTime"], float)
+            assert r["EventName"]
+
+    def test_program_filter_correct(self, conn):
+        rows = query(
+            conn, "SELECT Program FROM LogEvent WHERE Program = 'gridftp'"
+        ).to_dicts()
+        assert all(r["Program"] == "gridftp" for r in rows)
+
+    def test_pushdown_reduces_transfer(self, conn, network):
+        """MATCH pushdown must move fewer bytes than a full TAIL."""
+        network.stats.reset()
+        query(conn, "SELECT * FROM LogEvent WHERE EventName = 'disk.full'")
+        pushed = network.stats.bytes_sent
+        network.stats.reset()
+        query(conn, "SELECT * FROM LogEvent")
+        full = network.stats.bytes_sent
+        assert pushed < full
+
+    def test_event_time_range(self, conn, network):
+        cut = network.clock.now() - 100.0
+        rows = query(
+            conn, f"SELECT EventTime FROM LogEvent WHERE EventTime >= {cut}"
+        ).to_dicts()
+        assert all(r["EventTime"] >= cut for r in rows)
+
+    def test_limit_pushed_as_tail(self, conn):
+        rows = query(conn, "SELECT EventName FROM LogEvent LIMIT 3").to_dicts()
+        assert len(rows) <= 3
+
+    def test_residual_filter_applied_after_pushdown(self, conn):
+        """WHERE parts the agent cannot evaluate are applied locally."""
+        rows = query(
+            conn,
+            "SELECT Program, Level FROM LogEvent WHERE Program = 'gridftp' AND Level = 'Info'",
+        ).to_dicts()
+        assert all(r["Level"] == "Info" and r["Program"] == "gridftp" for r in rows)

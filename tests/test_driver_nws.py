@@ -1,0 +1,84 @@
+"""Unit tests for the JDBC-NWS driver."""
+
+import pytest
+
+from repro.agents.nws import NwsAgent
+from repro.drivers.nws_driver import NwsDriver, parse_forecast_line
+
+
+@pytest.fixture
+def agent(network, hosts):
+    a = NwsAgent(hosts[0], network, peers=[hosts[1].spec.name])
+    network.clock.advance(120.0)
+    return a
+
+
+@pytest.fixture
+def conn(network, agent):
+    return NwsDriver(network, gateway_host="gateway").connect("jdbc:nws://n0/forecast")
+
+
+def query(conn, sql):
+    return conn.create_statement().execute_query(sql)
+
+
+class TestParseForecastLine:
+    def test_fields_extracted(self):
+        line = "RESOURCE=availableCpu TIME=1.5 MEASURED=0.5 FORECAST=0.6 MAE=0.1 METHOD=last_value"
+        assert parse_forecast_line(line)["METHOD"] == "last_value"
+
+    def test_tolerates_missing_fields(self):
+        assert parse_forecast_line("RESOURCE=x") == {"RESOURCE": "x"}
+
+
+class TestForecastGroup:
+    def test_one_row_per_resource(self, conn):
+        rows = query(conn, "SELECT * FROM NetworkForecast").to_dicts()
+        resources = {r["Resource"] for r in rows}
+        assert "availableCpu" in resources and "currentCpu" in resources
+        assert "latencyMs" in resources and "bandwidthMbps" in resources
+
+    def test_peer_host_populated_for_network_resources(self, conn, hosts):
+        rows = query(conn, "SELECT Resource, PeerHost FROM NetworkForecast").to_dicts()
+        peers = {r["PeerHost"] for r in rows if r["Resource"] == "latencyMs"}
+        assert peers == {hosts[1].spec.name}
+
+    def test_cpu_resources_have_no_peer(self, conn):
+        rows = query(conn, "SELECT Resource, PeerHost FROM NetworkForecast").to_dicts()
+        assert all(
+            r["PeerHost"] is None for r in rows if r["Resource"] == "availableCpu"
+        )
+
+    def test_forecast_values_numeric(self, conn):
+        rows = query(
+            conn, "SELECT MeasuredValue, ForecastValue, ForecastError FROM NetworkForecast"
+        ).to_dicts()
+        for r in rows:
+            assert isinstance(r["MeasuredValue"], float)
+            assert isinstance(r["ForecastValue"], float)
+
+    def test_method_names_from_bank(self, conn):
+        rows = query(conn, "SELECT Method FROM NetworkForecast").to_dicts()
+        known_prefixes = ("last_value", "running_mean", "sliding", "exp_smooth")
+        assert all(r["Method"].startswith(known_prefixes) for r in rows)
+
+    def test_where_on_resource(self, conn):
+        rows = query(
+            conn,
+            "SELECT Resource FROM NetworkForecast WHERE Resource = 'availableCpu'",
+        ).to_dicts()
+        assert rows == [{"Resource": "availableCpu"}]
+
+    def test_resource_list_cached_per_connection(self, conn, agent):
+        before = agent.requests_served
+        query(conn, "SELECT Resource FROM NetworkForecast")
+        first_cost = agent.requests_served - before
+        before = agent.requests_served
+        query(conn, "SELECT Resource FROM NetworkForecast")
+        second_cost = agent.requests_served - before
+        # Second query skips the RESOURCES round-trip.
+        assert second_cost == first_cost - 1
+
+    def test_host_group(self, conn):
+        row = query(conn, "SELECT UniqueId FROM Host").to_dicts()[0]
+        assert row["UniqueId"] == "n0#nws"

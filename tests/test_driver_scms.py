@@ -1,0 +1,82 @@
+"""Unit tests for the JDBC-SCMS driver."""
+
+import pytest
+
+from repro.agents.scms import ScmsAgent
+from repro.drivers.scms_driver import ScmsDriver
+
+
+@pytest.fixture
+def agent(network, hosts):
+    a = ScmsAgent("cl", hosts, network)
+    network.clock.advance(120.0)
+    return a
+
+
+@pytest.fixture
+def conn(network, agent, hosts):
+    return ScmsDriver(network, gateway_host="gateway").connect(
+        f"jdbc:scms://{hosts[0].spec.name}/cl"
+    )
+
+
+def query(conn, sql):
+    return conn.create_statement().execute_query(sql)
+
+
+class TestNodeGroups:
+    def test_processor_rows_for_every_node(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, CPUCount FROM Processor").to_dicts()
+        assert {r["HostName"] for r in rows} == {h.spec.name for h in hosts}
+        by_host = {r["HostName"]: r for r in rows}
+        for h in hosts:
+            assert by_host[h.spec.name]["CPUCount"] == h.spec.cpu_count
+
+    def test_clock_speed_available_unlike_snmp(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, ClockSpeedMHz FROM Processor").to_dicts()
+        by_host = {r["HostName"]: r for r in rows}
+        h = hosts[0]
+        assert by_host[h.spec.name]["ClockSpeedMHz"] == pytest.approx(
+            h.spec.clock_mhz, abs=1.0
+        )
+
+    def test_memory_values(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, RAMSizeMB FROM MainMemory").to_dicts()
+        by_host = {r["HostName"]: r for r in rows}
+        for h in hosts:
+            assert by_host[h.spec.name]["RAMSizeMB"] == pytest.approx(
+                h.spec.ram_mb, abs=1.0
+            )
+
+    def test_os_group(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, Name FROM OperatingSystem").to_dicts()
+        by_host = {r["HostName"]: r for r in rows}
+        assert by_host[hosts[0].spec.name]["Name"] == hosts[0].spec.os_name
+
+    def test_host_group_reachable(self, conn):
+        rows = query(conn, "SELECT Reachable FROM Host").to_dicts()
+        assert all(r["Reachable"] is True for r in rows)
+
+    def test_utilization_derived(self, conn):
+        rows = query(conn, "SELECT CPUIdle, CPUUtilization FROM Processor").to_dicts()
+        for r in rows:
+            assert r["CPUUtilization"] == pytest.approx(100.0 - r["CPUIdle"], abs=0.01)
+
+
+class TestJobGroup:
+    def test_jobs_have_glue_fields(self, conn):
+        rows = query(conn, "SELECT * FROM Job").to_dicts()
+        for r in rows:
+            assert r["JobId"].startswith("s")
+            assert r["State"] in ("running", "queued", "held")
+            assert isinstance(r["NodeCount"], int)
+
+    def test_aggregation_over_jobs(self, conn):
+        rows = query(
+            conn, "SELECT State, COUNT(*) n FROM Job GROUP BY State"
+        ).to_dicts()
+        assert all(r["n"] >= 1 for r in rows)
+
+    def test_where_on_queue(self, conn):
+        rows = query(conn, "SELECT Queue FROM Job WHERE Queue = 'batch'").to_dicts()
+        assert all(r["Queue"] == "batch" for r in rows)

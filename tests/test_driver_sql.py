@@ -1,0 +1,101 @@
+"""Unit tests for the JDBC-SQL driver and its WHERE pushdown."""
+
+import pytest
+
+from repro.agents.sqlagent import SqlAgent, seed_site_database
+from repro.dbapi.exceptions import SQLException
+from repro.drivers.sql_driver import SqlDriver
+
+
+@pytest.fixture
+def agent(network, hosts):
+    db = seed_site_database(hosts, network)
+    network.clock.advance(600.0)
+    return SqlAgent(db, network, "n3")
+
+
+@pytest.fixture
+def driver(network):
+    return SqlDriver(network, gateway_host="gateway")
+
+
+@pytest.fixture
+def conn(driver, agent):
+    return driver.connect("jdbc:sql://n3/sitedb")
+
+
+def query(conn, sql):
+    return conn.create_statement().execute_query(sql)
+
+
+class TestTranslation:
+    def test_host_group(self, conn, hosts):
+        rows = query(conn, "SELECT HostName, SiteName FROM Host").to_dicts()
+        assert {r["HostName"] for r in rows} == {h.spec.name for h in hosts}
+
+    def test_processor_partial_mapping(self, conn, hosts):
+        rows = query(
+            conn, "SELECT HostName, CPUCount, LoadAverage1Min FROM Processor"
+        ).to_dicts()
+        by_host = {r["HostName"]: r for r in rows}
+        assert by_host[hosts[0].spec.name]["CPUCount"] == hosts[0].spec.cpu_count
+        assert isinstance(by_host[hosts[0].spec.name]["LoadAverage1Min"], float)
+
+    def test_unmapped_fields_null(self, conn):
+        rows = query(conn, "SELECT CPUIdle FROM Processor").to_dicts()
+        assert all(r["CPUIdle"] is None for r in rows)
+
+    def test_jobs_from_accounting_table(self, conn):
+        rows = query(conn, "SELECT JobId, Owner, State FROM Job").to_dicts()
+        assert rows
+        assert all(r["JobId"].startswith("db") for r in rows)
+
+    def test_unserved_group_rejected(self, conn):
+        with pytest.raises(SQLException):
+            query(conn, "SELECT * FROM MainMemory")
+
+
+class TestPushdown:
+    def test_mappable_where_pushed(self, driver, conn):
+        before = SqlDriver.pushdowns
+        query(conn, "SELECT HostName FROM Processor WHERE CPUCount >= 2")
+        assert SqlDriver.pushdowns == before + 1
+
+    def test_pushed_results_match_local_filtering(self, conn):
+        pushed = query(
+            conn, "SELECT HostName FROM Processor WHERE CPUCount >= 2"
+        ).to_dicts()
+        everything = query(conn, "SELECT HostName, CPUCount FROM Processor").to_dicts()
+        expected = sorted(r["HostName"] for r in everything if r["CPUCount"] >= 2)
+        assert sorted(r["HostName"] for r in pushed) == expected
+
+    def test_unmappable_where_falls_back(self, driver, conn):
+        before = SqlDriver.pushdowns
+        rows = query(
+            conn, "SELECT HostName FROM Processor WHERE CPUIdle IS NULL"
+        ).to_dicts()
+        assert SqlDriver.pushdowns == before  # no pushdown
+        assert rows  # CPUIdle is always NULL here, so all hosts match
+
+    def test_pushdown_reduces_bytes_on_selective_query(self, conn, network):
+        network.stats.reset()
+        query(conn, "SELECT JobId FROM Job WHERE Owner = 'nobody-matches'")
+        selective = network.stats.bytes_sent
+        network.stats.reset()
+        query(conn, "SELECT JobId FROM Job")
+        full = network.stats.bytes_sent
+        assert selective < full
+
+
+class TestErrors:
+    def test_native_error_surfaces(self, network, hosts):
+        """An agent DB missing expected tables produces an SQLException."""
+        from repro.sql.database import Database
+
+        empty = Database()
+        empty.create_table("hosts", [("name", "TEXT")])
+        SqlAgent(empty, network, "n2", port=7777)
+        driver = SqlDriver(network, gateway_host="gateway")
+        conn = driver.connect("jdbc:sql://n2:7777/x")
+        with pytest.raises(SQLException):
+            query(conn, "SELECT JobId FROM Job")

@@ -1,0 +1,114 @@
+"""Unit tests for the XML and LDIF GLUE renderings (paper §3.1.4)."""
+
+import pytest
+
+from repro.glue.render import (
+    ldif_to_rows,
+    rows_to_ldif,
+    rows_to_xml,
+    schema_to_xml,
+    xml_to_rows,
+)
+from repro.glue.schema import STANDARD_SCHEMA
+
+GROUP = STANDARD_SCHEMA.group("Processor")
+
+ROWS = [
+    {
+        **{f.name: None for f in GROUP.fields},
+        "HostName": "n0",
+        "SiteName": "site-a",
+        "Timestamp": 12.5,
+        "CPUCount": 4,
+        "LoadAverage1Min": 0.75,
+    },
+    {
+        **{f.name: None for f in GROUP.fields},
+        "HostName": "n1",
+        "SiteName": "site-a",
+        "Timestamp": 12.5,
+        "CPUCount": 2,
+        "LoadAverage1Min": 1.5,
+        "Vendor": "Intel <&> Co",
+    },
+]
+
+
+class TestXml:
+    def test_schema_rendering_lists_all_groups(self):
+        xml = schema_to_xml(STANDARD_SCHEMA)
+        for group in STANDARD_SCHEMA:
+            assert f'<Group name="{group.name}">' in xml
+
+    def test_rows_round_trip(self):
+        xml = rows_to_xml(GROUP, ROWS)
+        back = xml_to_rows(GROUP, xml)
+        assert len(back) == 2
+        assert back[0]["HostName"] == "n0"
+        assert back[0]["CPUCount"] == 4
+        assert back[0]["LoadAverage1Min"] == pytest.approx(0.75)
+        assert back[0]["Vendor"] is None  # NULL omitted, comes back None
+
+    def test_escaping(self):
+        xml = rows_to_xml(GROUP, ROWS)
+        assert "&lt;&amp;&gt;" in xml
+        back = xml_to_rows(GROUP, xml)
+        assert back[1]["Vendor"] == "Intel <&> Co"
+
+    def test_types_coerced_on_parse(self):
+        back = xml_to_rows(GROUP, rows_to_xml(GROUP, ROWS))
+        assert isinstance(back[0]["CPUCount"], int)
+        assert isinstance(back[0]["LoadAverage1Min"], float)
+        assert isinstance(back[0]["Timestamp"], float)
+
+    def test_boolean_rendering(self):
+        host_group = STANDARD_SCHEMA.group("Host")
+        row = {f.name: None for f in host_group.fields}
+        row.update(HostName="n0", Reachable=True)
+        xml = rows_to_xml(host_group, [row])
+        assert "<Reachable>true</Reachable>" in xml
+        assert xml_to_rows(host_group, xml)[0]["Reachable"] is True
+
+    def test_empty_rows(self):
+        assert xml_to_rows(GROUP, rows_to_xml(GROUP, [])) == []
+
+
+class TestLdif:
+    def test_dn_shape(self):
+        ldif = rows_to_ldif(GROUP, ROWS, vo="testvo")
+        assert (
+            "dn: GlueProcessorUniqueID=n0#0,Mds-Vo-name=testvo,o=grid" in ldif
+        )
+        assert "objectClass: GlueProcessor" in ldif
+
+    def test_attribute_names_prefixed(self):
+        ldif = rows_to_ldif(GROUP, ROWS)
+        assert "GlueProcessorCPUCount: 4" in ldif
+        assert "GlueProcessorLoadAverage1Min: 0.75" in ldif
+
+    def test_round_trip(self):
+        back = ldif_to_rows(GROUP, rows_to_ldif(GROUP, ROWS))
+        assert len(back) == 2
+        assert back[1]["HostName"] == "n1"
+        assert back[1]["CPUCount"] == 2
+        assert back[0]["Model"] is None
+
+    def test_boolean_ldif_convention(self):
+        host_group = STANDARD_SCHEMA.group("Host")
+        row = {f.name: None for f in host_group.fields}
+        row.update(HostName="n0", Reachable=False)
+        ldif = rows_to_ldif(host_group, [row])
+        assert "GlueHostReachable: FALSE" in ldif
+        assert ldif_to_rows(host_group, ldif)[0]["Reachable"] is False
+
+
+class TestEndToEnd:
+    def test_live_query_results_render_and_round_trip(self, site):
+        result = site.gateway.query(
+            site.url_for("ganglia"), "SELECT * FROM Processor"
+        )
+        rows = result.dicts()
+        xml_back = xml_to_rows(GROUP, rows_to_xml(GROUP, rows))
+        ldif_back = ldif_to_rows(GROUP, rows_to_ldif(GROUP, rows))
+        assert [r["HostName"] for r in xml_back] == [r["HostName"] for r in rows]
+        assert [r["CPUCount"] for r in ldif_back] == [r["CPUCount"] for r in rows]

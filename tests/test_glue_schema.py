@@ -1,0 +1,101 @@
+"""Unit tests for the GLUE schema definitions."""
+
+import pytest
+
+from repro.glue.schema import (
+    GlueField,
+    GlueGroup,
+    GlueSchema,
+    STANDARD_SCHEMA,
+    standard_schema,
+)
+
+
+class TestFieldAndGroup:
+    def test_bad_field_type_rejected(self):
+        with pytest.raises(ValueError):
+            GlueField(name="x", type="BLOB")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            GlueGroup("G", (GlueField("a"), GlueField("a")))
+
+    def test_field_lookup(self):
+        g = GlueGroup("G", (GlueField("a", "REAL", "MB"),))
+        assert g.field("a").unit == "MB"
+        with pytest.raises(KeyError):
+            g.field("b")
+
+    def test_has_field(self):
+        g = GlueGroup("G", (GlueField("a"),))
+        assert g.has_field("a") and not g.has_field("b")
+
+    def test_column_types_align_with_names(self):
+        g = STANDARD_SCHEMA.group("Processor")
+        assert len(g.column_types()) == len(g.field_names())
+
+
+class TestSchema:
+    def test_duplicate_group_rejected(self):
+        s = GlueSchema("v", [GlueGroup("G", (GlueField("a"),))])
+        with pytest.raises(ValueError):
+            s.add_group(GlueGroup("G", (GlueField("b"),)))
+
+    def test_case_insensitive_group_lookup(self):
+        assert STANDARD_SCHEMA.group("processor").name == "Processor"
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(KeyError):
+            STANDARD_SCHEMA.group("Nope")
+
+    def test_has_group(self):
+        assert STANDARD_SCHEMA.has_group("MainMemory")
+        assert not STANDARD_SCHEMA.has_group("Nope")
+
+    def test_iteration_and_len(self):
+        assert len(list(STANDARD_SCHEMA)) == len(STANDARD_SCHEMA)
+
+
+class TestStandardSchema:
+    EXPECTED_GROUPS = {
+        "Host",
+        "Processor",
+        "MainMemory",
+        "OperatingSystem",
+        "Architecture",
+        "FileSystem",
+        "NetworkAdapter",
+        "Process",
+        "NetworkForecast",
+        "LogEvent",
+        "Job",
+    }
+
+    def test_all_expected_groups_present(self):
+        assert set(STANDARD_SCHEMA.group_names()) == self.EXPECTED_GROUPS
+
+    def test_every_group_has_host_key(self):
+        """GLUE rows always carry host/site/time identity."""
+        for group in STANDARD_SCHEMA:
+            for key in ("HostName", "SiteName", "Timestamp"):
+                assert group.has_field(key), f"{group.name} lacks {key}"
+
+    def test_processor_fields(self):
+        g = STANDARD_SCHEMA.group("Processor")
+        for f in ("CPUCount", "LoadAverage1Min", "CPUUtilization", "ClockSpeedMHz"):
+            assert g.has_field(f)
+
+    def test_memory_units_are_mb(self):
+        g = STANDARD_SCHEMA.group("MainMemory")
+        assert g.field("RAMSizeMB").unit == "MB"
+
+    def test_standard_schema_factory_returns_fresh_copy(self):
+        a, b = standard_schema(), standard_schema()
+        assert a is not b
+        assert a.group_names() == b.group_names()
+
+    def test_types_are_consistent(self):
+        g = STANDARD_SCHEMA.group("Job")
+        assert g.field("NodeCount").type == "INTEGER"
+        assert g.field("CPUSeconds").type == "REAL"
+        assert g.field("JobId").type == "TEXT"

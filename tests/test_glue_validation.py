@@ -1,0 +1,84 @@
+"""Unit tests for GLUE row validation."""
+
+from repro.glue.schema import STANDARD_SCHEMA
+from repro.glue.validation import validate_row
+
+GROUP = STANDARD_SCHEMA.group("MainMemory")
+
+
+def full_row(**overrides):
+    row = {f.name: None for f in GROUP.fields}
+    row.update(
+        HostName="n0",
+        SiteName="s",
+        Timestamp=1.0,
+        RAMSizeMB=512.0,
+        RAMAvailableMB=100.0,
+    )
+    row.update(overrides)
+    return row
+
+
+class TestValidate:
+    def test_clean_row_has_no_issues(self):
+        assert validate_row(GROUP, full_row()) == []
+
+    def test_null_is_always_acceptable(self):
+        assert validate_row(GROUP, full_row(RAMSizeMB=None)) == []
+
+    def test_missing_field_reported(self):
+        row = full_row()
+        del row["CachedMB"]
+        issues = validate_row(GROUP, row)
+        assert [i.kind for i in issues] == ["missing"]
+        assert issues[0].field == "CachedMB"
+
+    def test_unknown_field_reported(self):
+        issues = validate_row(GROUP, full_row(Bogus=1))
+        assert any(i.kind == "unknown" and i.field == "Bogus" for i in issues)
+
+    def test_wrong_type_reported(self):
+        issues = validate_row(GROUP, full_row(RAMSizeMB="lots"))
+        assert [i.kind for i in issues] == ["type"]
+
+    def test_bool_is_not_a_real(self):
+        issues = validate_row(GROUP, full_row(RAMSizeMB=True))
+        assert [i.kind for i in issues] == ["type"]
+
+    def test_int_acceptable_for_real(self):
+        assert validate_row(GROUP, full_row(RAMSizeMB=512)) == []
+
+    def test_integer_field_rejects_float(self):
+        proc = STANDARD_SCHEMA.group("Processor")
+        row = {f.name: None for f in proc.fields}
+        row["CPUCount"] = 2.5
+        issues = validate_row(proc, row)
+        assert any(i.field == "CPUCount" and i.kind == "type" for i in issues)
+
+    def test_boolean_field_rejects_int(self):
+        host = STANDARD_SCHEMA.group("Host")
+        row = {f.name: None for f in host.fields}
+        row["Reachable"] = 1
+        issues = validate_row(host, row)
+        assert any(i.field == "Reachable" for i in issues)
+
+
+class TestDriverOutputsValidate:
+    """Every driver's translated output must conform to the schema."""
+
+    def test_all_driver_mappings_target_real_groups_and_fields(self):
+        from repro.drivers import default_driver_set
+        from repro.simnet.clock import VirtualClock
+        from repro.simnet.network import Network
+
+        net = Network(VirtualClock())
+        for driver in default_driver_set(net):
+            mapping = driver.default_mapping()
+            for group_name in mapping.groups():
+                group = STANDARD_SCHEMA.group(group_name)
+                gm = mapping.group_mapping(group_name)
+                for rule in gm.rules:
+                    assert group.has_field(rule.glue_field), (
+                        f"{driver.name()} maps unknown field "
+                        f"{group_name}.{rule.glue_field}"
+                    )

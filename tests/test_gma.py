@@ -1,0 +1,166 @@
+"""Unit tests for the GMA Global layer: directory, producer, consumer."""
+
+import pytest
+
+from repro.core.policy import GatewayPolicy
+from repro.core.request_manager import QueryMode
+from repro.core.security import AccessRule
+from repro.gma.consumer import GatewayConsumer, RemoteQueryFailure
+from repro.gma.directory import DirectoryClient, GMADirectory
+from repro.gma.global_layer import GlobalLayer, RemoteQueryError
+from repro.gma.records import ProducerRecord
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network
+from repro.testbed import build_site
+
+
+@pytest.fixture
+def fabric():
+    clock = VirtualClock()
+    network = Network(clock, seed=41)
+    a = build_site(network, name="site-a", n_hosts=2, agents=("snmp",), seed=1)
+    b = build_site(network, name="site-b", n_hosts=2, agents=("snmp", "ganglia"), seed=2)
+    clock.advance(20.0)
+    directory = GMADirectory(network)
+    gla = GlobalLayer(a.gateway, directory)
+    glb = GlobalLayer(b.gateway, directory)
+    return network, directory, a, b, gla, glb
+
+
+class TestDirectory:
+    def test_producers_registered(self, fabric):
+        _, directory, *_ = fabric
+        assert {p.site for p in directory.producers()} == {"site-a", "site-b"}
+
+    def test_lookup_site_via_client(self, fabric):
+        network, directory, a, *_ = fabric
+        client = DirectoryClient(network, a.gateway.host, directory.address)
+        hits = client.lookup_site("site-b")
+        assert len(hits) == 1 and hits[0].gateway_host == "site-b-gw"
+
+    def test_unregister(self, fabric):
+        _, directory, a, b, gla, glb = fabric
+        gla.unregister()
+        assert {p.site for p in directory.producers()} == {"site-b"}
+
+    def test_reregister_overwrites(self, fabric):
+        _, directory, a, _, gla, _ = fabric
+        gla.register()
+        assert len([p for p in directory.producers() if p.site == "site-a"]) == 1
+
+    def test_malformed_request_answered(self, fabric):
+        network, directory, a, *_ = fabric
+        resp = network.request(a.gateway.host, directory.address, "garbage")
+        assert resp[0] == "error"
+
+    def test_record_groups_published(self, fabric):
+        _, directory, *_ = fabric
+        record = directory.producers()[0]
+        assert "Processor" in record.groups
+
+
+class TestRemoteQueries:
+    def test_query_remote_site(self, fabric):
+        network, _, a, b, gla, _ = fabric
+        result = gla.query_remote(
+            "site-b", "SELECT HostName FROM Host", mode="realtime"
+        )
+        assert {r["HostName"] for r in result.dicts()} == set(b.host_names())
+
+    def test_remote_urls_narrow_query(self, fabric):
+        network, _, a, b, gla, _ = fabric
+        url = b.url_for("snmp", host=b.host_names()[0])
+        result = gla.query_remote("site-b", "SELECT HostName FROM Host", urls=[url], mode="realtime")
+        assert len(result.rows) == 1
+
+    def test_unknown_site_fails(self, fabric):
+        _, _, _, _, gla, _ = fabric
+        with pytest.raises(RemoteQueryError):
+            gla.query_remote("site-z", "SELECT * FROM Host")
+
+    def test_dead_remote_gateway_fails(self, fabric):
+        network, _, a, b, gla, _ = fabric
+        network.set_host_up(b.gateway.host, False)
+        with pytest.raises(RemoteQueryError):
+            gla.query_remote("site-b", "SELECT * FROM Host", mode="realtime")
+
+    def test_remote_error_surfaces(self, fabric):
+        _, _, _, _, gla, _ = fabric
+        with pytest.raises(RemoteQueryError):
+            gla.query_remote("site-b", "SELEKT broken")
+
+    def test_gateway_to_gateway_cache(self, fabric):
+        network, _, a, b, gla, _ = fabric
+        sql = "SELECT HostName FROM Host"
+        gla.query_remote("site-b", sql)
+        network.stats.reset()
+        result = gla.query_remote("site-b", sql)
+        assert gla.stats["remote_cache_hits"] == 1
+        assert network.stats.requests == 0  # served locally
+        assert result.rows
+
+    def test_cache_disabled(self, fabric):
+        network, directory, a, b, _, _ = fabric
+        gl = GlobalLayer(a.gateway, directory, producer_port=8311, cache_remote=False)
+        sql = "SELECT HostName FROM Host"
+        gl.query_remote("site-b", sql)
+        gl.query_remote("site-b", sql)
+        assert gl.stats["remote_cache_hits"] == 0
+
+    def test_known_sites(self, fabric):
+        _, _, _, _, gla, _ = fabric
+        assert gla.known_sites() == ["site-a", "site-b"]
+
+
+class TestProducerEndpoint:
+    def test_groups_op(self, fabric):
+        network, _, a, b, *_ = fabric
+        from repro.gma.producer import PRODUCER_PORT
+        from repro.simnet.network import Address
+
+        resp = network.request(
+            a.gateway.host, Address(b.gateway.host, PRODUCER_PORT), {"op": "groups"}
+        )
+        assert resp["ok"] and "Processor" in resp["groups"]
+
+    def test_sources_op(self, fabric):
+        network, _, a, b, *_ = fabric
+        from repro.gma.producer import PRODUCER_PORT
+        from repro.simnet.network import Address
+
+        resp = network.request(
+            a.gateway.host, Address(b.gateway.host, PRODUCER_PORT), {"op": "sources"}
+        )
+        assert resp["ok"] and len(resp["urls"]) == len(b.source_urls)
+
+    def test_malformed_request(self, fabric):
+        network, _, a, b, *_ = fabric
+        from repro.gma.producer import PRODUCER_PORT
+        from repro.simnet.network import Address
+
+        resp = network.request(
+            a.gateway.host, Address(b.gateway.host, PRODUCER_PORT), "junk"
+        )
+        assert not resp["ok"]
+
+    def test_remote_security_enforced_by_owning_gateway(self):
+        """Paper §2: security decisions defer to the owning gateway."""
+        clock = VirtualClock()
+        network = Network(clock, seed=5)
+        a = build_site(network, name="open", n_hosts=1, agents=("snmp",))
+        b = build_site(
+            network,
+            name="locked",
+            n_hosts=1,
+            agents=("snmp",),
+            policy=GatewayPolicy(security_enabled=True),
+        )
+        clock.advance(10.0)
+        # The locked gateway denies the "remote" role everything.
+        b.gateway.fgsl.add_rule(AccessRule(allow=False, who="role:remote"))
+        directory = GMADirectory(network)
+        gla = GlobalLayer(a.gateway, directory)
+        GlobalLayer(b.gateway, directory)
+        with pytest.raises(RemoteQueryError) as err:
+            gla.query_remote("locked", "SELECT * FROM Host", mode="realtime")
+        assert "may not read" in str(err.value)

@@ -1,0 +1,127 @@
+"""Unit tests for the multi-gateway event archiver."""
+
+import pytest
+
+from repro.core.alerts import AlertRule
+from repro.gma.archiver import EventArchiver
+from repro.gma.subscription import EventPublisher
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network
+from repro.testbed import build_site
+
+
+@pytest.fixture
+def fabric():
+    clock = VirtualClock()
+    network = Network(clock, seed=81)
+    a = build_site(
+        network, name="arc-a", n_hosts=2, agents=("snmp",), seed=1,
+        snmp_trap_threshold=0.0,
+    )
+    b = build_site(
+        network, name="arc-b", n_hosts=2, agents=("snmp",), seed=2,
+        snmp_trap_threshold=0.0,
+    )
+    pa = EventPublisher(a.gateway)
+    pb = EventPublisher(b.gateway)
+    archiver = EventArchiver(network, "archive-box")
+    return network, a, b, pa, pb, archiver
+
+
+class TestArchiving:
+    def test_records_events_from_multiple_gateways(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa)
+        archiver.follow(pb)
+        network.clock.advance(120.0)
+        assert archiver.event_count() > 0
+        hosts = {r[0] for r in archiver.query("SELECT source_host FROM events").rows}
+        assert any(h.startswith("arc-a") for h in hosts)
+        assert any(h.startswith("arc-b") for h in hosts)
+
+    def test_sql_over_archive(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa)
+        network.clock.advance(120.0)
+        result = archiver.query(
+            "SELECT name, COUNT(*) FROM events GROUP BY name"
+        )
+        assert result.rows and result.rows[0][0] == "load.high"
+
+    def test_name_prefix_filter(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, name_prefix="never.")
+        network.clock.advance(120.0)
+        assert archiver.event_count() == 0
+
+    def test_ring_bound(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.max_rows = 10
+        archiver.follow(pa)
+        archiver.follow(pb)
+        network.clock.advance(300.0)
+        assert archiver.event_count() == 10
+
+    def test_reports(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa)
+        archiver.follow(pb)
+        network.clock.advance(120.0)
+        noisy = archiver.noisiest_hosts(3)
+        assert noisy and noisy[0][1] >= noisy[-1][1]
+        breakdown = archiver.severity_breakdown()
+        assert breakdown.get("warning", 0) > 0
+
+
+class TestLeaseManagement:
+    def test_renewal_keeps_feed_alive_past_lease(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, lease=60.0)
+        network.clock.advance(200.0)  # > 3 lease periods
+        n = archiver.event_count()
+        assert n > 0
+        assert archiver.stats["renewals"] >= 2
+        network.clock.advance(60.0)
+        assert archiver.event_count() > n  # still flowing
+
+    def test_stop_unsubscribes(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa)
+        network.clock.advance(60.0)
+        n = archiver.event_count()
+        archiver.stop()
+        assert pa.subscriber_count() == 0
+        network.clock.advance(120.0)
+        assert archiver.event_count() == n
+
+    def test_renewal_survives_publisher_outage(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, lease=60.0)
+        network.set_host_up(a.gateway.host, False)
+        network.clock.advance(100.0)
+        assert archiver.stats["renewal_failures"] >= 1
+        network.set_host_up(a.gateway.host, True)
+        # Renewals resume once the publisher is back (subscription may
+        # have lease-expired server-side; the archiver keeps trying).
+        network.clock.advance(100.0)
+
+
+class TestWithAlertRules:
+    def test_alert_events_archived_across_wan(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, name_prefix="alert.")
+        a.gateway.alerts.add_rule(
+            AlertRule(
+                name="always",
+                urls=[a.url_for("snmp")],
+                sql="SELECT HostName FROM Processor WHERE CPUCount >= 1",
+                period=20.0,
+                rearm_after=0.0,
+                use_cache=False,
+            )
+        )
+        network.clock.advance(60.0)
+        result = archiver.query(
+            "SELECT COUNT(*) FROM events WHERE name = 'alert.always'"
+        )
+        assert result.rows[0][0] >= 2

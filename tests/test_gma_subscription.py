@@ -1,0 +1,154 @@
+"""Unit tests for inter-gateway event subscriptions (paper §3.1.5)."""
+
+import pytest
+
+from repro.agents import snmp as wire
+from repro.core.events import Event
+from repro.gma.subscription import (
+    EventPublisher,
+    EventSubscriber,
+    decode_event,
+    encode_event,
+)
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network
+from repro.testbed import build_site
+
+
+@pytest.fixture
+def rig():
+    clock = VirtualClock()
+    network = Network(clock, seed=71)
+    site = build_site(
+        network,
+        name="pub",
+        n_hosts=2,
+        agents=("snmp",),
+        seed=71,
+        snmp_trap_threshold=0.0,  # every threshold check fires a trap
+    )
+    publisher = EventPublisher(site.gateway)
+    network.add_host("consumer-box", site="elsewhere")
+    subscriber = EventSubscriber(network, "consumer-box")
+    return network, site, publisher, subscriber
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        event = Event("h", "load.high", "warning", 12.5, {"k": 1}, "snmp-trap")
+        assert decode_event(encode_event(event)) == event
+
+    def test_garbage_rejected(self):
+        assert decode_event("nope") is None
+        assert decode_event({"kind": "other"}) is None
+        assert decode_event({"kind": "gridrm-event"}) is None  # missing fields
+
+
+class TestSubscription:
+    def test_events_flow_to_subscriber(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        subscriber.subscribe(publisher.address)
+        network.clock.advance(120.0)  # traps fire, pump runs, pushes flow
+        assert got
+        assert got[0].name == "load.high"
+        assert publisher.stats["published"] == len(got)
+
+    def test_name_prefix_filter(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        subscriber.subscribe(publisher.address, name_prefix="nonexistent.")
+        network.clock.advance(120.0)
+        assert got == []
+
+    def test_source_host_filter(self, rig):
+        network, site, publisher, subscriber = rig
+        target = site.host_names()[0]
+        got = []
+        subscriber.on_event(got.append)
+        subscriber.subscribe(publisher.address, source_host=target)
+        network.clock.advance(120.0)
+        assert got and all(e.source_host == target for e in got)
+
+    def test_unsubscribe_stops_flow(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        sid = subscriber.subscribe(publisher.address)
+        network.clock.advance(60.0)
+        n = len(got)
+        assert subscriber.unsubscribe(publisher.address, sid)
+        network.clock.advance(60.0)
+        assert len(got) == n
+
+    def test_unsubscribe_unknown_id(self, rig):
+        network, site, publisher, subscriber = rig
+        assert not subscriber.unsubscribe(publisher.address, 999)
+
+
+class TestLeases:
+    def test_expired_lease_stops_delivery_and_sweeps(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        subscriber.subscribe(publisher.address, lease=30.0)
+        network.clock.advance(29.0)
+        during_lease = len(got)
+        network.clock.advance(120.0)
+        assert len(got) == during_lease
+        assert publisher.subscriber_count() == 0  # swept
+        assert publisher.stats["expired"] == 1
+
+    def test_renew_extends_lease(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        sid = subscriber.subscribe(publisher.address, lease=30.0)
+        network.clock.advance(25.0)
+        assert subscriber.renew(publisher.address, sid, 300.0)
+        n = len(got)
+        network.clock.advance(60.0)
+        assert len(got) > n
+
+    def test_renew_unknown_id(self, rig):
+        network, site, publisher, subscriber = rig
+        assert not subscriber.renew(publisher.address, 12345, 10.0)
+
+
+class TestGatewayToGateway:
+    def test_alerts_propagate_to_remote_gateway(self):
+        """A site-b operator subscribes to site-a's gateway alerts —
+        the paper's inter-gateway event propagation, using the alert
+        monitor as the event source."""
+        from repro.core.alerts import AlertRule
+
+        clock = VirtualClock()
+        network = Network(clock, seed=72)
+        a = build_site(network, name="prod", n_hosts=2, agents=("snmp",), seed=1)
+        b = build_site(network, name="noc", n_hosts=1, agents=("snmp",), seed=2)
+        clock.advance(10.0)
+
+        publisher = EventPublisher(a.gateway)
+        subscriber = EventSubscriber(network, b.gateway.host, port=8402)
+        remote_events = []
+        subscriber.on_event(remote_events.append)
+        subscriber.subscribe(publisher.address, name_prefix="alert.")
+
+        a.gateway.alerts.add_rule(
+            AlertRule(
+                name="cpu-busy",
+                urls=[a.url_for("snmp")],
+                sql="SELECT HostName, CPUUtilization FROM Processor "
+                    "WHERE CPUUtilization >= 0",
+                period=15.0,
+                use_cache=False,
+                rearm_after=0.0,
+            )
+        )
+        clock.advance(40.0)
+        assert remote_events
+        assert remote_events[0].name == "alert.cpu-busy"
+        # The event crossed the WAN: source is in site 'prod'.
+        assert network.site_of(remote_events[0].source_host) == "prod"

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic host model."""
+
+import pytest
+
+from repro.agents.host_model import HostSpec, SimulatedHost
+from repro.simnet.clock import VirtualClock
+
+
+@pytest.fixture
+def host():
+    return SimulatedHost(HostSpec.generate("n0", "site-a", 42), VirtualClock())
+
+
+class TestSpecGeneration:
+    def test_deterministic(self):
+        a = HostSpec.generate("n0", "s", 1)
+        b = HostSpec.generate("n0", "s", 1)
+        assert a == b
+
+    def test_name_changes_spec(self):
+        a = HostSpec.generate("n0", "s", 1)
+        b = HostSpec.generate("n1", "s", 1)
+        assert a.seed != b.seed
+
+    def test_seed_changes_spec(self):
+        a = HostSpec.generate("n0", "s", 1)
+        b = HostSpec.generate("n0", "s", 2)
+        assert a.seed != b.seed
+
+    def test_plausible_hardware(self, host):
+        s = host.spec
+        assert s.cpu_count in (1, 2, 4, 8)
+        assert s.ram_mb >= 256
+        assert s.filesystems
+        assert s.ip_address.startswith("192.168.")
+
+
+class TestSnapshotInvariants:
+    TIMES = [0.0, 37.5, 600.0, 3600.0, 90000.0]
+
+    @pytest.mark.parametrize("t", TIMES)
+    def test_utilization_bounded(self, host, t):
+        cpu = host.snapshot(t)["cpu"]
+        assert 0.0 <= cpu["utilization"] <= 100.0
+        assert 0.0 <= cpu["idle"] <= 100.0
+        assert cpu["user"] + cpu["system"] == pytest.approx(cpu["utilization"])
+
+    @pytest.mark.parametrize("t", TIMES)
+    def test_loads_non_negative(self, host, t):
+        cpu = host.snapshot(t)["cpu"]
+        assert cpu["load_1"] >= 0 and cpu["load_5"] >= 0 and cpu["load_15"] >= 0
+
+    @pytest.mark.parametrize("t", TIMES)
+    def test_memory_bounded(self, host, t):
+        mem = host.snapshot(t)["memory"]
+        assert 0 <= mem["ram_free_mb"] <= mem["ram_total_mb"]
+        assert 0 <= mem["swap_free_mb"] <= mem["swap_total_mb"]
+
+    @pytest.mark.parametrize("t", TIMES)
+    def test_filesystem_bounded(self, host, t):
+        for fs in host.snapshot(t)["filesystems"]:
+            assert 0 <= fs["avail_mb"] <= fs["size_mb"]
+
+    def test_network_counters_monotone(self, host):
+        prev_rx = prev_tx = -1
+        for t in self.TIMES:
+            net = host.snapshot(t)["network"]
+            assert net["bytes_rx"] >= prev_rx
+            assert net["bytes_tx"] >= prev_tx
+            prev_rx, prev_tx = net["bytes_rx"], net["bytes_tx"]
+
+    def test_uptime_advances_with_clock(self, host):
+        u0 = host.snapshot(0.0)["os"]["uptime_s"]
+        u1 = host.snapshot(100.0)["os"]["uptime_s"]
+        assert u1 - u0 == pytest.approx(100.0)
+
+    def test_snapshot_pure_function_of_time(self, host):
+        assert host.snapshot(123.4) == host.snapshot(123.4)
+
+    def test_snapshot_defaults_to_clock_now(self, host):
+        host.clock.advance(55.0)
+        assert host.snapshot()["time"] == 55.0
+
+    def test_process_count_positive(self, host):
+        for t in self.TIMES:
+            assert host.snapshot(t)["os"]["process_count"] >= 1
+
+    def test_processes_have_expected_shape(self, host):
+        procs = host.snapshot(60.0)["processes"]
+        assert procs
+        for p in procs:
+            assert set(p) == {"pid", "name", "state", "cpu_percent", "mem_percent", "owner"}
+
+
+class TestLoadDynamics:
+    def test_load_varies_over_time(self, host):
+        loads = {round(host.load_at(t), 6) for t in range(0, 3600, 120)}
+        assert len(loads) > 5  # not constant
+
+    def test_episodes_create_bursts(self):
+        """Across many windows, at least one episode burst must appear."""
+        host = SimulatedHost(HostSpec.generate("burst", "s", 3), VirtualClock())
+        base = host.spec.base_load
+        peak = max(host.load_at(t) for t in range(0, 36000, 60))
+        assert peak > base  # bursts push above the baseline
+
+    def test_load_average_smoother_than_instantaneous(self, host):
+        import statistics
+
+        inst = [host.load_at(float(t)) for t in range(0, 3600, 60)]
+        avg15 = [host._load_avg(float(t), 900.0) for t in range(0, 3600, 60)]
+        assert statistics.pstdev(avg15) <= statistics.pstdev(inst) + 1e-9

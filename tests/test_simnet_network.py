@@ -1,0 +1,217 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.simnet.clock import VirtualClock
+from repro.simnet.errors import (
+    HostUnreachableError,
+    PortClosedError,
+    TimeoutError_,
+)
+from repro.simnet.link import LAN, WAN, LinkModel
+from repro.simnet.network import Address, Network
+
+
+@pytest.fixture
+def net():
+    clock = VirtualClock()
+    network = Network(clock, seed=3)
+    network.add_host("a", site="s1")
+    network.add_host("b", site="s1")
+    network.add_host("c", site="s2")
+    return network
+
+
+def echo(payload, src):
+    return ("echo", payload)
+
+
+class TestTopology:
+    def test_add_host_idempotent_same_site(self, net):
+        net.add_host("a", site="s1")  # no error
+
+    def test_add_host_conflicting_site_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.add_host("a", site="other")
+
+    def test_hosts_filter_by_site(self, net):
+        assert net.hosts(site="s1") == ["a", "b"]
+        assert net.hosts(site="s2") == ["c"]
+
+    def test_site_of(self, net):
+        assert net.site_of("c") == "s2"
+
+    def test_unknown_host_raises_keyerror(self, net):
+        with pytest.raises(KeyError):
+            net.site_of("nope")
+
+    def test_double_bind_rejected(self, net):
+        net.listen(Address("a", 1), echo)
+        with pytest.raises(ValueError):
+            net.listen(Address("a", 1), echo)
+
+    def test_close_unbinds(self, net):
+        net.listen(Address("a", 1), echo)
+        net.close(Address("a", 1))
+        assert not net.is_listening(Address("a", 1))
+
+    def test_listen_requires_existing_host(self, net):
+        with pytest.raises(KeyError):
+            net.listen(Address("ghost", 1), echo)
+
+
+class TestRequest:
+    def test_roundtrip(self, net):
+        net.listen(Address("b", 9), echo)
+        assert net.request("a", Address("b", 9), "hi") == ("echo", "hi")
+
+    def test_request_advances_clock(self, net):
+        net.listen(Address("b", 9), echo)
+        before = net.clock.now()
+        net.request("a", Address("b", 9), "hi")
+        assert net.clock.now() > before
+
+    def test_intersite_slower_than_intrasite(self, net):
+        net.listen(Address("b", 9), echo)
+        net.listen(Address("c", 9), echo)
+        t0 = net.clock.now()
+        net.request("a", Address("b", 9), "x")
+        lan_cost = net.clock.now() - t0
+        t1 = net.clock.now()
+        net.request("a", Address("c", 9), "x")
+        wan_cost = net.clock.now() - t1
+        assert wan_cost > lan_cost * 10
+
+    def test_unknown_destination_unreachable(self, net):
+        with pytest.raises(HostUnreachableError):
+            net.request("a", Address("ghost", 9), "x", timeout=0.1)
+
+    def test_unreachable_costs_full_timeout(self, net):
+        t0 = net.clock.now()
+        with pytest.raises(HostUnreachableError):
+            net.request("a", Address("ghost", 9), "x", timeout=0.5)
+        assert net.clock.now() - t0 == pytest.approx(0.5)
+
+    def test_down_host_unreachable(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_host_up("b", False)
+        with pytest.raises(HostUnreachableError):
+            net.request("a", Address("b", 9), "x", timeout=0.1)
+
+    def test_revived_host_answers_again(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_host_up("b", False)
+        with pytest.raises(HostUnreachableError):
+            net.request("a", Address("b", 9), "x", timeout=0.1)
+        net.set_host_up("b", True)
+        assert net.request("a", Address("b", 9), "x") == ("echo", "x")
+
+    def test_closed_port_refused(self, net):
+        with pytest.raises(PortClosedError):
+            net.request("a", Address("b", 12345), "x")
+
+    def test_lossy_host_times_out_eventually(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_extra_loss("b", 0.9)
+        with pytest.raises(TimeoutError_):
+            for _ in range(200):
+                net.request("a", Address("b", 9), "x", timeout=0.05)
+
+    def test_stats_count_requests(self, net):
+        net.listen(Address("b", 9), echo)
+        net.stats.reset()
+        net.request("a", Address("b", 9), "x")
+        net.request("a", Address("b", 9), "x")
+        assert net.stats.requests == 2
+        assert net.stats.bytes_sent > 0
+
+
+class TestPartition:
+    def test_partition_blocks_cross_group(self, net):
+        net.listen(Address("c", 9), echo)
+        net.partition({"a", "b"}, {"c"})
+        with pytest.raises(HostUnreachableError):
+            net.request("a", Address("c", 9), "x", timeout=0.1)
+
+    def test_partition_allows_within_group(self, net):
+        net.listen(Address("b", 9), echo)
+        net.partition({"a", "b"}, {"c"})
+        assert net.request("a", Address("b", 9), "x") == ("echo", "x")
+
+    def test_heal_restores_connectivity(self, net):
+        net.listen(Address("c", 9), echo)
+        net.partition({"a", "b"}, {"c"})
+        net.heal()
+        assert net.request("a", Address("c", 9), "x") == ("echo", "x")
+
+    def test_unlisted_host_isolated(self, net):
+        net.listen(Address("b", 9), echo)
+        net.partition({"a"})
+        with pytest.raises(HostUnreachableError):
+            net.request("a", Address("b", 9), "x", timeout=0.1)
+
+
+class TestDatagram:
+    def test_delivery_after_delay(self, net):
+        got = []
+        net.listen(Address("b", 5), echo, datagram_handler=lambda p, s: got.append(p))
+        net.send("a", Address("b", 5), "trap")
+        assert got == []  # in flight
+        net.clock.advance(1.0)
+        assert got == ["trap"]
+
+    def test_send_to_down_host_dropped_silently(self, net):
+        net.set_host_up("b", False)
+        net.send("a", Address("b", 5), "trap")
+        net.clock.advance(1.0)
+        assert net.stats.drops == 1
+
+    def test_send_to_unbound_port_dropped_at_delivery(self, net):
+        net.send("a", Address("b", 5), "trap")
+        net.clock.advance(1.0)
+        assert net.stats.drops == 1
+
+    def test_host_dying_in_flight_drops(self, net):
+        got = []
+        net.listen(Address("b", 5), echo, datagram_handler=lambda p, s: got.append(p))
+        net.send("a", Address("b", 5), "trap")
+        net.set_host_up("b", False)
+        net.clock.advance(1.0)
+        assert got == []
+
+
+class TestLinkModel:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(base_latency=-1)
+        with pytest.raises(ValueError):
+            LinkModel(loss=1.0)
+        with pytest.raises(ValueError):
+            LinkModel(jitter=-0.1)
+
+    def test_bandwidth_charges_large_payloads(self, net):
+        import random
+
+        link = LinkModel(base_latency=0.001, bandwidth=1000.0)
+        rng = random.Random(0)
+        small = link.delay(10, rng)
+        large = link.delay(10_000, rng)
+        assert large > small + 9.0  # ~10s extra at 1000 B/s
+
+    def test_link_for_same_site_is_lan(self, net):
+        assert net.link_for("a", "b") is LAN
+        assert net.link_for("a", "c") is WAN
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            clock = VirtualClock()
+            n = Network(clock, seed=seed)
+            n.add_host("x", site="s")
+            n.add_host("y", site="s")
+            n.listen(Address("y", 1), echo)
+            for _ in range(10):
+                n.request("x", Address("y", 1), "p")
+            return clock.now()
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

@@ -1,0 +1,103 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.errors import SqlParseError
+from repro.sql.lexer import Lexer, TokenType
+
+
+def toks(text):
+    return [(t.type, t.value) for t in Lexer(text).tokens()[:-1]]  # drop EOF
+
+
+class TestKeywordsAndIdents:
+    def test_keywords_case_insensitive(self):
+        assert toks("select")[0] == (TokenType.KEYWORD, "SELECT")
+        assert toks("SeLeCt")[0] == (TokenType.KEYWORD, "SELECT")
+
+    def test_identifiers_preserve_case(self):
+        assert toks("LoadAverage1Min")[0] == (TokenType.IDENT, "LoadAverage1Min")
+
+    def test_underscore_identifiers(self):
+        assert toks("_host")[0] == (TokenType.IDENT, "_host")
+
+    def test_keyword_prefix_is_ident(self):
+        # "selection" starts with "select" but is one identifier.
+        assert toks("selection") == [(TokenType.IDENT, "selection")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert toks("42") == [(TokenType.NUMBER, "42")]
+
+    def test_float(self):
+        assert toks("3.14") == [(TokenType.NUMBER, "3.14")]
+
+    def test_leading_dot_float(self):
+        assert toks(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_exponent(self):
+        assert toks("1e-3") == [(TokenType.NUMBER, "1e-3")]
+
+    def test_exponent_without_digits_not_consumed(self):
+        # "1e" is number 1 followed by identifier e.
+        assert toks("1e") == [(TokenType.NUMBER, "1"), (TokenType.IDENT, "e")]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert toks("'abc'") == [(TokenType.STRING, "abc")]
+
+    def test_double_quoted(self):
+        assert toks('"abc"') == [(TokenType.STRING, "abc")]
+
+    def test_escaped_quote_doubling(self):
+        assert toks("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert toks("''") == [(TokenType.STRING, "")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlParseError):
+            toks("'oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_each_operator(self, op):
+        assert toks(op) == [(TokenType.OPERATOR, op)]
+
+    def test_two_char_operators_not_split(self):
+        assert toks("a<=b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_punct(self):
+        assert toks("(a, b);") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.IDENT, "a"),
+            (TokenType.PUNCT, ","),
+            (TokenType.IDENT, "b"),
+            (TokenType.PUNCT, ")"),
+            (TokenType.PUNCT, ";"),
+        ]
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(SqlParseError) as err:
+            toks("a @ b")
+        assert err.value.position == 2
+
+
+class TestWhole:
+    def test_full_query(self):
+        values = [v for _, v in toks("SELECT * FROM Processor WHERE LoadAverage1Min > 1.5")]
+        assert values == ["SELECT", "*", "FROM", "Processor", "WHERE", "LoadAverage1Min", ">", "1.5"]
+
+    def test_whitespace_insensitive(self):
+        assert toks("a   \n\t b") == [(TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_eof_token_terminates(self):
+        all_toks = Lexer("a").tokens()
+        assert all_toks[-1].type is TokenType.EOF

@@ -1,0 +1,170 @@
+"""Unit tests for the management console (Figures 6-9)."""
+
+import pytest
+
+from repro.core.request_manager import QueryMode
+from repro.web.console import (
+    Console,
+    ICON_EVENT,
+    ICON_FAILED,
+    ICON_FRESH,
+    ICON_NEVER,
+    ICON_STALE,
+)
+
+
+@pytest.fixture
+def console(site):
+    return Console(site.gateway)
+
+
+class TestTreeView:
+    def test_lists_all_sources(self, site, console):
+        tree = console.tree_view()
+        for url in site.source_urls:
+            assert url in tree
+
+    def test_never_polled_icon(self, console):
+        assert ICON_NEVER in console.tree_view()
+
+    def test_fresh_after_poll(self, site, console):
+        console.poll(site.url_for("snmp"))
+        tree = console.tree_view()
+        assert ICON_FRESH in tree
+
+    def test_stale_after_ttl(self, site, console):
+        console.poll(site.url_for("snmp"))
+        site.clock.advance(site.gateway.cache.ttl + 5.0)
+        assert ICON_STALE in console.tree_view()
+
+    def test_failed_icon_and_error_line(self, site, console):
+        dead = site.host_names()[0]
+        site.network.set_host_up(dead, False)
+        console.poll(site.url_for("snmp", host=dead))
+        tree = console.tree_view()
+        assert ICON_FAILED in tree
+        assert "error:" in tree
+
+    def test_event_icon(self, site, console):
+        from repro.core.events import Event
+
+        gw = site.gateway
+        host = site.host_names()[0]
+        gw.events.recent.append(
+            Event(source_host=host, name="load.high", severity="warning", time=site.clock.now())
+        )
+        assert ICON_EVENT in console.tree_view()
+
+    def test_cached_rows_shown_with_group_and_age(self, site, console):
+        console.poll(site.url_for("ganglia"), "SELECT * FROM Processor")
+        tree = console.tree_view()
+        assert "cached: Processor rows=3" in tree
+
+    def test_refresh_is_cache_only(self, site, console):
+        """Figure 9: refresh must not poll agents."""
+        console.poll_all()
+        site.network.stats.reset()
+        console.refresh()
+        assert site.network.stats.requests == 0
+
+    def test_empty_gateway_renders(self, site):
+        from repro.core.gateway import Gateway
+
+        empty = Gateway(site.network, "empty-gw", site="elsewhere")
+        assert "no data sources" in Console(empty).tree_view()
+
+
+class TestPoll:
+    def test_poll_is_realtime(self, site, console):
+        r1 = console.poll(site.url_for("snmp"))
+        r2 = console.poll(site.url_for("snmp"))
+        assert not r1.statuses[0].from_cache
+        assert not r2.statuses[0].from_cache
+
+    def test_poll_repopulates_cache_for_other_users(self, site, console):
+        console.poll(site.url_for("snmp"))
+        r = site.gateway.query(
+            site.url_for("snmp"), "SELECT * FROM Host", mode=QueryMode.CACHED_OK
+        )
+        assert r.statuses[0].from_cache
+
+    def test_poll_all_touches_every_source(self, site, console):
+        results = console.poll_all()
+        assert len(results) == len(site.source_urls)
+
+
+class TestDriverPanel:
+    def test_lists_registered_drivers(self, console):
+        panel = console.driver_panel()
+        assert "JDBC-SNMP" in panel and "JDBC-Ganglia" in panel
+
+    def test_shows_preferences(self, site, console):
+        site.gateway.set_driver_preference(site.url_for("snmp"), ["JDBC-SNMP"])
+        assert "JDBC-SNMP" in console.driver_panel().split("preferences:")[-1]
+
+    def test_shows_failure_policy(self, console):
+        assert "dynamic" in console.driver_panel()
+
+
+class TestAlertsPanel:
+    def test_empty_panel(self, console):
+        assert "(none installed)" in console.alerts_panel()
+
+    def test_quiet_rule_listed(self, site, console):
+        from repro.core.alerts import AlertRule
+
+        site.gateway.alerts.add_rule(
+            AlertRule(
+                name="quiet",
+                urls=[site.url_for("snmp")],
+                sql="SELECT HostName FROM Processor WHERE LoadAverage1Min > 1e9",
+                period=10.0,
+            )
+        )
+        panel = console.alerts_panel()
+        assert "quiet" in panel and "[quiet]" in panel
+
+    def test_firing_rule_shows_hosts(self, site, console):
+        from repro.core.alerts import AlertRule
+
+        site.gateway.alerts.add_rule(
+            AlertRule(
+                name="hot",
+                urls=[site.url_for("snmp")],
+                sql="SELECT HostName FROM Processor WHERE CPUCount >= 1",
+                period=10.0,
+                use_cache=False,
+                rearm_after=1e9,
+            )
+        )
+        site.clock.advance(11.0)
+        panel = console.alerts_panel()
+        assert "FIRING on" in panel
+        assert "Recent alert events:" in panel
+
+    def test_servlet_alerts_route(self, site, console):
+        from repro.web.servlet import GatewayServlet, http_get
+
+        servlet = GatewayServlet(site.gateway, port=8090)
+        code, body = http_get(
+            site.network, site.host_names()[0], servlet.address, "/alerts"
+        )
+        assert code == 200 and "Alert rules:" in body
+
+
+class TestPlot:
+    def test_plot_needs_data(self, console):
+        out = console.plot("Processor", "LoadAverage1Min")
+        assert "not enough recorded data" in out
+
+    def test_plot_renders_series(self, site, console):
+        for _ in range(12):
+            console.poll(site.url_for("snmp"), "SELECT * FROM Processor")
+            site.clock.advance(10.0)
+        out = console.plot("Processor", "LoadAverage1Min", host=site.host_names()[0])
+        assert "*" in out and "Processor.LoadAverage1Min" in out
+
+    def test_html_rendering(self, site, console):
+        console.poll_all()
+        html = console.html()
+        assert html.startswith("<html>") and "GridRM" in html

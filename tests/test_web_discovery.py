@@ -1,0 +1,63 @@
+"""Unit tests for network-scan data-source discovery (paper §4)."""
+
+import pytest
+
+from repro.core.gateway import Gateway
+from repro.web.discovery import discover_sources
+from repro.simnet.clock import VirtualClock
+from repro.simnet.network import Network
+from repro.testbed import build_site
+
+
+@pytest.fixture
+def rig():
+    clock = VirtualClock()
+    network = Network(clock, seed=51)
+    site = build_site(network, name="disco", n_hosts=3, agents=("snmp", "ganglia"), seed=3)
+    clock.advance(10.0)
+    return network, site
+
+
+class TestDiscovery:
+    def test_blank_gateway_discovers_site_agents(self, rig):
+        network, site = rig
+        blank = Gateway(network, "blank-gw", site="disco")
+        hits = discover_sources(blank, add=False)
+        protocols = {h.protocol for h in hits}
+        assert protocols == {"snmp", "ganglia"}
+        snmp_hosts = {h.host for h in hits if h.protocol == "snmp"}
+        assert snmp_hosts == set(site.host_names())
+
+    def test_add_registers_sources(self, rig):
+        network, site = rig
+        blank = Gateway(network, "blank-gw", site="disco")
+        hits = discover_sources(blank, add=True)
+        assert len(blank.sources()) == len(hits)
+
+    def test_explicit_host_range(self, rig):
+        network, site = rig
+        blank = Gateway(network, "blank-gw", site="disco")
+        one = site.host_names()[0]
+        hits = discover_sources(blank, hosts=[one], add=False)
+        assert all(h.host == one for h in hits)
+
+    def test_down_host_skipped_without_error(self, rig):
+        network, site = rig
+        blank = Gateway(network, "blank-gw", site="disco")
+        network.set_host_up(site.host_names()[1], False)
+        hits = discover_sources(blank, add=False)
+        assert site.host_names()[1] not in {h.host for h in hits}
+
+    def test_gateway_itself_not_scanned(self, rig):
+        network, site = rig
+        blank = Gateway(network, "blank-gw", site="disco")
+        hits = discover_sources(blank, add=False)
+        assert "blank-gw" not in {h.host for h in hits}
+
+    def test_discovered_urls_are_queryable(self, rig):
+        network, site = rig
+        blank = Gateway(network, "blank-gw", site="disco")
+        hits = discover_sources(blank, add=True)
+        snmp_hit = next(h for h in hits if h.protocol == "snmp")
+        result = blank.query(snmp_hit.url, "SELECT HostName FROM Host")
+        assert result.ok_sources == 1
