@@ -39,6 +39,8 @@ def build(action: FailureAction, retries: int = 1):
         failure_retries=retries,
         pool_enabled=False,        # every query re-selects: stress the policy
         query_cache_ttl=0.0,
+        breaker_enabled=False,     # E10 measures the *within-query* policies;
+                                   # the cross-query breaker is E13's subject
     )
     gw = Gateway(network, "e10-gw", site="e10", policy=policy, install_event_drivers=False)
     hosts = []
@@ -122,6 +124,7 @@ def test_e10_flaky_network_retry_helps(benchmark, report):
             pool_enabled=False,
             query_cache_ttl=0.0,
             default_query_timeout=0.05,
+            breaker_enabled=False,  # isolate the retry budget from the breaker
         )
         gw = Gateway(network, "gw", site="e10b", policy=policy, install_event_drivers=False)
         network.add_host("flaky", site="e10b")

@@ -7,6 +7,7 @@ everything is simulated) and exercises it:
 * ``query``     — run one SQL query against a chosen agent kind;
 * ``tree``      — print the tree view after polling all sources;
 * ``discover``  — network-scan discovery from a blank gateway;
+* ``health``    — poll all sources and print the breaker scoreboard;
 * ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
 * ``experiments`` — list the DESIGN.md experiment index and how to run it.
 """
@@ -96,6 +97,24 @@ def cmd_discover(args) -> int:
     return 0
 
 
+def cmd_health(args) -> int:
+    network, site = _build(args)
+    console = Console(site.gateway)
+    for host in args.fail:
+        try:
+            site.fail_host(host)
+        except KeyError:
+            known = ", ".join(site.host_names())
+            print(f"error: --fail {host}: no such host (have: {known})", file=sys.stderr)
+            return 2
+    rounds = max(1, args.rounds)
+    for _ in range(rounds):
+        console.poll_all()
+        network.clock.advance(args.warmup or 30.0)
+    print(console.health_panel())
+    return 0
+
+
 def cmd_schema(args) -> int:
     from repro.glue.render import schema_to_xml
     from repro.glue.schema import STANDARD_SCHEMA
@@ -170,6 +189,20 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("discover", help="network-scan for data sources")
     _add_common(p)
     p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser("health", help="print the circuit-breaker scoreboard")
+    _add_common(p)
+    p.add_argument(
+        "--fail",
+        action="append",
+        default=[],
+        metavar="HOST",
+        help="take this host down before polling (repeatable)",
+    )
+    p.add_argument(
+        "--rounds", type=int, default=3, help="poll rounds before reporting"
+    )
+    p.set_defaults(func=cmd_health)
 
     p = sub.add_parser("schema", help="print the GLUE schema")
     p.add_argument("--xml", action="store_true", help="XML rendering")

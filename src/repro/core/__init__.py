@@ -18,6 +18,8 @@ Composition, top to bottom, mirroring paper Figure 2/3:
 * :mod:`repro.core.history` — the gateway's internal historical database.
 * :mod:`repro.core.cache` — CacheController backing the tree view and
   inter-gateway scalability.
+* :mod:`repro.core.health` — per-source circuit breakers: exponential
+  backoff, pool quarantine and stale-result graceful degradation.
 * :mod:`repro.core.gateway` — the Gateway that wires it all together.
 """
 
@@ -27,7 +29,9 @@ from repro.core.errors import (
     SessionError,
     NoSuitableDriverError,
     DataSourceError,
+    SourceQuarantinedError,
 )
+from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.policy import GatewayPolicy, FailureAction
 from repro.core.security import (
     Principal,
@@ -41,7 +45,11 @@ from repro.core.schema_manager import SchemaManager
 from repro.core.cache import CacheController, CachedResult
 from repro.core.history import HistoryStore
 from repro.core.connection_manager import ConnectionManager, PooledConnection
-from repro.core.driver_manager import GridRmDriverManager, DriverPreference
+from repro.core.driver_manager import (
+    GridRmDriverManager,
+    DriverPreference,
+    RestoreReport,
+)
 from repro.core.events import Event, EventManager, SnmpTrapEventDriver
 from repro.core.alerts import AlertMonitor, AlertRule
 from repro.core.request_manager import RequestManager, QueryMode, QueryResult
@@ -53,6 +61,10 @@ __all__ = [
     "SessionError",
     "NoSuitableDriverError",
     "DataSourceError",
+    "SourceQuarantinedError",
+    "BreakerState",
+    "HealthTracker",
+    "SourceHealth",
     "GatewayPolicy",
     "FailureAction",
     "Principal",
@@ -70,6 +82,7 @@ __all__ = [
     "PooledConnection",
     "GridRmDriverManager",
     "DriverPreference",
+    "RestoreReport",
     "Event",
     "EventManager",
     "SnmpTrapEventDriver",

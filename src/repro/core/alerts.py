@@ -153,7 +153,7 @@ class AlertMonitor:
                 fields={k: v for k, v in row.items() if v is not None},
                 native_kind="gateway-alert",
             )
-            gw.events._dispatch(event)
+            gw.events.emit(event)
             emitted += 1
             self.stats["events_emitted"] += 1
         # Re-arm hosts whose condition has been clear long enough.

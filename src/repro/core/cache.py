@@ -76,6 +76,18 @@ class CacheController:
         self.hits += 1
         return entry
 
+    def lookup_stale(self, source_url: str, sql: str) -> Optional[CachedResult]:
+        """The last result for this query regardless of age.
+
+        Graceful-degradation path: when a source's circuit breaker is
+        OPEN the gateway would rather answer with whatever it last saw
+        (flagged degraded) than with an error.  Does not count as a hit
+        or a miss — it is outside the freshness contract.  Entries only
+        vanish via :meth:`invalidate`/:meth:`sweep`, so keep the periodic
+        sweep off sources you want stale answers for.
+        """
+        return self._entries.get(self.key(source_url, sql))
+
     def store(
         self, source_url: str, sql: str, columns: list[str], rows: list[list[Any]]
     ) -> CachedResult:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 from repro.core.driver_manager import GridRmDriverManager
+from repro.core.health import BreakerState, HealthTracker
 from repro.core.policy import GatewayPolicy
 from repro.dbapi.url import JdbcUrl
 from repro.drivers.base import GridRmConnection
@@ -55,10 +56,14 @@ class ConnectionManager:
         driver_manager: GridRmDriverManager,
         clock: VirtualClock,
         policy: GatewayPolicy,
+        *,
+        health: HealthTracker | None = None,
     ) -> None:
         self.driver_manager = driver_manager
         self.clock = clock
         self.policy = policy
+        #: Shared per-source circuit breakers (injected by the Gateway).
+        self.health = health
         self._idle: dict[str, list[PooledConnection]] = {}
         self.stats = {
             "acquires": 0,
@@ -67,6 +72,8 @@ class ConnectionManager:
             "revalidated": 0,
             "evicted_invalid": 0,
             "evicted_capacity": 0,
+            "evicted_unhealthy": 0,
+            "quarantined": 0,
         }
 
     # ------------------------------------------------------------------
@@ -76,7 +83,10 @@ class ConnectionManager:
         """An open connection to ``url`` — pooled when possible."""
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
         self.stats["acquires"] += 1
-        if self.policy.pool_enabled:
+        quarantined = self.health is not None and self.health.is_quarantined(
+            _pool_key(url)
+        )
+        if self.policy.pool_enabled and not quarantined:
             key = _pool_key(url)
             idle = self._idle.get(key, [])
             now = self.clock.now()
@@ -99,13 +109,32 @@ class ConnectionManager:
         return self.driver_manager.open_connection(url, info)
 
     def release(self, connection: GridRmConnection) -> None:
-        """Return a connection to its pool (or close it)."""
+        """Return a connection to its pool (or close it).
+
+        Connections are validated before pooling: a connection whose
+        source just failed — breaker OPEN, or any recent failure on
+        record and the live probe now fails — is closed rather than
+        handed to the next caller.  Healthy sources skip the probe, so
+        the pool's whole point (no per-query native traffic) survives.
+        """
         if connection.is_closed():
             return
         if not self.policy.pool_enabled:
             connection.close()
             return
         key = _pool_key(connection.url)
+        if self.health is not None:
+            entry = self.health.health(key)
+            if self.health.is_quarantined(key):
+                self.stats["quarantined"] += 1
+                connection.close()
+                return
+            if entry.state is not BreakerState.CLOSED or entry.consecutive_failures:
+                # Source recently misbehaved: pay one probe before pooling.
+                if not connection.is_valid():
+                    self.stats["evicted_unhealthy"] += 1
+                    connection.close()
+                    return
         idle = self._idle.setdefault(key, [])
         if len(idle) >= self.policy.pool_max_per_source:
             self.stats["evicted_capacity"] += 1
@@ -118,6 +147,23 @@ class ConnectionManager:
     def discard(self, connection: GridRmConnection) -> None:
         """Close a connection that misbehaved instead of pooling it."""
         connection.close()
+
+    def quarantine(self, url: JdbcUrl | str) -> int:
+        """Drop and close every idle connection of one source.
+
+        Called when the source's circuit breaker trips: a pooled session
+        to a source known to be failing must never be handed to the next
+        caller.  Returns the number of connections quarantined.
+        """
+        key = str(url) if isinstance(url, str) else _pool_key(url)
+        entries = self._idle.pop(key, [])
+        n = 0
+        for entry in entries:
+            if not entry.connection.is_closed():
+                entry.connection.close()
+                n += 1
+        self.stats["quarantined"] += n
+        return n
 
     @contextmanager
     def connection(
@@ -144,11 +190,14 @@ class ConnectionManager:
         return len(self._idle.get(_pool_key(url), []))
 
     def close_all(self) -> int:
-        """Drain every pool (gateway shutdown); returns connections closed."""
+        """Drain every pool (gateway shutdown); returns connections
+        actually closed — entries something else already closed under us
+        are drained but not counted."""
         n = 0
         for entries in self._idle.values():
             for entry in entries:
-                entry.connection.close()
-                n += 1
+                if not entry.connection.is_closed():
+                    entry.connection.close()
+                    n += 1
         self._idle.clear()
         return n

@@ -27,7 +27,12 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, MutableMapping, Optional
 
-from repro.core.errors import DataSourceError, NoSuitableDriverError
+from repro.core.errors import (
+    DataSourceError,
+    NoSuitableDriverError,
+    SourceQuarantinedError,
+)
+from repro.core.health import HealthTracker
 from repro.core.policy import FailureAction, GatewayPolicy
 from repro.dbapi.exceptions import SQLException
 from repro.dbapi.interfaces import Driver
@@ -60,6 +65,24 @@ def load_driver(spec: str, network: Network, *, gateway_host: str) -> GridRmDriv
 
 
 @dataclass
+class RestoreReport:
+    """Outcome of :meth:`GridRmDriverManager.restore_persisted`.
+
+    Iterating the report iterates the restored drivers, so callers that
+    only care about the happy path can treat it as a list.
+    """
+
+    restored: list[GridRmDriver] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)  # (spec, error)
+
+    def __iter__(self):
+        return iter(self.restored)
+
+    def __len__(self) -> int:
+        return len(self.restored)
+
+
+@dataclass
 class DriverPreference:
     """A user's static, prioritised driver choice for one data source."""
 
@@ -82,12 +105,16 @@ class GridRmDriverManager:
         policy: GatewayPolicy,
         *,
         persistent_store: MutableMapping[str, str] | None = None,
+        health: HealthTracker | None = None,
     ) -> None:
         self.registry = registry
         self.policy = policy
         #: spec string -> display name; survives "restarts" when the
         #: caller passes the same mapping back in (paper §3.2.2).
         self.persistent_store = persistent_store if persistent_store is not None else {}
+        #: Shared per-source circuit breakers (the Gateway injects one
+        #: tracker across all managers); None disables health tracking.
+        self.health = health
         self._preferences: dict[str, DriverPreference] = {}
         self._last_driver: dict[str, Driver] = {}
         self.stats = {
@@ -96,6 +123,7 @@ class GridRmDriverManager:
             "dynamic_scans": 0,
             "failovers": 0,
             "connect_failures": 0,
+            "breaker_fast_fails": 0,
         }
 
     # ------------------------------------------------------------------
@@ -119,15 +147,32 @@ class GridRmDriverManager:
         return removed
 
     def restore_persisted(
-        self, network: Network, *, gateway_host: str
-    ) -> list[GridRmDriver]:
-        """Re-register every persisted driver spec (gateway start-up)."""
-        restored = []
-        for spec in list(self.persistent_store):
-            driver = load_driver(spec, network, gateway_host=gateway_host)
-            self.registry.register(driver)
-            restored.append(driver)
-        return restored
+        self, network: Network, *, gateway_host: str, skip_names: Any = ()
+    ) -> "RestoreReport":
+        """Re-register every persisted driver spec (gateway start-up).
+
+        A malformed or unloadable spec (renamed class, missing module,
+        corrupted store entry) must not abort start-up: it is skipped,
+        left out of the restored set, and reported in the returned
+        :class:`RestoreReport`'s ``skipped`` list for logging.
+
+        ``skip_names`` lists driver display names already live in the
+        registry (e.g. the default driver set), whose specs are left
+        alone rather than re-instantiated.
+        """
+        report = RestoreReport()
+        skip = set(skip_names)
+        for spec, stored_name in list(self.persistent_store.items()):
+            if stored_name in skip:
+                continue
+            try:
+                driver = load_driver(spec, network, gateway_host=gateway_host)
+                self.registry.register(driver)
+            except Exception as exc:  # noqa: BLE001 — any bad spec is skipped
+                report.skipped.append((spec, f"{type(exc).__name__}: {exc}"))
+                continue
+            report.restored.append(driver)
+        return report
 
     def driver_names(self) -> list[str]:
         return self.registry.driver_names()
@@ -193,8 +238,23 @@ class GridRmDriverManager:
         self, url: JdbcUrl | str, info: Mapping[str, Any] | None = None
     ) -> GridRmConnection:
         """Allocate a driver for ``url`` and open a connection, applying
-        the configured failure policy on the way."""
+        the configured failure policy on the way.
+
+        When a health tracker is attached, the source's circuit breaker
+        is consulted first: an OPEN breaker short-circuits the whole
+        selection/retry machinery with :class:`SourceQuarantinedError`
+        (no connect attempts, no retry budget spent), and connect
+        outcomes are recorded back into the tracker.
+        """
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        source_key = str(url)
+        if self.health is not None and not self.health.allow_request(source_key):
+            self.stats["breaker_fast_fails"] += 1
+            entry = self.health.health(source_key)
+            raise SourceQuarantinedError(
+                f"circuit open for {url} until t={entry.open_until:.1f}s "
+                f"(last error: {entry.last_error or 'unknown'})"
+            )
         self.stats["selections"] += 1
         candidates, only_cached = self._candidates(url)
         if not candidates:
@@ -218,6 +278,8 @@ class GridRmDriverManager:
                     continue
                 if self.policy.driver_cache_enabled:
                     self._last_driver[_url_key(url)] = driver
+                if self.health is not None:
+                    self.health.record_success(source_key)
                 return conn
             return None
 
@@ -227,6 +289,8 @@ class GridRmDriverManager:
             if conn is not None:
                 return conn
             if action is FailureAction.REPORT:
+                if self.health is not None:
+                    self.health.record_failure(source_key, str(last_error))
                 raise DataSourceError(
                     f"driver {driver.name()!r} failed for {url}: {last_error}"
                 ) from last_error
@@ -254,6 +318,8 @@ class GridRmDriverManager:
                 if conn is not None:
                     return conn
 
+        if self.health is not None:
+            self.health.record_failure(source_key, str(last_error))
         raise DataSourceError(
             f"all {len(tried)} driver(s) failed for {url} "
             f"(policy {action.value}): {last_error}"

@@ -24,5 +24,11 @@ class DataSourceError(GridRmError):
     exhausted (connect errors, timeouts, driver errors)."""
 
 
+class SourceQuarantinedError(DataSourceError):
+    """The source's circuit breaker is OPEN: the request was
+    short-circuited without touching the source (no connect attempts,
+    no retry budget spent).  Cleared by a successful HALF_OPEN probe."""
+
+
 class PolicyError(GridRmError):
     """Invalid gateway policy configuration."""

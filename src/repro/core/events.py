@@ -167,6 +167,7 @@ class EventManager:
             "spilled": 0,
             "dropped": 0,
             "transmitted": 0,
+            "internal": 0,
         }
         self._pump_timer = network.clock.call_every(drain_period, self.pump)
 
@@ -252,6 +253,17 @@ class EventManager:
             self.stats["translated"] += 1
             self._dispatch(event)
         return processed
+
+    def emit(self, event: Event) -> None:
+        """Dispatch an internally generated GridRM event.
+
+        Gateway subsystems (alert rules, circuit-breaker transitions)
+        produce events that never had a native form: they bypass the
+        ingest buffers and decode step but are recorded into history and
+        fanned out to listeners exactly like translated native events.
+        """
+        self.stats["internal"] += 1
+        self._dispatch(event)
 
     def _dispatch(self, event: Event) -> None:
         self.recent.append(event)

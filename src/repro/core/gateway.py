@@ -22,7 +22,8 @@ from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
 from repro.core.driver_manager import GridRmDriverManager
 from repro.core.errors import GridRmError
-from repro.core.events import EventManager, SnmpTrapEventDriver
+from repro.core.events import Event, EventManager, SnmpTrapEventDriver
+from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.history import HistoryStore
 from repro.core.policy import GatewayPolicy
 from repro.core.request_manager import QueryMode, QueryResult, RequestManager
@@ -85,11 +86,19 @@ class Gateway:
             schema_manager if schema_manager is not None else SchemaManager()
         )
         self.registry = DriverRegistry()
+        # One health tracker shared by every manager: local sources are
+        # keyed by their full JDBC URL, remote gateways by gma://<site>.
+        self.health = HealthTracker(
+            network.clock, self.policy, on_transition=self._on_breaker_transition
+        )
         self.driver_manager = GridRmDriverManager(
-            self.registry, self.policy, persistent_store=persistent_store
+            self.registry,
+            self.policy,
+            persistent_store=persistent_store,
+            health=self.health,
         )
         self.connection_manager = ConnectionManager(
-            self.driver_manager, network.clock, self.policy
+            self.driver_manager, network.clock, self.policy, health=self.health
         )
         self.cache = CacheController(network.clock, ttl=self.policy.query_cache_ttl)
         self.history = HistoryStore(
@@ -100,7 +109,11 @@ class Gateway:
             network, host, self.policy, history=self.history
         )
         self.request_manager = RequestManager(
-            self.connection_manager, self.cache, self.history, self.policy
+            self.connection_manager,
+            self.cache,
+            self.history,
+            self.policy,
+            health=self.health,
         )
         self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
         self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)
@@ -121,17 +134,64 @@ class Gateway:
             for driver in default_driver_set(network, gateway_host=host):
                 self.driver_manager.register(driver)
         # Drivers persisted by an earlier gateway incarnation re-register
-        # on start-up (paper §3.2.2) — skip specs already live.
-        live = set(self.driver_manager.driver_names())
-        for spec, name in list(self.driver_manager.persistent_store.items()):
-            if name not in live:
-                from repro.core.driver_manager import load_driver
-
-                self.driver_manager.register(
-                    load_driver(spec, network, gateway_host=host), persist=False
-                )
+        # on start-up (paper §3.2.2) — skip specs already live; a spec
+        # that no longer loads is skipped, not allowed to abort start-up.
+        report = self.driver_manager.restore_persisted(
+            network,
+            gateway_host=host,
+            skip_names=self.driver_manager.driver_names(),
+        )
+        #: ``(spec, error)`` pairs the start-up restore could not load.
+        self.restore_skipped: list[tuple[str, str]] = list(report.skipped)
         if install_event_drivers:
             self.events.install_driver(SnmpTrapEventDriver())
+
+    # ------------------------------------------------------------------
+    # Source health (circuit breakers)
+    # ------------------------------------------------------------------
+    def _on_breaker_transition(
+        self,
+        key: str,
+        old: BreakerState,
+        new: BreakerState,
+        entry: SourceHealth,
+    ) -> None:
+        """A source's circuit breaker changed state.
+
+        Tripping OPEN quarantines the source's pooled connections, and
+        every transition is emitted as a GridRM event (recorded into
+        history for the paper's historical-analysis story, fanned out to
+        listeners like any native event).
+        """
+        if new is BreakerState.OPEN:
+            self.connection_manager.quarantine(key)
+        try:
+            source_host = JdbcUrl.parse(key).host
+        except Exception:
+            # Remote-gateway keys (gma://<site>) and other non-JDBC keys.
+            source_host = key.partition("://")[2].split("/")[0] or key
+        severity = {
+            BreakerState.OPEN: "error",
+            BreakerState.HALF_OPEN: "warning",
+            BreakerState.CLOSED: "info",
+        }[new]
+        self.events.emit(
+            Event(
+                source_host=source_host,
+                name=f"breaker.{new.value}",
+                severity=severity,
+                time=self.network.clock.now(),
+                fields={
+                    "source": key,
+                    "from": old.value,
+                    "to": new.value,
+                    "consecutive_failures": entry.consecutive_failures,
+                    "backoff": entry.current_backoff,
+                    "error": entry.last_error,
+                },
+                native_kind="health",
+            )
+        )
 
     # ------------------------------------------------------------------
     # Data-source list management (paper §4, Figure 9)
@@ -280,8 +340,11 @@ class Gateway:
                 principal=principal,
             )
         except RemoteQueryError as exc:
+            degraded = self.health.state(f"gma://{site_name}") is BreakerState.OPEN
             for u in site_urls:
-                result.statuses.append(SourceStatus(url=u, ok=False, error=str(exc)))
+                result.statuses.append(
+                    SourceStatus(url=u, ok=False, degraded=degraded, error=str(exc))
+                )
             return
         if not result.columns:
             result.columns = list(remote.columns)
@@ -301,6 +364,7 @@ class Gateway:
                     ok=bool(s.get("ok")),
                     rows=int(s.get("rows", 0) or 0),
                     from_cache=bool(s.get("from_cache")),
+                    degraded=bool(s.get("degraded")),
                     error=str(s.get("error", "") or ""),
                 )
             )
@@ -376,6 +440,10 @@ class Gateway:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "entries": len(self.cache),
+            },
+            "health": {
+                **self.health.summary(),
+                "scoreboard": self.health.scoreboard(),
             },
             "history_rows": self.history.row_count(),
         }

@@ -51,6 +51,21 @@ class GatewayPolicy:
             fast buffer ("ensures events are not lost in a busy system").
         event_disk_buffer_size: capacity of the spill buffer behind it.
         event_history_enabled: record events into the history database.
+        breaker_enabled: per-source circuit breakers — remember failures
+            across queries and short-circuit requests to sources that
+            keep failing (see :mod:`repro.core.health`).
+        breaker_failure_threshold: consecutive failure observations that
+            trip a CLOSED breaker OPEN.
+        breaker_base_backoff: OPEN duration after the first trip
+            (s, virtual); doubles per consecutive trip, with jitter.
+        breaker_max_backoff: ceiling on the (jittered) backoff — a
+            tripped source is always re-probed within this bound.
+        breaker_half_open_probes: consecutive successes required in
+            HALF_OPEN to close the breaker again.
+        serve_stale_on_open: when a breaker is OPEN, answer from the
+            query cache even past its TTL, flagging the result
+            ``degraded`` — a stale view beats an error (paper §4's
+            "limit resource intrusion" cache, stretched to faults).
     """
 
     query_cache_ttl: float = 30.0
@@ -68,6 +83,12 @@ class GatewayPolicy:
     event_fast_buffer_size: int = 1024
     event_disk_buffer_size: int = 65536
     event_history_enabled: bool = True
+    breaker_enabled: bool = True
+    breaker_failure_threshold: int = 3
+    breaker_base_backoff: float = 5.0
+    breaker_max_backoff: float = 300.0
+    breaker_half_open_probes: int = 1
+    serve_stale_on_open: bool = True
 
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
@@ -98,4 +119,23 @@ class GatewayPolicy:
             raise PolicyError(
                 "history_max_rows_per_group must be >= 1: "
                 f"{self.history_max_rows_per_group!r}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise PolicyError(
+                "breaker_failure_threshold must be >= 1: "
+                f"{self.breaker_failure_threshold!r}"
+            )
+        if self.breaker_base_backoff <= 0:
+            raise PolicyError(
+                f"breaker_base_backoff must be > 0: {self.breaker_base_backoff!r}"
+            )
+        if self.breaker_max_backoff < self.breaker_base_backoff:
+            raise PolicyError(
+                "breaker_max_backoff must be >= breaker_base_backoff: "
+                f"{self.breaker_max_backoff!r} < {self.breaker_base_backoff!r}"
+            )
+        if self.breaker_half_open_probes < 1:
+            raise PolicyError(
+                "breaker_half_open_probes must be >= 1: "
+                f"{self.breaker_half_open_probes!r}"
             )

@@ -30,9 +30,14 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
 from repro.core.errors import DataSourceError, GridRmError, NoSuitableDriverError
+from repro.core.health import HealthTracker
 from repro.core.history import HistoryStore
 from repro.core.policy import GatewayPolicy
-from repro.dbapi.exceptions import SQLException
+from repro.dbapi.exceptions import (
+    SQLConnectionException,
+    SQLException,
+    SQLTimeoutException,
+)
 from repro.dbapi.resultset import ListResultSet
 from repro.dbapi.url import JdbcUrl
 from repro.sql.errors import SqlError
@@ -53,6 +58,10 @@ class SourceStatus:
     ok: bool
     rows: int = 0
     from_cache: bool = False
+    #: True when the source's circuit breaker was OPEN and the answer is
+    #: a stale cached result (ok=True) or a short-circuited failure
+    #: (ok=False) — either way, the source itself was not touched.
+    degraded: bool = False
     error: str = ""
 
 
@@ -75,6 +84,11 @@ class QueryResult:
     def failed_sources(self) -> int:
         return sum(1 for s in self.statuses if not s.ok)
 
+    @property
+    def degraded(self) -> bool:
+        """True when any contributing source was served degraded."""
+        return any(s.degraded for s in self.statuses)
+
     def dicts(self) -> list[dict[str, Any]]:
         return [dict(zip(self.columns, r)) for r in self.rows]
 
@@ -92,11 +106,15 @@ class RequestManager:
         cache: CacheController,
         history: HistoryStore,
         policy: GatewayPolicy,
+        *,
+        health: HealthTracker | None = None,
     ) -> None:
         self.connection_manager = connection_manager
         self.cache = cache
         self.history = history
         self.policy = policy
+        #: Shared per-source circuit breakers (injected by the Gateway).
+        self.health = health
         self.clock = connection_manager.clock
         self.stats = {
             "queries": 0,
@@ -104,6 +122,8 @@ class RequestManager:
             "cache_served": 0,
             "history_served": 0,
             "source_failures": 0,
+            "breaker_short_circuits": 0,
+            "stale_served": 0,
         }
 
     # ------------------------------------------------------------------
@@ -234,14 +254,31 @@ class RequestManager:
                     SourceStatus(url=url_text, ok=True, rows=n, from_cache=True)
                 )
                 return
+        if self.health is not None and not self.health.allow_request(url_text):
+            # Circuit OPEN: never touch the source (even in REALTIME —
+            # that is the breaker's whole point).  Serve the last cached
+            # answer past its TTL when the policy allows, else fail fast.
+            self.stats["breaker_short_circuits"] += 1
+            self._one_degraded(url_text, sql, result)
+            return
         try:
             columns, rows = self._fetch(url, sql, info)
         except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
+            # Connect-stage failures (DataSourceError) were already
+            # recorded into the health tracker by the driver manager;
+            # post-connect transport failures are recorded here.  Syntax
+            # or mapping errors say nothing about source health.
+            if self.health is not None and isinstance(
+                exc, (SQLConnectionException, SQLTimeoutException)
+            ):
+                self.health.record_failure(url_text, str(exc))
             self.stats["source_failures"] += 1
             result.statuses.append(
                 SourceStatus(url=url_text, ok=False, error=str(exc))
             )
             return
+        if self.health is not None:
+            self.health.record_success(url_text)
         self.stats["realtime_fetches"] += 1
         n = self._merge(result, columns, rows)
         result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))
@@ -260,6 +297,34 @@ class RequestManager:
                         source_url=url_text,
                         recorded_at=self.clock.now(),
                     )
+
+    def _one_degraded(self, url_text: str, sql: str, result: QueryResult) -> None:
+        """Answer for a source whose breaker is OPEN: stale rows when the
+        policy allows and the cache still holds any, a fast failure
+        status otherwise — never an exception, never agent traffic."""
+        if self.policy.serve_stale_on_open:
+            stale = self.cache.lookup_stale(url_text, sql)
+            if stale is not None:
+                self.stats["stale_served"] += 1
+                n = self._merge(result, stale.columns, stale.rows)
+                result.statuses.append(
+                    SourceStatus(
+                        url=url_text, ok=True, rows=n, from_cache=True, degraded=True
+                    )
+                )
+                return
+        entry = self.health.health(url_text)
+        detail = f": {entry.last_error}" if entry.last_error else ""
+        result.statuses.append(
+            SourceStatus(
+                url=url_text,
+                ok=False,
+                degraded=True,
+                error=(
+                    f"circuit open until t={entry.open_until:.1f}s{detail}"
+                ),
+            )
+        )
 
     def _fetch(
         self, url: JdbcUrl, sql: str, info: Mapping[str, Any] | None

@@ -8,7 +8,12 @@ that owns the required data" (paper §1.1).  The GlobalLayer:
 * answers ``query_remote``: route a query to the owning site's gateway;
 * caches remote answers in the local gateway's CacheController — "this
   approach is used between gateways to increase scalability by reducing
-  unnecessary requests" (§4, experiment E7).
+  unnecessary requests" (§4, experiment E7);
+* tracks each remote gateway's health in the local gateway's circuit
+  breakers (key ``gma://<site>``): a partitioned or dead site is
+  fast-failed (or served stale from the remote-answer cache, flagged
+  degraded) instead of adding its full timeout to every multi-site
+  query.
 """
 
 from __future__ import annotations
@@ -54,7 +59,12 @@ class GlobalLayer:
             gateway.network, gateway.host, self.directory, from_site=gateway.site
         )
         self.cache_remote = cache_remote
-        self.stats = {"remote_queries": 0, "remote_cache_hits": 0}
+        self.stats = {
+            "remote_queries": 0,
+            "remote_cache_hits": 0,
+            "remote_short_circuits": 0,
+            "remote_stale_served": 0,
+        }
         self.register()
         # Enable the gateway's transparent remote-URL routing (paper
         # §1.1: remote requests "are routed through to the Global layer").
@@ -106,12 +116,42 @@ class GlobalLayer:
                     rows=[list(r) for r in cached.rows],
                     statuses=[{"url": cache_key_url, "ok": True, "from_cache": True}],
                 )
+        # The remote gateway has a circuit breaker in the local gateway's
+        # health tracker: while it is OPEN a partitioned site costs
+        # nothing instead of a full consumer timeout per query.
+        health = self.gateway.health
+        health_key = f"gma://{site}"
+        if not health.allow_request(health_key):
+            self.stats["remote_short_circuits"] += 1
+            if self.cache_remote and self.gateway.policy.serve_stale_on_open:
+                stale = self.gateway.cache.lookup_stale(cache_key_url, sql)
+                if stale is not None:
+                    self.stats["remote_stale_served"] += 1
+                    return RemoteResult(
+                        columns=list(stale.columns),
+                        rows=[list(r) for r in stale.rows],
+                        statuses=[
+                            {
+                                "url": cache_key_url,
+                                "ok": True,
+                                "from_cache": True,
+                                "degraded": True,
+                            }
+                        ],
+                    )
+            entry = health.health(health_key)
+            raise RemoteQueryError(
+                f"circuit open for site {site!r} until t={entry.open_until:.1f}s "
+                f"(last error: {entry.last_error or 'unknown'})"
+            )
         try:
             result = self.consumer.query_site(
                 site, sql, urls=urls, mode=mode, max_age=max_age
             )
         except RemoteQueryFailure as exc:
+            health.record_failure(health_key, str(exc))
             raise RemoteQueryError(str(exc)) from exc
+        health.record_success(health_key)
         if self.cache_remote:
             self.gateway.cache.store(cache_key_url, sql, result.columns, result.rows)
         return result

@@ -55,6 +55,19 @@ class Site:
             raise KeyError(f"no {kind!r} source{f' on {host}' if host else ''}")
         return hits[0]
 
+    def fail_host(self, host: str) -> None:
+        """Take one monitored host (and its agents) off the network —
+        the failure-injection knob for breaker/robustness experiments."""
+        if host not in self.host_names() and host != self.gateway.host:
+            raise KeyError(f"no host {host!r} in site {self.name!r}")
+        self.network.set_host_up(host, False)
+
+    def heal_host(self, host: str) -> None:
+        """Bring a previously failed host back."""
+        if host not in self.host_names() and host != self.gateway.host:
+            raise KeyError(f"no host {host!r} in site {self.name!r}")
+        self.network.set_host_up(host, True)
+
 
 def build_site(
     network: Network,

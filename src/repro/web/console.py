@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.health import BreakerState
 from repro.core.request_manager import QueryMode, QueryResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +32,8 @@ ICON_STALE = "[..]"     # polled long ago; cache may have expired
 ICON_FAILED = "[xx]"    # last poll failed (comms failure / security)
 ICON_NEVER = "[??]"     # never polled
 ICON_EVENT = "[!!]"     # event received in the last n minutes
+ICON_QUARANTINED = "[--]"  # circuit breaker OPEN: source not being polled
+ICON_PROBING = "[~~]"   # circuit breaker HALF_OPEN: probing for recovery
 
 
 class Console:
@@ -45,6 +48,11 @@ class Console:
     # ------------------------------------------------------------------
     def _icon(self, source) -> str:
         now = self.gateway.network.clock.now()
+        breaker = self.gateway.health.state(str(source.url))
+        if breaker is BreakerState.OPEN:
+            return ICON_QUARANTINED
+        if breaker is BreakerState.HALF_OPEN:
+            return ICON_PROBING
         recent_event = any(
             e.source_host == source.url.host
             and now - e.time <= self.event_window
@@ -84,6 +92,14 @@ class Console:
                     f"|    cached: {group} rows={len(entry.rows)} "
                     f"age={entry.age(now):.1f}s"
                 )
+            health = gw.health.health(str(source.url))
+            if health.state is BreakerState.OPEN:
+                lines.append(
+                    f"|    breaker: OPEN until t={health.open_until:.1f}s "
+                    f"(trips={health.trips})"
+                )
+            elif health.state is BreakerState.HALF_OPEN:
+                lines.append("|    breaker: HALF_OPEN (probing)")
             if source.last_ok is False and source.last_error:
                 lines.append(f"|    error: {source.last_error[:70]}")
         if not gw.sources():
@@ -154,6 +170,54 @@ class Console:
                 lines.append(
                     f"  t={event.time:8.1f}s  {event.source_host:14s} "
                     f"{event.name}  ({event.severity})"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Health scoreboard
+    # ------------------------------------------------------------------
+    def health_panel(self) -> str:
+        """Per-source circuit-breaker scoreboard (up/degraded/quarantined)."""
+        gw = self.gateway
+        health = gw.health
+        now = gw.network.clock.now()
+        summary = health.summary()
+        lines = [
+            f"Source health @ t={now:.1f}s  "
+            f"(breaker {'enabled' if gw.policy.breaker_enabled else 'DISABLED'}, "
+            f"threshold={gw.policy.breaker_failure_threshold}, "
+            f"backoff={gw.policy.breaker_base_backoff:g}s.."
+            f"{gw.policy.breaker_max_backoff:g}s)"
+        ]
+        board = health.scoreboard()
+        if not board:
+            lines.append("  (no sources observed yet)")
+        label = {
+            BreakerState.CLOSED.value: "up",
+            BreakerState.HALF_OPEN.value: "degraded",
+            BreakerState.OPEN.value: "quarantined",
+        }
+        for key, entry in board.items():
+            state = entry["state"]
+            detail = ""
+            if state == BreakerState.OPEN.value:
+                detail = f" until t={entry['open_until']:.1f}s"
+            lines.append(
+                f"  - {key}: {label.get(state, state)}{detail}  "
+                f"ok={entry['total_successes']} fail={entry['total_failures']} "
+                f"trips={entry['trips']}"
+            )
+        lines.append(
+            f"Trips: {summary['trips']}, recoveries: {summary['recoveries']}, "
+            f"short-circuits: {summary['short_circuits']}"
+        )
+        recent = [e for e in gw.events.recent if e.name.startswith("breaker.")]
+        if recent:
+            lines.append("Recent breaker events:")
+            for event in list(recent)[-5:]:
+                lines.append(
+                    f"  t={event.time:8.1f}s  {event.fields.get('source', '?')}  "
+                    f"{event.name}"
                 )
         return "\n".join(lines)
 

@@ -12,6 +12,7 @@ HTTP-style request handler bound to the gateway host that serves
 * ``GET /query?url=<jdbc-url>&sql=<sql>[&mode=<mode>]`` — run a query,
   answer rows as tab-separated text;
 * ``GET /plot?group=G&field=F[&host=H]`` — ASCII history plot;
+* ``GET /health``       — per-source circuit-breaker scoreboard;
 * ``GET /stats``        — gateway statistics.
 
 Requests and responses are simple strings ("GET /path?query"), which is
@@ -83,6 +84,8 @@ class GatewayServlet:
             return _status(200, pprint.pformat(self.gateway.stats()))
         if path == "/alerts":
             return _status(200, self.console.alerts_panel())
+        if path == "/health":
+            return _status(200, self.console.health_panel())
         if path == "/report":
             return self._report()
         if path == "/query":

@@ -72,6 +72,56 @@ class TestRegistration:
         fresh = GridRmDriverManager(DriverRegistry(), GatewayPolicy(), persistent_store=store)
         restored = fresh.restore_persisted(network, gateway_host="gateway")
         assert {type(d).__name__ for d in restored} == {"SnmpDriver", "GangliaDriver"}
+        assert restored.skipped == []
+
+    def test_restore_persisted_skips_malformed_specs(self, network):
+        """One rotten store entry must not abort gateway start-up."""
+        manager = make_manager(network)
+        store = dict(manager.persistent_store)
+        store["no.such.module:Driver"] = "JDBC-Ghost"
+        store["garbage"] = "JDBC-Garbage"
+        fresh = GridRmDriverManager(
+            DriverRegistry(), GatewayPolicy(), persistent_store=store
+        )
+        report = fresh.restore_persisted(network, gateway_host="gateway")
+        assert {type(d).__name__ for d in report.restored} == {
+            "SnmpDriver",
+            "GangliaDriver",
+        }
+        assert sorted(spec for spec, _ in report.skipped) == [
+            "garbage",
+            "no.such.module:Driver",
+        ]
+        for _, error in report.skipped:
+            assert "NoSuitableDriverError" in error
+
+    def test_restore_persisted_skip_names(self, network):
+        manager = make_manager(network)
+        fresh = GridRmDriverManager(
+            DriverRegistry(),
+            GatewayPolicy(),
+            persistent_store=dict(manager.persistent_store),
+        )
+        report = fresh.restore_persisted(
+            network, gateway_host="gateway", skip_names=["JDBC-SNMP"]
+        )
+        assert {type(d).__name__ for d in report.restored} == {"GangliaDriver"}
+        assert report.skipped == []
+
+    def test_gateway_startup_survives_poisoned_store(self, network):
+        from repro.core.gateway import Gateway
+
+        store = {
+            "no.such.module:Driver": "JDBC-Ghost",
+            "os:path": "JDBC-NotADriver",
+        }
+        gw = Gateway(network, "gw-poisoned", persistent_store=store)
+        assert sorted(spec for spec, _ in gw.restore_skipped) == [
+            "no.such.module:Driver",
+            "os:path",
+        ]
+        # The default driver set registered fine despite the bad specs.
+        assert "JDBC-SNMP" in gw.driver_manager.driver_names()
 
 
 class TestSelection:
@@ -176,3 +226,69 @@ class TestFailurePolicies:
         with pytest.raises(DataSourceError) as err:
             manager.open_connection("jdbc:snmp://n2/x")
         assert "dynamic" in str(err.value)
+
+
+class TestBreakerShortCircuit:
+    URL = "jdbc:snmp://n0/x"
+
+    def make_health_manager(self, network, **policy_kwargs):
+        from repro.core.health import HealthTracker
+
+        policy = GatewayPolicy(
+            failure_action=FailureAction.RETRY,
+            failure_retries=2,
+            breaker_failure_threshold=2,
+            breaker_base_backoff=30.0,
+            breaker_max_backoff=60.0,
+            **policy_kwargs,
+        )
+        health = HealthTracker(network.clock, policy)
+        manager = make_manager(network, policy)
+        manager.health = health
+        return manager, health
+
+    def test_open_breaker_skips_retry_budget(self, network, agents):
+        """An OPEN breaker short-circuits before RETRY spends a single
+        connect attempt — the whole point of remembering failures."""
+        from repro.core.errors import SourceQuarantinedError
+        from repro.core.health import BreakerState
+
+        manager, health = self.make_health_manager(network)
+        network.set_host_up("n0", False)
+        for _ in range(2):
+            with pytest.raises(DataSourceError):
+                manager.open_connection(self.URL)
+        assert health.state(self.URL) is BreakerState.OPEN
+        failures = manager.stats["connect_failures"]
+        assert failures == 6  # 2 queries x (1 + 2 retries)
+
+        with pytest.raises(SourceQuarantinedError):
+            manager.open_connection(self.URL)
+        assert manager.stats["connect_failures"] == failures  # no budget spent
+        assert manager.stats["breaker_fast_fails"] == 1
+
+    def test_half_open_probe_success_restores_cached_driver_path(
+        self, network, agents
+    ):
+        from repro.core.health import BreakerState
+
+        manager, health = self.make_health_manager(network)
+        url = JdbcUrl.parse(self.URL)
+        manager.open_connection(url).close()  # populate the driver cache
+        network.set_host_up("n0", False)
+        for _ in range(2):
+            with pytest.raises(DataSourceError):
+                manager.open_connection(url)
+        assert health.state(self.URL) is BreakerState.OPEN
+
+        network.set_host_up("n0", True)
+        network.clock.advance(60.0)  # past the max (jitter-capped) backoff
+        conn = manager.open_connection(url)  # the HALF_OPEN probe
+        assert not conn.is_closed()
+        assert health.state(self.URL) is BreakerState.CLOSED
+        assert manager.cached_driver(url) is conn.driver
+        # Subsequent opens ride the last-driver cache again, no rescans.
+        scans = manager.stats["dynamic_scans"]
+        manager.open_connection(url).close()
+        assert manager.stats["dynamic_scans"] == scans
+        assert manager.stats["cache_hits"] >= 1
