@@ -1,0 +1,146 @@
+"""Lint driver: walk source paths, run the rule registry, render.
+
+Used by the ``python -m repro lint`` CLI subcommand, the gateway's
+``analyze`` API and the management console.  Baseline files let a
+codebase adopt a new rule without first fixing every historical
+violation: ``--write-baseline`` records the current findings'
+fingerprints, and later runs suppress exactly those.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.rules import LintRule, all_rules
+from repro.analysis.conformance import check_source
+
+#: Severity icons, matching the console tree view's bracket style.
+_ICONS = {
+    Severity.ERROR: "[xx]",
+    Severity.WARNING: "[!!]",
+    Severity.INFO: "[..]",
+}
+
+#: Marker line identifying a baseline file.
+BASELINE_HEADER = "# repro-lint baseline v1"
+
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """All ``.py`` files under ``paths`` (files kept as-is), sorted."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames if d not in ("__pycache__",)]
+            for name in filenames:
+                if name.endswith(".py"):
+                    out.add(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    rules: "Iterable[LintRule] | None" = None,
+    baseline: "Iterable[str] | None" = None,
+) -> AnalysisReport:
+    """Lint every Python file under ``paths`` with the given rules."""
+    selected = list(rules) if rules is not None else all_rules()
+    report = AnalysisReport()
+    for file_path in iter_python_files(paths):
+        report.files_scanned += 1
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding(
+                    rule_id="GRM100",
+                    severity=Severity.ERROR,
+                    message=f"cannot read: {exc}",
+                    path=file_path,
+                    symbol="io",
+                )
+            )
+            continue
+        report.extend(check_source(source, file_path, rules=selected))
+    report.findings = report.sorted()
+    if baseline is not None:
+        report = report.apply_baseline(baseline)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints from a baseline file; missing file -> empty set."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return set()
+    return {
+        line.strip()
+        for line in lines
+        if line.strip() and not line.startswith("#")
+    }
+
+
+def write_baseline(path: str, report: AnalysisReport) -> int:
+    """Record the report's findings as the suppression baseline."""
+    fingerprints = sorted({f.fingerprint for f in report.findings})
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(BASELINE_HEADER + "\n")
+        handle.write(
+            "# One fingerprint per line (rule:path:symbol); remove lines as\n"
+            "# violations are fixed.  Regenerate: repro lint --write-baseline\n"
+        )
+        for fp in fingerprints:
+            handle.write(fp + "\n")
+    return len(fingerprints)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_flat(report: AnalysisReport) -> str:
+    """One finding per line, grep-friendly."""
+    lines = [f.format() for f in report.sorted()]
+    lines.append(summary_line(report))
+    return "\n".join(lines)
+
+
+def render_tree(report: AnalysisReport, *, title: str = "Static analysis") -> str:
+    """Findings grouped per file, in the console tree-view idiom."""
+    lines = [f"{title}: {summary_line(report)}"]
+    by_path: dict[str, list[Finding]] = {}
+    for f in report.sorted():
+        by_path.setdefault(f.path, []).append(f)
+    for path, findings in by_path.items():
+        lines.append(f"+- {path}")
+        for f in findings:
+            where = f"L{f.line}" if f.line else (f.symbol or "-")
+            lines.append(
+                f"|    {_ICONS[f.severity]} {f.rule_id} {where}: {f.message}"
+            )
+    if not by_path:
+        lines.append("+- (clean)")
+    return "\n".join(lines)
+
+
+def summary_line(report: AnalysisReport) -> str:
+    n_err = len(report.errors)
+    n_other = len(report.findings) - n_err
+    parts = [
+        f"{len(report.findings)} finding(s)"
+        + (f" ({n_err} error, {n_other} other)" if report.findings else ""),
+        f"{report.files_scanned} file(s) scanned",
+    ]
+    if report.suppressed:
+        parts.append(f"{report.suppressed} baselined")
+    return ", ".join(parts)

@@ -1,0 +1,398 @@
+"""Pluggable lint-rule registry and the built-in project-invariant rules.
+
+A rule is a class with a stable ``rule_id``, a default :class:`Severity`
+and a ``check(module)`` generator yielding :class:`Finding` objects.
+Rules register themselves with :func:`register_rule`; the linter, the
+gateway's ``analyze`` API and the CLI all draw from the same registry, so
+a third-party driver package can ship extra rules by importing this
+module and decorating its own classes.
+
+Rule-id ranges:
+
+* ``GRM1xx`` — project invariants checked over any Python source
+  (virtual-clock discipline, simnet discipline, exception discipline)
+  and DDK driver-contract checks (signatures, exception families);
+* ``GRM2xx`` — compile-time GLUE query validation
+  (:mod:`repro.analysis.query_check`);
+* ``GRM3xx`` — gateway start-up findings
+  (:mod:`repro.analysis.conformance`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Type
+
+from repro.analysis.findings import Finding, Severity
+
+#: Driver entry points whose escaping exceptions must stay in the
+#: SQLException family (paper §3.2.1: a fully implemented driver throws
+#: SQLExceptions; the driver manager's failure policies catch nothing
+#: else).
+DRIVER_ENTRY_POINTS = frozenset(
+    {"probe", "fetch_group", "connect", "accepts_url", "execute_query"}
+)
+
+#: Exception names a driver entry point may raise: the SQLException
+#: family (``SQL*``), the simnet transport errors the DDK base class
+#: translates itself, and NotImplementedError for abstract members.
+ALLOWED_DRIVER_RAISES = frozenset(
+    {
+        "NetworkError",
+        "TimeoutError_",
+        "HostUnreachableError",
+        "PortClosedError",
+        "NotImplementedError",
+    }
+)
+
+#: ``(module, attribute)`` call patterns that read or block on the wall
+#: clock.  All timing must flow through ``repro.simnet.clock`` so that
+#: experiments stay deterministic.
+_WALL_CLOCK_CALLS = {
+    "time": {"time", "sleep", "monotonic", "perf_counter", "time_ns"},
+    "datetime": {"now", "utcnow", "today"},
+}
+_WALL_CLOCK_IMPORTS = {
+    ("time", "time"),
+    ("time", "sleep"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+}
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file handed to every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+    def driver_classes(self) -> dict[str, ast.ClassDef]:
+        """Classes in this module that (transitively, within the module)
+        subclass ``GridRmDriver``."""
+        classes = {
+            node.name: node
+            for node in self.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        driver_names: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, node in classes.items():
+                if name in driver_names:
+                    continue
+                for base in node.bases:
+                    base_name = _base_name(base)
+                    if base_name == "GridRmDriver" or base_name in driver_names:
+                        driver_names.add(name)
+                        changed = True
+                        break
+        return {n: c for n, c in classes.items() if n in driver_names}
+
+
+def _base_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class LintRule:
+    """Base class for lint rules; subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    rule_id = ""
+    severity = Severity.ERROR
+    title = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str, *, symbol: str = ""
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            symbol=symbol,
+        )
+
+
+#: rule_id -> rule class.  One shared registry for the whole process.
+_REGISTRY: dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule id {cls.rule_id!r} already registered by {existing.__name__}"
+        )
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+def rules_by_id(ids: "list[str] | None" = None) -> list[LintRule]:
+    """Instances for ``ids`` (all rules when None); unknown ids raise."""
+    if ids is None:
+        return all_rules()
+    missing = [i for i in ids if i not in _REGISTRY]
+    if missing:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(missing))}")
+    return [_REGISTRY[i]() for i in sorted(ids)]
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """(id, severity, title) rows for docs and the CLI's --list-rules."""
+    return [
+        (rid, _REGISTRY[rid].severity.value, _REGISTRY[rid].title)
+        for rid in sorted(_REGISTRY)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Project-invariant rules (any source file)
+# ----------------------------------------------------------------------
+@register_rule
+class WallClockRule(LintRule):
+    """Virtual-clock discipline: all timing flows through simnet's clock."""
+
+    rule_id = "GRM101"
+    severity = Severity.ERROR
+    title = "wall-clock call (use repro.simnet.clock, not time/datetime)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                names = {a.name for a in node.names}
+                bad = sorted(
+                    n for (m, n) in _WALL_CLOCK_IMPORTS if m == "time" and n in names
+                )
+                if bad:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"imports wall-clock function(s) {', '.join(bad)} "
+                        "from time",
+                        symbol=f"import-time-{'-'.join(bad)}",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                owner = func.value
+                owner_name = ""
+                if isinstance(owner, ast.Name):
+                    owner_name = owner.id
+                elif isinstance(owner, ast.Attribute):
+                    owner_name = owner.attr
+                bad_attrs = _WALL_CLOCK_CALLS.get(owner_name)
+                if bad_attrs and func.attr in bad_attrs:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{owner_name}.{func.attr}() breaks the virtual clock; "
+                        "use the simnet clock instead",
+                        symbol=f"{owner_name}.{func.attr}",
+                    )
+
+
+@register_rule
+class RawSocketRule(LintRule):
+    """Simnet discipline: no real network I/O bypassing the simulation."""
+
+    rule_id = "GRM102"
+    severity = Severity.ERROR
+    title = "raw socket use (all I/O must go through repro.simnet)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "socket" or alias.name.startswith("socket."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "imports the socket module; drivers must use "
+                            "connection.request() over the simulated network",
+                            symbol="import-socket",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "socket" or (node.module or "").startswith(
+                    "socket."
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "imports from the socket module; drivers must use "
+                        "connection.request() over the simulated network",
+                        symbol="import-socket",
+                    )
+
+
+@register_rule
+class ExceptionDisciplineRule(LintRule):
+    """No bare except / blanket ``except Exception`` in library code.
+
+    Cleanup-and-reraise handlers (whose last statement is a bare
+    ``raise``) are exempt: they narrow nothing and swallow nothing.
+    """
+
+    rule_id = "GRM103"
+    severity = Severity.ERROR
+    title = "bare or blanket except (catch concrete exception types)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            last = node.body[-1] if node.body else None
+            if isinstance(last, ast.Raise) and last.exc is None:
+                continue
+            for caught in self._caught_names(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"handler catches {caught}; name the concrete "
+                    "exception types instead",
+                    symbol=caught,
+                )
+
+    @staticmethod
+    def _caught_names(node: ast.ExceptHandler) -> list[str]:
+        if node.type is None:
+            return ["everything (bare except)"]
+        exprs = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        return [
+            e.id
+            for e in exprs
+            if isinstance(e, ast.Name) and e.id in ("Exception", "BaseException")
+        ]
+
+
+# ----------------------------------------------------------------------
+# DDK driver-contract rules (GridRmDriver subclasses only)
+# ----------------------------------------------------------------------
+#: method name -> names of the required positional parameters after self.
+_REQUIRED_SIGNATURES = {
+    "probe": ("url",),
+    "fetch_group": ("connection", "group", "select"),
+    "build_mapping": (),
+}
+
+
+def expected_signature(method: str) -> "tuple[str, ...] | None":
+    """Required positional parameters (after self) of a DDK method."""
+    return _REQUIRED_SIGNATURES.get(method)
+
+
+@register_rule
+class DriverSignatureRule(LintRule):
+    """DDK contract: ``probe(url)`` / ``fetch_group(connection, group,
+    select)`` / ``build_mapping()`` positional shapes."""
+
+    rule_id = "GRM104"
+    severity = Severity.ERROR
+    title = "driver method does not match the DDK signature"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for cls_name, cls in module.driver_classes().items():
+            for node in cls.body:
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                required = _REQUIRED_SIGNATURES.get(node.name)
+                if required is None:
+                    continue
+                problem = self._signature_problem(node, required)
+                if problem:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{cls_name}.{node.name} {problem}; the DDK requires "
+                        f"{node.name}({', '.join(('self',) + required)})",
+                        symbol=f"{cls_name}.{node.name}",
+                    )
+
+    @staticmethod
+    def _signature_problem(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef", required: tuple[str, ...]
+    ) -> str:
+        args = node.args
+        positional = [a.arg for a in args.posonlyargs + args.args]
+        if not positional or positional[0] != "self":
+            return "is missing self"
+        got = tuple(positional[1:])
+        # Trailing positional parameters with defaults are optional
+        # extensions and tolerated; the required prefix must match.
+        n_required = len(got) - len(args.defaults)
+        if got[: len(required)] != required:
+            return f"takes positional parameters {got or '()'}"
+        if n_required > len(required):
+            return (
+                f"adds required positional parameter(s) "
+                f"{', '.join(got[len(required):n_required])}"
+            )
+        if args.vararg is not None:
+            return "uses *args"
+        return ""
+
+
+@register_rule
+class DriverExceptionLeakRule(LintRule):
+    """DDK contract: only the SQLException family (plus the transport
+    errors the base class translates) escapes driver entry points."""
+
+    rule_id = "GRM105"
+    severity = Severity.ERROR
+    title = "driver entry point raises outside the SQLException family"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for cls_name, cls in module.driver_classes().items():
+            for node in cls.body:
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.name not in DRIVER_ENTRY_POINTS:
+                    continue
+                for raised in ast.walk(node):
+                    if not isinstance(raised, ast.Raise):
+                        continue
+                    name = self._raised_name(raised)
+                    if name is None:  # bare re-raise
+                        continue
+                    if name.startswith("SQL") or name in ALLOWED_DRIVER_RAISES:
+                        continue
+                    yield self.finding(
+                        module,
+                        raised,
+                        f"{cls_name}.{node.name} raises {name}; driver entry "
+                        "points must raise SQLException subtypes "
+                        "(repro.dbapi.exceptions)",
+                        symbol=f"{cls_name}.{node.name}:{name}",
+                    )
+
+    @staticmethod
+    def _raised_name(node: ast.Raise) -> "str | None":
+        exc = node.exc
+        if exc is None:
+            return None
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        if isinstance(exc, ast.Attribute):
+            return exc.attr
+        return "<dynamic>"

@@ -9,6 +9,8 @@ everything is simulated) and exercises it:
 * ``discover``  — network-scan discovery from a blank gateway;
 * ``health``    — poll all sources and print the breaker scoreboard;
 * ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
+* ``lint``      — run the static driver-contract / project-invariant
+  rules over source paths (see docs/DRIVER_GUIDE.md);
 * ``experiments`` — list the DESIGN.md experiment index and how to run it.
 """
 
@@ -149,6 +151,34 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.linter import (
+        lint_paths,
+        load_baseline,
+        render_flat,
+        render_tree,
+        write_baseline,
+    )
+    from repro.analysis.rules import rules_by_id
+
+    rules = None
+    if args.rules:
+        wanted = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        try:
+            rules = rules_by_id(wanted)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from exc
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, report)
+        print(f"# wrote {n} fingerprint(s) to {args.write_baseline}")
+        return 0
+    render = render_tree if args.format == "tree" else render_flat
+    print(render(report))
+    return 1 if report.findings else 0
+
+
 def cmd_experiments(args) -> int:
     print(
         "Experiments E1-E12 reproduce every claim in the paper "
@@ -211,6 +241,41 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("report", help="capacity and utilisation report")
     _add_common(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "lint", help="run the project's static analysis rules over source paths"
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings whose fingerprints appear in FILE",
+    )
+    p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record current findings as the suppression baseline and exit 0",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--format",
+        default="tree",
+        choices=["tree", "flat"],
+        help="tree (console idiom) or flat (grep-friendly)",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("experiments", help="how to run the experiments")
     p.set_defaults(func=cmd_experiments)

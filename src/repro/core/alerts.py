@@ -22,6 +22,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
+from repro.analysis.query_check import validate_sql
+from repro.core.errors import QueryValidationError
 from repro.core.events import Event
 from repro.core.request_manager import QueryMode
 from repro.sql.errors import SqlError
@@ -103,6 +105,21 @@ class AlertMonitor:
         """
         if rule.name in self._rules:
             raise ValueError(f"duplicate alert rule {rule.name!r}")
+        # Compile-time GLUE validation: a rule naming an unknown group or
+        # attribute would poll forever and never match — reject it at
+        # install time, exactly like the RequestManager rejects ad-hoc
+        # queries, instead of burning a poll period per mistake.
+        findings = validate_sql(
+            rule.sql,
+            self.gateway.schema_manager.schema,
+            path=f"<alert:{rule.name}>",
+        )
+        if findings:
+            raise QueryValidationError(
+                f"alert rule {rule.name!r} SQL is invalid: "
+                + "; ".join(f.message for f in findings),
+                findings=findings,
+            )
         stagger = 0.25 * len(self._rules)
         self._rules[rule.name] = rule
         self._timers[rule.name] = self.gateway.network.clock.call_every(

@@ -29,6 +29,7 @@ from typing import Any, Mapping, MutableMapping, Optional
 
 from repro.core.errors import (
     DataSourceError,
+    GridRmError,
     NoSuitableDriverError,
     SourceQuarantinedError,
 )
@@ -168,7 +169,10 @@ class GridRmDriverManager:
             try:
                 driver = load_driver(spec, network, gateway_host=gateway_host)
                 self.registry.register(driver)
-            except Exception as exc:  # noqa: BLE001 — any bad spec is skipped
+            except (GridRmError, SQLException, TypeError) as exc:
+                # NoSuitableDriverError for malformed/unloadable specs,
+                # SQLException from a driver constructor or registration,
+                # TypeError from a constructor with the wrong arity.
                 report.skipped.append((spec, f"{type(exc).__name__}: {exc}"))
                 continue
             report.restored.append(driver)

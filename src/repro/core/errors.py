@@ -32,3 +32,17 @@ class SourceQuarantinedError(DataSourceError):
 
 class PolicyError(GridRmError):
     """Invalid gateway policy configuration."""
+
+
+class QueryValidationError(GridRmError):
+    """The query was rejected at compile time by the GLUE validator —
+    unknown group, unknown attribute or type-incompatible predicate —
+    before any driver was selected or any agent traffic spent.
+
+    ``findings`` holds the :class:`repro.analysis.findings.Finding`
+    objects explaining exactly what is wrong.
+    """
+
+    def __init__(self, message: str, findings: "list | None" = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])

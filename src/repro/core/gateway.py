@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, MutableMapping, Optional, Sequence
 
+from repro.analysis.conformance import check_driver
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.query_check import validate_sql
 from repro.core.acil import AbstractClientInterface
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
@@ -35,6 +38,7 @@ from repro.core.security import (
     Principal,
 )
 from repro.core.sessions import Session, SessionManager
+from repro.dbapi.exceptions import SQLException
 from repro.dbapi.interfaces import Driver
 from repro.dbapi.registry import DriverRegistry
 from repro.dbapi.url import JdbcUrl
@@ -58,6 +62,17 @@ class DataSource:
     last_polled: float | None = None
     last_ok: bool | None = None
     last_error: str = ""
+
+
+def _spec_finding(spec: str, error: str) -> Finding:
+    """A GRM301 finding for a persisted driver spec that would not load."""
+    return Finding(
+        rule_id="GRM301",
+        severity=Severity.WARNING,
+        message=f"persisted driver spec failed to load: {error}",
+        path="<persistent-store>",
+        symbol=spec,
+    )
 
 
 class Gateway:
@@ -143,6 +158,17 @@ class Gateway:
         )
         #: ``(spec, error)`` pairs the start-up restore could not load.
         self.restore_skipped: list[tuple[str, str]] = list(report.skipped)
+        #: Compile-time findings produced at start-up: every persisted
+        #: spec that would not load (GRM301) plus a full DDK conformance
+        #: check of each plug-in the restore *did* bring back — problems
+        #: are known before any query reaches the driver, not at fetch
+        #: time.  The shipped default set is trusted (and covered by the
+        #: repo's own lint run); only restored plug-ins are re-checked.
+        self.startup_findings: list[Finding] = [
+            _spec_finding(spec, error) for spec, error in report.skipped
+        ]
+        for restored in report.restored:
+            self.startup_findings.extend(check_driver(restored))
         if install_event_drivers:
             self.events.install_driver(SnmpTrapEventDriver())
 
@@ -167,7 +193,7 @@ class Gateway:
             self.connection_manager.quarantine(key)
         try:
             source_host = JdbcUrl.parse(key).host
-        except Exception:
+        except SQLException:
             # Remote-gateway keys (gma://<site>) and other non-JDBC keys.
             source_host = key.partition("://")[2].split("/")[0] or key
         severity = {
@@ -428,6 +454,42 @@ class Gateway:
         self.events.stop()
         self.connection_manager.close_all()
         self.cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # Static analysis of the live configuration
+    # ------------------------------------------------------------------
+    def analyze(self, *, principal: Principal = ANONYMOUS) -> AnalysisReport:
+        """Conformance-check everything this gateway is configured with.
+
+        Covers, with the shared :mod:`repro.analysis` finding model:
+
+        * every registered driver, against the DDK contract
+          (introspection + the AST rules over its defining module);
+        * every persisted driver spec the start-up restore had to skip
+          (GRM301 — the plug-in will silently be missing until fixed);
+        * every installed alert rule's probe SQL, against the gateway's
+          GLUE schema (the compile-time query validator).
+
+        An admin-facing report, not a gate: registration stays permissive
+        so operators can stage a driver and read its findings here.
+        """
+        self.cgsl.check(principal, "admin")
+        report = AnalysisReport()
+        for driver in self.registry.drivers():
+            report.extend(check_driver(driver))
+            report.files_scanned += 1
+        for spec, error in self.restore_skipped:
+            report.findings.append(_spec_finding(spec, error))
+        for rule in self.alerts.rules():
+            report.extend(
+                validate_sql(
+                    rule.sql,
+                    self.schema_manager.schema,
+                    path=f"<alert:{rule.name}>",
+                )
+            )
+        report.findings = report.sorted()
+        return report
 
     def stats(self) -> dict[str, Any]:
         """One merged stats snapshot across all managers."""

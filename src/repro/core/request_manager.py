@@ -27,9 +27,15 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.analysis.query_check import validate_select
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
-from repro.core.errors import DataSourceError, GridRmError, NoSuitableDriverError
+from repro.core.errors import (
+    DataSourceError,
+    GridRmError,
+    NoSuitableDriverError,
+    QueryValidationError,
+)
 from repro.core.health import HealthTracker
 from repro.core.history import HistoryStore
 from repro.core.policy import GatewayPolicy
@@ -124,6 +130,7 @@ class RequestManager:
             "source_failures": 0,
             "breaker_short_circuits": 0,
             "stale_served": 0,
+            "validation_rejects": 0,
         }
 
     # ------------------------------------------------------------------
@@ -146,12 +153,26 @@ class RequestManager:
         # Validate the SQL once up front so a syntax error is reported to
         # the client, not charged to the first data source.
         try:
-            parse_select(sql)
+            select = parse_select(sql)
         except SqlError as exc:
             raise GridRmError(f"bad query: {exc}") from exc
+        # Compile-time GLUE validation: a query naming an unknown group /
+        # attribute or comparing incompatible types is doomed for every
+        # source, so it is rejected here — before driver selection, the
+        # retry machinery or any agent round-trip.  Historical queries
+        # may additionally reference the store's provenance columns.
+        extra = ("SourceUrl", "RecordedAt") if mode is QueryMode.HISTORY else ()
+        findings = validate_select(
+            select, self.history.schema, extra_fields=extra
+        )
+        if findings:
+            self.stats["validation_rejects"] += 1
+            raise QueryValidationError(
+                "invalid query: " + "; ".join(f.message for f in findings),
+                findings=findings,
+            )
 
         started = self.clock.now()
-        select = parse_select(sql)
         if select.is_join:
             result = self._execute_join(parsed, select, mode, max_age, info)
             result.started_at = started

@@ -8,17 +8,23 @@ recorded or consolidated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.glue.schema import GlueGroup
 
-_TYPE_CHECKS = {
+#: GLUE type keyword -> predicate over Python values.  Shared with the
+#: compile-time query validator (:mod:`repro.analysis.query_check`),
+#: which collapses the numeric types into one comparability class.
+TYPE_CHECKS: dict[str, Callable[[Any], bool]] = {
     "TEXT": lambda v: isinstance(v, str),
     "INTEGER": lambda v: isinstance(v, int) and not isinstance(v, bool),
     "REAL": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
     "BOOLEAN": lambda v: isinstance(v, bool),
     "TIMESTAMP": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
 }
+
+#: Backwards-compatible private alias.
+_TYPE_CHECKS = TYPE_CHECKS
 
 
 @dataclass(frozen=True)

@@ -77,7 +77,9 @@ class GatewayConsumer:
                 timeout=timeout,
             )
         except NetworkError as exc:
-            raise RemoteQueryFailure(f"producer {producer.key()} unreachable: {exc}")
+            raise RemoteQueryFailure(
+                f"producer {producer.key()} unreachable: {exc}"
+            ) from exc
         if not isinstance(response, dict) or not response.get("ok"):
             error = response.get("error") if isinstance(response, dict) else "garbage"
             raise RemoteQueryFailure(f"producer {producer.key()}: {error}")

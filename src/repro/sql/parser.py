@@ -195,7 +195,7 @@ class _Parser:
             return int(value)
         except ValueError:
             self.fail(f"expected integer, got {value!r}")
-            raise AssertionError
+            raise AssertionError from None
 
     def insert(self) -> ast.Insert:
         self.expect_keyword("INSERT")

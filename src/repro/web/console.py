@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.health import BreakerState
 from repro.core.request_manager import QueryMode, QueryResult
+from repro.sql.errors import SqlError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.gateway import Gateway
@@ -86,7 +87,7 @@ class Console:
                     from repro.sql.parser import parse_select
 
                     group = parse_select(entry.sql).table
-                except Exception:
+                except SqlError:
                     group = "?"
                 lines.append(
                     f"|    cached: {group} rows={len(entry.rows)} "
@@ -220,6 +221,19 @@ class Console:
                     f"{event.name}"
                 )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Static analysis view
+    # ------------------------------------------------------------------
+    def analysis_panel(self) -> str:
+        """Findings from the gateway's static-analysis pass: driver
+        conformance, unloadable persisted specs, invalid alert SQL."""
+        from repro.analysis.linter import render_tree
+
+        report = self.gateway.analyze()
+        return render_tree(
+            report, title=f"Static analysis ({self.gateway.host})"
+        )
 
     # ------------------------------------------------------------------
     # Historical plot (Figure 9's click-to-plot)

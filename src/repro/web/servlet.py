@@ -13,6 +13,8 @@ HTTP-style request handler bound to the gateway host that serves
   answer rows as tab-separated text;
 * ``GET /plot?group=G&field=F[&host=H]`` — ASCII history plot;
 * ``GET /health``       — per-source circuit-breaker scoreboard;
+* ``GET /analyze``      — static-analysis findings (driver conformance,
+  unloadable persisted specs, invalid alert SQL);
 * ``GET /stats``        — gateway statistics.
 
 Requests and responses are simple strings ("GET /path?query"), which is
@@ -86,6 +88,8 @@ class GatewayServlet:
             return _status(200, self.console.alerts_panel())
         if path == "/health":
             return _status(200, self.console.health_panel())
+        if path == "/analyze":
+            return _status(200, self.console.analysis_panel())
         if path == "/report":
             return self._report()
         if path == "/query":

@@ -1,0 +1,158 @@
+"""The lint driver: path walking, baselines, rendering, CLI."""
+
+import pytest
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.linter import (
+    iter_python_files,
+    lint_paths,
+    load_baseline,
+    render_flat,
+    render_tree,
+    summary_line,
+    write_baseline,
+)
+from repro.cli import main as cli_main
+
+DIRTY = "import socket\nimport time\nstarted = time.time()\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(DIRTY)
+    (pkg / "clean.py").write_text("x = 1\n")
+    (pkg / "notes.txt").write_text("not python")
+    cache = pkg / "__pycache__"
+    cache.mkdir()
+    (cache / "dirty.cpython-311.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestWalk:
+    def test_only_python_files_outside_pycache(self, tree):
+        files = iter_python_files([str(tree)])
+        names = [f.rsplit("/", 1)[-1] for f in files]
+        assert names == ["clean.py", "dirty.py"]
+
+    def test_explicit_file_kept_as_is(self, tree):
+        target = str(tree / "pkg" / "dirty.py")
+        assert iter_python_files([target]) == [target]
+
+
+class TestLintPaths:
+    def test_findings_and_scan_count(self, tree):
+        report = lint_paths([str(tree)])
+        assert report.files_scanned == 2
+        assert sorted(f.rule_id for f in report.findings) == [
+            "GRM101",
+            "GRM102",
+        ]
+
+    def test_rule_subset(self, tree):
+        from repro.analysis.rules import rules_by_id
+
+        report = lint_paths([str(tree)], rules=rules_by_id(["GRM102"]))
+        assert [f.rule_id for f in report.findings] == ["GRM102"]
+
+    def test_repo_src_is_clean(self):
+        report = lint_paths(["src"])
+        assert report.findings == [], render_flat(report)
+
+    def test_unreadable_file_is_grm100(self, tmp_path):
+        bad = tmp_path / "latin.py"
+        bad.write_bytes(b"# caf\xe9\nx = 1\n")
+        report = lint_paths([str(bad)])
+        assert [f.rule_id for f in report.findings] == ["GRM100"]
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_exactly_recorded(self, tree, tmp_path):
+        baseline_file = tmp_path / "baseline.txt"
+        first = lint_paths([str(tree)])
+        n = write_baseline(str(baseline_file), first)
+        assert n == len({f.fingerprint for f in first.findings})
+
+        second = lint_paths(
+            [str(tree)], baseline=load_baseline(str(baseline_file))
+        )
+        assert second.findings == []
+        assert second.suppressed == len(first.findings)
+
+        # A NEW violation still surfaces through the baseline.
+        (tree / "pkg" / "fresh.py").write_text("import socket\n")
+        third = lint_paths(
+            [str(tree)], baseline=load_baseline(str(baseline_file))
+        )
+        assert [f.rule_id for f in third.findings] == ["GRM102"]
+        assert "fresh.py" in third.findings[0].path
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.txt")) == set()
+
+    def test_fingerprints_have_no_line_numbers(self):
+        f = Finding(
+            rule_id="GRM101",
+            severity=Severity.ERROR,
+            message="m",
+            path="a.py",
+            line=42,
+            symbol="time.time",
+        )
+        assert f.fingerprint == "GRM101:a.py:time.time"
+
+
+class TestRendering:
+    def test_tree_groups_by_file(self, tree):
+        text = render_tree(lint_paths([str(tree)]))
+        assert "dirty.py" in text
+        assert "[xx] GRM101" in text and "[xx] GRM102" in text
+
+    def test_tree_clean_marker(self):
+        assert "(clean)" in render_tree(AnalysisReport(files_scanned=3))
+
+    def test_flat_is_one_per_line(self, tree):
+        report = lint_paths([str(tree)])
+        lines = render_flat(report).splitlines()
+        assert len(lines) == len(report.findings) + 1  # + summary
+
+    def test_summary_counts_baselined(self):
+        report = AnalysisReport(files_scanned=1, suppressed=2)
+        assert "2 baselined" in summary_line(report)
+
+
+class TestCli:
+    def test_lint_dirty_exits_1(self, tree, capsys):
+        rc = cli_main(["lint", str(tree)])
+        assert rc == 1
+        assert "GRM102" in capsys.readouterr().out
+
+    def test_lint_clean_exits_0(self, tree, capsys):
+        rc = cli_main(["lint", str(tree / "pkg" / "clean.py")])
+        assert rc == 0
+
+    def test_lint_repo_src_exits_0(self):
+        assert cli_main(["lint", "src"]) == 0
+
+    def test_write_then_use_baseline(self, tree, tmp_path, capsys):
+        baseline = str(tmp_path / "b.txt")
+        assert cli_main(["lint", str(tree), "--write-baseline", baseline]) == 0
+        assert cli_main(["lint", str(tree), "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_rules_filter(self, tree, capsys):
+        rc = cli_main(["lint", str(tree), "--rules", "grm102"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "GRM102" in out and "GRM101" not in out
+
+    def test_unknown_rule_id_rejected(self, tree):
+        with pytest.raises(SystemExit):
+            cli_main(["lint", str(tree), "--rules", "GRM999"])
+
+    def test_flat_format(self, tree, capsys):
+        cli_main(["lint", str(tree), "--format", "flat"])
+        out = capsys.readouterr().out
+        assert "[error] GRM101" in out

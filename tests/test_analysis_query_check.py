@@ -1,0 +1,161 @@
+"""Compile-time GLUE query validation (the R-GMA-style static check)."""
+
+import pytest
+
+from repro.analysis.query_check import literal_compatible, validate_sql
+from repro.glue.schema import standard_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return standard_schema()
+
+
+def ids(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+class TestGroups:
+    def test_known_group_clean(self, schema):
+        assert validate_sql("SELECT * FROM Processor", schema) == []
+
+    def test_unknown_group_is_grm201(self, schema):
+        findings = validate_sql("SELECT * FROM NoSuchGroup", schema)
+        assert ids(findings) == ["GRM201"]
+        assert "NoSuchGroup" in findings[0].message
+
+    def test_group_lookup_case_insensitive(self, schema):
+        assert validate_sql("SELECT HostName FROM processor", schema) == []
+
+    def test_unknown_group_suppresses_attribute_noise(self, schema):
+        # Columns can't be resolved without the group; one clear finding
+        # beats one per column.
+        findings = validate_sql(
+            "SELECT Anything, Whatever FROM NoSuchGroup", schema
+        )
+        assert ids(findings) == ["GRM201"]
+
+    def test_join_checks_every_table(self, schema):
+        findings = validate_sql(
+            "SELECT HostName FROM Processor, Bogus", schema
+        )
+        assert ids(findings) == ["GRM201"]
+
+
+class TestAttributes:
+    def test_unknown_attribute_is_grm202(self, schema):
+        findings = validate_sql("SELECT Bogus FROM Processor", schema)
+        assert ids(findings) == ["GRM202"]
+        assert "Bogus" in findings[0].message
+
+    def test_unknown_attribute_in_where(self, schema):
+        findings = validate_sql(
+            "SELECT HostName FROM Processor WHERE NotAField = 1", schema
+        )
+        assert ids(findings) == ["GRM202"]
+
+    def test_join_attributes_resolve_across_groups(self, schema):
+        sql = (
+            "SELECT HostName, LoadAverage1Min, RAMAvailableMB "
+            "FROM Processor, MainMemory"
+        )
+        assert validate_sql(sql, schema) == []
+
+    def test_extra_fields_passthrough(self, schema):
+        sql = "SELECT HostName, SourceUrl FROM Processor"
+        assert ids(validate_sql(sql, schema)) == ["GRM202"]
+        assert (
+            validate_sql(
+                sql, schema, extra_fields=("SourceUrl", "RecordedAt")
+            )
+            == []
+        )
+
+    def test_duplicate_unknown_reported_once(self, schema):
+        sql = "SELECT Bogus FROM Processor WHERE Bogus = 1 ORDER BY Bogus"
+        assert ids(validate_sql(sql, schema)) == ["GRM202"]
+
+
+class TestPredicateTypes:
+    def test_text_vs_integer_is_grm203(self, schema):
+        findings = validate_sql(
+            "SELECT HostName FROM Processor WHERE Vendor > 5", schema
+        )
+        assert ids(findings) == ["GRM203"]
+        assert "Vendor" in findings[0].message
+
+    def test_integer_vs_text_literal(self, schema):
+        findings = validate_sql(
+            "SELECT HostName FROM Processor WHERE CPUCount = 'many'", schema
+        )
+        assert ids(findings) == ["GRM203"]
+
+    def test_numeric_family_is_compatible(self, schema):
+        # INTEGER/REAL/TIMESTAMP collapse to one comparable class.
+        assert (
+            validate_sql(
+                "SELECT HostName FROM Processor WHERE CPUCount > 1.5", schema
+            )
+            == []
+        )
+
+    def test_null_comparison_passthrough(self, schema):
+        assert (
+            validate_sql(
+                "SELECT HostName FROM Host WHERE HostName = NULL", schema
+            )
+            == []
+        )
+
+    def test_between_checked(self, schema):
+        findings = validate_sql(
+            "SELECT HostName FROM Processor "
+            "WHERE Vendor BETWEEN 1 AND 9",
+            schema,
+        )
+        assert ids(findings) == ["GRM203", "GRM203"]
+
+    def test_in_list_checked(self, schema):
+        findings = validate_sql(
+            "SELECT HostName FROM Processor WHERE CPUCount IN ('a', 'b')",
+            schema,
+        )
+        assert ids(findings) == ["GRM203", "GRM203"]
+
+    def test_column_vs_column_not_flagged(self, schema):
+        assert (
+            validate_sql(
+                "SELECT HostName FROM MainMemory "
+                "WHERE RAMAvailableMB < RAMSizeMB",
+                schema,
+            )
+            == []
+        )
+
+
+class TestSqlEntryPoint:
+    def test_unparseable_sql_is_grm200(self, schema):
+        findings = validate_sql("SELEKT nonsense", schema)
+        assert ids(findings) == ["GRM200"]
+
+    def test_path_is_threaded_into_findings(self, schema):
+        findings = validate_sql(
+            "SELECT * FROM Nope", schema, path="<alert:overload>"
+        )
+        assert findings[0].path == "<alert:overload>"
+
+
+class TestLiteralCompatible:
+    def test_none_always_compatible(self):
+        assert literal_compatible("TEXT", None)
+        assert literal_compatible("INTEGER", None)
+
+    def test_text_rejects_numbers(self):
+        assert literal_compatible("TEXT", "abc")
+        assert not literal_compatible("TEXT", 5)
+
+    def test_numeric_family(self):
+        assert literal_compatible("INTEGER", 1.5)
+        assert literal_compatible("REAL", 3)
+        assert literal_compatible("TIMESTAMP", 12.0)
+        assert not literal_compatible("REAL", "soon")
