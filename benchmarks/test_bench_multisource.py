@@ -7,9 +7,12 @@ and historical (or cached) data."
 
 Workload: one ``SELECT * FROM Processor`` fanned over 2-64 SNMP sources;
 plus a mixed real-time/history phase.  Metrics: virtual latency and rows
-vs source count.  Expected shape: latency and rows grow linearly with
-sources (the gateway visits each), and history queries cost no agent
-traffic at all.
+vs source count.  Expected shape: rows grow linearly with sources (the
+gateway consolidates each) while latency stays roughly *flat* — the
+concurrent dispatch layer overlaps the per-source round-trips, so the
+query costs about one round-trip however wide the fan-out (see
+test_bench_fanout.py for the serial-vs-concurrent comparison).  History
+queries cost no agent traffic at all.
 """
 
 import pytest
@@ -37,9 +40,13 @@ def test_e9_fanout_scaling(benchmark, report):
         "E9: consolidation fan-out over SNMP sources",
         *fmt_table(["sources", "virt ms", "virt ms/source", "rows"], rows),
     )
-    # Shape: linear — per-source cost roughly constant (within 2x).
+    # Shape: concurrent — total latency stays near one round-trip as the
+    # fan-out widens (32x the sources may cost at most ~2x the time,
+    # jitter included), so per-source cost *falls* with scale.
+    elapsed_ms = [r[1] for r in rows]
+    assert max(elapsed_ms) < min(elapsed_ms) * 2
     per_source = [r[2] for r in rows]
-    assert max(per_source) < min(per_source) * 2
+    assert per_source[-1] < per_source[0] / 8
     assert [r[3] for r in rows] == [r[0] for r in rows]
 
     site = fresh_site(name="e9k", n_hosts=8, agents=("snmp",))

@@ -42,6 +42,11 @@ class ClientResponse:
     statuses: list[dict[str, Any]] = field(default_factory=list)
     elapsed: float = 0.0
     mode: str = "realtime"
+    #: False when the request as a whole failed (``error`` says why) —
+    #: used by batch replies, where one member's failure must not abort
+    #: its siblings.
+    ok: bool = True
+    error: str = ""
 
     @classmethod
     def from_result(cls, result: QueryResult) -> "ClientResponse":
@@ -54,6 +59,8 @@ class ClientResponse:
                     "ok": s.ok,
                     "rows": s.rows,
                     "from_cache": s.from_cache,
+                    "degraded": s.degraded,
+                    "coalesced": s.coalesced,
                     "error": s.error,
                 }
                 for s in result.statuses
@@ -95,3 +102,32 @@ class AbstractClientInterface:
             max_age=request.max_age,
         )
         return ClientResponse.from_result(result)
+
+    def query_many(self, requests: Sequence[ClientRequest]) -> list[ClientResponse]:
+        """Execute a batch of client queries concurrently.
+
+        The batch costs the slowest member's virtual elapsed time.
+        Replies come back in request order; a member that fails (bad
+        session, security rejection, invalid SQL) yields a reply with
+        ``ok=False`` and the error text, without aborting its siblings.
+        """
+
+        def member(request: ClientRequest):
+            return lambda: self.query(request)
+
+        outcomes = self.gateway.dispatcher.run([member(r) for r in requests])
+        replies: list[ClientResponse] = []
+        for request, outcome in zip(requests, outcomes):
+            if outcome.error is not None:
+                replies.append(
+                    ClientResponse(
+                        columns=[],
+                        rows=[],
+                        mode=request.mode,
+                        ok=False,
+                        error=str(outcome.error),
+                    )
+                )
+            else:
+                replies.append(outcome.value)
+        return replies

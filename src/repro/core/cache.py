@@ -8,6 +8,11 @@ gateways to increase scalability by reducing unnecessary requests".
 
 Keys are (source url, normalised SQL); values carry the result rows plus
 the sample time so the console can display staleness.
+
+The cache is bounded: ``GatewayPolicy.query_cache_max_entries`` sets an
+LRU capacity (0 = unbounded).  Lookups refresh recency; inserting past
+capacity evicts the least recently used entry and counts it in
+``evictions``, so a long-running gateway's memory footprint stays flat.
 """
 
 from __future__ import annotations
@@ -46,16 +51,27 @@ def normalise_sql(sql: str) -> str:
 
 
 class CacheController:
-    """TTL cache of query results over the virtual clock."""
+    """TTL + LRU cache of query results over the virtual clock.
 
-    def __init__(self, clock: VirtualClock, *, ttl: float = 30.0) -> None:
+    ``_entries`` relies on dict insertion order as the recency order:
+    oldest first.  Hits and stores move the key to the end; eviction
+    pops from the front.
+    """
+
+    def __init__(
+        self, clock: VirtualClock, *, ttl: float = 30.0, max_entries: int = 0
+    ) -> None:
         if ttl < 0:
             raise ValueError(f"negative ttl: {ttl!r}")
+        if max_entries < 0:
+            raise ValueError(f"negative max_entries: {max_entries!r}")
         self.clock = clock
         self.ttl = ttl
+        self.max_entries = max_entries
         self._entries: dict[tuple[str, str], CachedResult] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def key(self, source_url: str, sql: str) -> tuple[str, str]:
         return (source_url, normalise_sql(sql))
@@ -65,15 +81,28 @@ class CacheController:
     ) -> Optional[CachedResult]:
         """A live cached result, or None.  ``max_age`` tightens the TTL
         per-request (a client may insist on fresher data)."""
-        entry = self._entries.get(self.key(source_url, sql))
+        key = self.key(source_url, sql)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
+        now = self.clock.now()
+        if entry.cached_at > now:
+            # Stored by a concurrent sibling branch whose private timeline
+            # ran ahead of ours: from this branch's point of view that
+            # result does not exist yet.  Treat as a miss so the caller
+            # takes the single-flight path (and pays its wait cost)
+            # instead of time-travelling.
+            self.misses += 1
+            return None
         limit = self.ttl if max_age is None else min(self.ttl, max_age)
-        if entry.age(self.clock.now()) > limit:
+        if entry.age(now) > limit:
             self.misses += 1
             return None
         self.hits += 1
+        # Refresh recency: move to the back of the eviction queue.
+        self._entries.pop(key)
+        self._entries[key] = entry
         return entry
 
     def lookup_stale(self, source_url: str, sql: str) -> Optional[CachedResult]:
@@ -98,7 +127,14 @@ class CacheController:
             source_url=source_url,
             sql=sql,
         )
-        self._entries[self.key(source_url, sql)] = entry
+        key = self.key(source_url, sql)
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+        if self.max_entries:
+            while len(self._entries) > self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self.evictions += 1
         return entry
 
     def invalidate(self, source_url: str | None = None) -> int:

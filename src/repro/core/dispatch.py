@@ -1,0 +1,245 @@
+"""Concurrent fan-out query scheduler.
+
+The paper promises that one gateway gives "a view of the recent status of
+a site while limiting resource intrusion" (§4); the serial reproduction
+made a query over N sources cost the *sum* of N round-trips in virtual
+time.  :class:`FanoutDispatcher` is the gateway's dispatch layer over
+:meth:`VirtualClock.concurrent`: it fans branches of work out so total
+elapsed time is the *max* of branch delays, and adds two controls on top:
+
+* **single-flight coalescing** — identical in-flight ``(source url,
+  normalised SQL)`` requests (e.g. the join path fetching ``SELECT *
+  FROM Processor`` while a tree-view poll asks the same source the same
+  question) share one agent round-trip.  Joiners wait until the shared
+  flight completes, then reuse its rows (or its failure) without any
+  agent traffic of their own.
+* **per-source concurrency caps** — at most
+  ``GatewayPolicy.max_concurrent_per_source`` requests may be in flight
+  to one data source (or remote gateway) at once; excess branches queue
+  in virtual time, so a gateway fan-out cannot stampede an agent.
+
+One dispatcher is shared per gateway (RequestManager fan-out, multi-group
+join decomposition, Global-layer scatter-gather and client batches all go
+through it), which is what makes flights visible across concurrent
+clients of the same gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.cache import normalise_sql
+from repro.core.errors import GridRmError
+from repro.core.policy import GatewayPolicy
+from repro.dbapi.exceptions import SQLException
+from repro.simnet.clock import VirtualClock
+from repro.simnet.errors import NetworkError
+from repro.sql.errors import SqlError
+
+#: Soft bound on remembered flights; completed entries past it are swept.
+_FLIGHT_SWEEP_THRESHOLD = 512
+
+#: Failures a branch may legitimately end in; captured per-branch so one
+#: failing branch cannot abort its siblings mid-flight.  Programming
+#: errors (TypeError, KeyError, ...) propagate immediately instead.
+BRANCH_ERRORS = (GridRmError, SQLException, SqlError, NetworkError)
+
+
+@dataclass
+class BranchOutcome:
+    """Result of one concurrently dispatched branch."""
+
+    value: Any = None
+    error: Exception | None = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class Flight:
+    """One in-flight (or just-completed) coalescable request."""
+
+    key: tuple[str, str]
+    value: Any = None
+    error: Exception | None = None
+    started_at: float = 0.0
+    completed_at: float = 0.0
+
+
+@dataclass
+class DispatchStats:
+    """Counters surfaced via ``Gateway.stats()`` and the console."""
+
+    fanouts: int = 0
+    branches: int = 0
+    serial_runs: int = 0
+    singleflight_joins: int = 0
+    cap_waits: int = 0
+    cap_wait_time: float = 0.0
+    flights: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "fanouts": self.fanouts,
+            "branches": self.branches,
+            "serial_runs": self.serial_runs,
+            "singleflight_joins": self.singleflight_joins,
+            "cap_waits": self.cap_waits,
+            "cap_wait_time": self.cap_wait_time,
+            "flights": self.flights,
+        }
+
+
+class FanoutDispatcher:
+    """Concurrent dispatch + single-flight + per-source caps for one
+    gateway."""
+
+    def __init__(self, clock: VirtualClock, policy: GatewayPolicy) -> None:
+        self.clock = clock
+        self.policy = policy
+        self._flights: dict[tuple[str, str], Flight] = {}
+        #: Completion times of requests dispatched to each source; an
+        #: entry with ``end > now`` is still in flight at ``now``.
+        self._inflight_ends: dict[str, list[float]] = {}
+        self.stats = DispatchStats()
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[BranchOutcome]:
+        """Run branches concurrently in virtual time; outcomes in order.
+
+        Branch exceptions are captured per-branch (one failing branch
+        must not abort its siblings mid-flight); callers decide whether
+        to re-raise.  Outcome order always matches ``thunks`` order, so
+        consolidation is deterministic regardless of which branch's
+        virtual round-trip completes first.  With ``fanout_enabled``
+        off — or a single branch — execution is plain serial.
+        """
+        thunks = list(thunks)
+        if not thunks:
+            return []
+        if not self.policy.fanout_enabled or len(thunks) == 1:
+            self.stats.serial_runs += 1
+            return [self._run_one(thunk) for thunk in thunks]
+        self.stats.fanouts += 1
+        self.stats.branches += len(thunks)
+        outcomes: list[BranchOutcome] = []
+        with self.clock.concurrent() as scope:
+            for thunk in thunks:
+                with scope.branch():
+                    outcomes.append(self._run_one(thunk))
+        return outcomes
+
+    def _run_one(self, thunk: Callable[[], Any]) -> BranchOutcome:
+        start = self.clock.now()
+        try:
+            value = thunk()
+        except BRANCH_ERRORS as exc:
+            return BranchOutcome(error=exc, elapsed=self.clock.now() - start)
+        return BranchOutcome(value=value, elapsed=self.clock.now() - start)
+
+    # ------------------------------------------------------------------
+    # Single-flight coalescing
+    # ------------------------------------------------------------------
+    def flight_key(self, source_key: str, sql: str) -> tuple[str, str]:
+        return (source_key, normalise_sql(sql))
+
+    def join_flight(self, source_key: str, sql: str) -> Flight | None:
+        """Join an identical in-flight request, or None to fetch for real.
+
+        A flight is joinable while its completion still lies in the
+        caller's future — i.e. the shared round-trip is genuinely in the
+        air right now.  Joining waits (advances this branch's timeline)
+        until the flight completes, then shares its outcome; the caller
+        performs no agent traffic.
+        """
+        if not (self.policy.singleflight_enabled and self.policy.fanout_enabled):
+            return None
+        key = self.flight_key(source_key, sql)
+        flight = self._flights.get(key)
+        if flight is None:
+            return None
+        now = self.clock.now()
+        if flight.completed_at <= now:
+            # Landed in the past: no longer coalescable (the query cache
+            # owns reuse from here on).
+            del self._flights[key]
+            return None
+        self.stats.singleflight_joins += 1
+        self.clock.advance_to(flight.completed_at)
+        return flight
+
+    def run_flight(
+        self, source_key: str, sql: str, fetch: Callable[[], Any]
+    ) -> Any:
+        """Run the real fetch, registered as the coalescing target.
+
+        Applies the per-source concurrency cap first (queueing in virtual
+        time when the source is saturated), then records the flight —
+        value or failure — so concurrent identical requests can join it.
+        Exceptions propagate to the caller unchanged.
+        """
+        self._await_slot(source_key)
+        started = self.clock.now()
+        try:
+            value = fetch()
+        except BRANCH_ERRORS as exc:
+            self._finish_flight(source_key, sql, started, error=exc)
+            raise
+        self._finish_flight(source_key, sql, started, value=value)
+        return value
+
+    def _finish_flight(
+        self,
+        source_key: str,
+        sql: str,
+        started: float,
+        *,
+        value: Any = None,
+        error: Exception | None = None,
+    ) -> None:
+        end = self.clock.now()
+        key = self.flight_key(source_key, sql)
+        self._flights[key] = Flight(
+            key=key, value=value, error=error, started_at=started, completed_at=end
+        )
+        self._inflight_ends.setdefault(source_key, []).append(end)
+        self.stats.flights += 1
+        if len(self._flights) > _FLIGHT_SWEEP_THRESHOLD:
+            self._sweep_flights(end)
+
+    def _sweep_flights(self, now: float) -> None:
+        done = [k for k, f in self._flights.items() if f.completed_at <= now]
+        for k in done:
+            del self._flights[k]
+
+    # ------------------------------------------------------------------
+    # Per-source concurrency cap
+    # ------------------------------------------------------------------
+    def _await_slot(self, source_key: str) -> None:
+        """Wait (in virtual time) for a dispatch slot to this source."""
+        ends = self._inflight_ends.get(source_key)
+        if not ends:
+            return
+        now = self.clock.now()
+        live = [e for e in ends if e > now]
+        cap = self.policy.max_concurrent_per_source
+        if cap > 0 and len(live) >= cap:
+            waited_from = now
+            while len(live) >= cap:
+                self.clock.advance_to(min(live))
+                now = self.clock.now()
+                live = [e for e in live if e > now]
+            self.stats.cap_waits += 1
+            self.stats.cap_wait_time += now - waited_from
+        self._inflight_ends[source_key] = live
+
+    def inflight(self, source_key: str) -> int:
+        """How many requests to ``source_key`` are in flight right now."""
+        now = self.clock.now()
+        return sum(1 for e in self._inflight_ends.get(source_key, ()) if e > now)

@@ -23,13 +23,19 @@ from repro.analysis.query_check import validate_sql
 from repro.core.acil import AbstractClientInterface
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
+from repro.core.dispatch import FanoutDispatcher
 from repro.core.driver_manager import GridRmDriverManager
 from repro.core.errors import GridRmError
 from repro.core.events import Event, EventManager, SnmpTrapEventDriver
 from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.history import HistoryStore
 from repro.core.policy import GatewayPolicy
-from repro.core.request_manager import QueryMode, QueryResult, RequestManager
+from repro.core.request_manager import (
+    QueryMode,
+    QueryResult,
+    RequestManager,
+    merge_rows,
+)
 from repro.core.schema_manager import SchemaManager
 from repro.core.security import (
     ANONYMOUS,
@@ -62,6 +68,16 @@ class DataSource:
     last_polled: float | None = None
     last_ok: bool | None = None
     last_error: str = ""
+
+
+@dataclass
+class BatchQuery:
+    """One member of a :meth:`Gateway.query_batch` request."""
+
+    urls: str | JdbcUrl | Sequence[str | JdbcUrl]
+    sql: str
+    mode: QueryMode = QueryMode.CACHED_OK
+    max_age: float | None = None
 
 
 def _spec_finding(spec: str, error: str) -> Finding:
@@ -115,7 +131,11 @@ class Gateway:
         self.connection_manager = ConnectionManager(
             self.driver_manager, network.clock, self.policy, health=self.health
         )
-        self.cache = CacheController(network.clock, ttl=self.policy.query_cache_ttl)
+        self.cache = CacheController(
+            network.clock,
+            ttl=self.policy.query_cache_ttl,
+            max_entries=self.policy.query_cache_max_entries,
+        )
         self.history = HistoryStore(
             self.schema_manager.schema,
             max_rows_per_group=self.policy.history_max_rows_per_group,
@@ -123,12 +143,18 @@ class Gateway:
         self.events = EventManager(
             network, host, self.policy, history=self.history
         )
+        # One dispatcher for the whole gateway: the RequestManager's
+        # per-source fan-out, the Global layer's scatter-gather and
+        # client batches all share it, so identical concurrent requests
+        # coalesce across every code path.
+        self.dispatcher = FanoutDispatcher(network.clock, self.policy)
         self.request_manager = RequestManager(
             self.connection_manager,
             self.cache,
             self.history,
             self.policy,
             health=self.health,
+            dispatcher=self.dispatcher,
         )
         self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
         self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)
@@ -291,18 +317,45 @@ class Gateway:
             "schema": self.schema_manager.schema,
         }
         started = self.network.clock.now()
-        if local:
+        if not remote_by_site:
+            # Local-only fast path: the RequestManager fans out itself.
             result = self.request_manager.execute(
                 local, sql, mode=mode, max_age=max_age, info=info
             )
         else:
-            from repro.core.request_manager import QueryResult
-
+            # Scatter-gather: the local batch and each remote site's
+            # batch are dispatched concurrently; partials merge in the
+            # deterministic order local-first, then site order.
             result = QueryResult(columns=[], rows=[], mode=mode, started_at=started)
-        for site_name, site_urls in remote_by_site.items():
-            self._query_remote_site(
-                site_name, site_urls, sql, mode, max_age, principal, result
-            )
+            thunks = []
+            if local:
+                thunks.append(
+                    lambda: self.request_manager.execute(
+                        local, sql, mode=mode, max_age=max_age, info=info
+                    )
+                )
+
+            def remote_branch(site_name: str, site_urls: list[str]):
+                def run() -> QueryResult:
+                    partial = QueryResult(columns=[], rows=[], mode=mode)
+                    self._query_remote_site(
+                        site_name, site_urls, sql, mode, max_age, principal, partial
+                    )
+                    return partial
+
+                return run
+
+            for site_name, site_urls in remote_by_site.items():
+                thunks.append(remote_branch(site_name, site_urls))
+            for outcome in self.dispatcher.run(thunks):
+                if outcome.error is not None:
+                    raise outcome.error
+                partial = outcome.value
+                result.statuses.extend(partial.statuses)
+                if partial.columns:
+                    result.columns, _ = merge_rows(
+                        result.columns, result.rows, partial.columns, partial.rows
+                    )
         result.elapsed = self.network.clock.now() - started
         # Update per-source poll status for the tree view (Figure 9).
         now = self.network.clock.now()
@@ -372,17 +425,9 @@ class Gateway:
                     SourceStatus(url=u, ok=False, degraded=degraded, error=str(exc))
                 )
             return
-        if not result.columns:
-            result.columns = list(remote.columns)
-            result.rows.extend(list(r) for r in remote.rows)
-        elif list(remote.columns) == result.columns:
-            result.rows.extend(list(r) for r in remote.rows)
-        else:
-            index = {c: i for i, c in enumerate(remote.columns)}
-            for row in remote.rows:
-                result.rows.append(
-                    [row[index[c]] if c in index else None for c in result.columns]
-                )
+        result.columns, _ = merge_rows(
+            result.columns, result.rows, remote.columns, remote.rows
+        )
         for s in remote.statuses:
             result.statuses.append(
                 SourceStatus(
@@ -394,6 +439,30 @@ class Gateway:
                     error=str(s.get("error", "") or ""),
                 )
             )
+
+    def query_batch(
+        self,
+        queries: Sequence["BatchQuery"],
+        *,
+        principal: Principal = ANONYMOUS,
+    ) -> list[QueryResult | Exception]:
+        """Run several independent client queries concurrently.
+
+        The batch costs the slowest member's virtual elapsed time, not
+        the sum; identical sub-requests across members coalesce via
+        single-flight (a join and a tree-view poll asking one source the
+        same group share a single agent round-trip).  Results come back
+        in batch order; a member that fails contributes its exception in
+        place rather than aborting its siblings.
+        """
+
+        def member(q: BatchQuery):
+            return lambda: self.query(
+                q.urls, q.sql, mode=q.mode, principal=principal, max_age=q.max_age
+            )
+
+        outcomes = self.dispatcher.run([member(q) for q in queries])
+        return [o.value if o.error is None else o.error for o in outcomes]
 
     def query_all_sources(
         self,
@@ -502,7 +571,10 @@ class Gateway:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "entries": len(self.cache),
+                "evictions": self.cache.evictions,
+                "max_entries": self.cache.max_entries,
             },
+            "dispatch": self.dispatcher.stats.as_dict(),
             "health": {
                 **self.health.summary(),
                 "scoreboard": self.health.scoreboard(),

@@ -66,9 +66,26 @@ class GatewayPolicy:
             query cache even past its TTL, flagging the result
             ``degraded`` — a stale view beats an error (paper §4's
             "limit resource intrusion" cache, stretched to faults).
+        query_cache_max_entries: LRU bound on the gateway query cache —
+            inserting past it evicts the least recently used entry, so a
+            long-running gateway's cache cannot grow without limit
+            (0 = unbounded).
+        fanout_enabled: dispatch multi-source / multi-group / multi-site
+            sub-queries concurrently in virtual time (elapsed = max of
+            branch delays).  Disable for the serial-baseline ablation.
+        max_concurrent_per_source: cap on simultaneously in-flight
+            requests to one data source (or remote gateway), so a
+            gateway fan-out cannot stampede an agent (0 = unlimited).
+        singleflight_enabled: coalesce identical concurrently in-flight
+            ``(source url, normalised SQL)`` requests into one agent
+            round-trip shared by every waiter.
     """
 
     query_cache_ttl: float = 30.0
+    query_cache_max_entries: int = 4096
+    fanout_enabled: bool = True
+    max_concurrent_per_source: int = 4
+    singleflight_enabled: bool = True
     history_enabled: bool = True
     history_max_rows_per_group: int = 100_000
     pool_max_per_source: int = 8
@@ -93,6 +110,14 @@ class GatewayPolicy:
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
             raise PolicyError(f"query_cache_ttl < 0: {self.query_cache_ttl!r}")
+        if self.query_cache_max_entries < 0:
+            raise PolicyError(
+                f"query_cache_max_entries < 0: {self.query_cache_max_entries!r}"
+            )
+        if self.max_concurrent_per_source < 0:
+            raise PolicyError(
+                f"max_concurrent_per_source < 0: {self.max_concurrent_per_source!r}"
+            )
         if self.pool_max_per_source < 1:
             raise PolicyError(
                 f"pool_max_per_source must be >= 1: {self.pool_max_per_source!r}"

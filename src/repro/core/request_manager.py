@@ -19,6 +19,15 @@ Modes:
 Multi-source queries consolidate per-source results into one relation;
 sources that fail contribute a status entry rather than failing the whole
 request.
+
+Dispatch is concurrent in virtual time (see :mod:`repro.core.dispatch`):
+a query over N sources fans one sub-request out per source, so the
+consolidated result costs the *slowest* source's round-trip rather than
+the sum of all N.  Results are always merged in the caller's URL order —
+never completion order — so consolidation stays deterministic.  Identical
+concurrent requests to one source coalesce into a single agent
+round-trip (single-flight), and per-source concurrency caps stop a wide
+fan-out from stampeding one agent.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.analysis.query_check import validate_select
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
+from repro.core.dispatch import FanoutDispatcher
 from repro.core.errors import (
     DataSourceError,
     GridRmError,
@@ -68,6 +78,9 @@ class SourceStatus:
     #: a stale cached result (ok=True) or a short-circuited failure
     #: (ok=False) — either way, the source itself was not touched.
     degraded: bool = False
+    #: True when this answer shared another request's in-flight agent
+    #: round-trip (single-flight coalescing) instead of issuing its own.
+    coalesced: bool = False
     error: str = ""
 
 
@@ -103,6 +116,36 @@ class QueryResult:
         return ListResultSet(self.columns, self.rows)
 
 
+def merge_rows(
+    dest_columns: list[str],
+    dest_rows: list[list[Any]],
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> tuple[list[str], int]:
+    """Consolidate one relation into ``(dest_columns, dest_rows)``.
+
+    Appends to ``dest_rows`` in place, aligning heterogeneous
+    projections by column name (None-filling gaps — e.g. history results
+    carry extra provenance columns).  Returns the destination columns
+    (adopted from ``columns`` when the destination was empty) and the
+    number of rows appended.  Shared by the RequestManager's per-source
+    consolidation and the Gateway's remote-site scatter-gather.
+    """
+    rows = [list(r) for r in rows]
+    if not dest_columns:
+        dest_rows.extend(rows)
+        return list(columns), len(rows)
+    if list(columns) == dest_columns:
+        dest_rows.extend(rows)
+        return dest_columns, len(rows)
+    index = {c: i for i, c in enumerate(columns)}
+    for row in rows:
+        dest_rows.append(
+            [row[index[c]] if c in index else None for c in dest_columns]
+        )
+    return dest_columns, len(rows)
+
+
 class RequestManager:
     """Coordinates real-time, cached and historical queries."""
 
@@ -114,6 +157,7 @@ class RequestManager:
         policy: GatewayPolicy,
         *,
         health: HealthTracker | None = None,
+        dispatcher: FanoutDispatcher | None = None,
     ) -> None:
         self.connection_manager = connection_manager
         self.cache = cache
@@ -122,8 +166,19 @@ class RequestManager:
         #: Shared per-source circuit breakers (injected by the Gateway).
         self.health = health
         self.clock = connection_manager.clock
+        #: Concurrent dispatch + single-flight + per-source caps.  The
+        #: Gateway injects its shared dispatcher so coalescing works
+        #: across every consumer of the same sources.
+        self.dispatcher = (
+            dispatcher
+            if dispatcher is not None
+            else FanoutDispatcher(self.clock, policy)
+        )
         self.stats = {
             "queries": 0,
+            "join_queries": 0,
+            "fanout_queries": 0,
+            "singleflight_joins": 0,
             "realtime_fetches": 0,
             "cache_served": 0,
             "history_served": 0,
@@ -178,13 +233,55 @@ class RequestManager:
             result.started_at = started
         else:
             result = QueryResult(columns=[], rows=[], mode=mode, started_at=started)
-            for url in parsed:
-                if mode is QueryMode.HISTORY:
+            if mode is QueryMode.HISTORY:
+                # Historical queries hit the gateway-local store: no
+                # network round-trips, nothing to overlap.
+                for url in parsed:
                     self._one_history(url, sql, result)
-                else:
-                    self._one_realtime(url, sql, result, mode, max_age, info)
+            elif len(parsed) == 1 or not self.policy.fanout_enabled:
+                for url in parsed:
+                    self._one_realtime(url, sql, select, result, mode, max_age, info)
+            else:
+                self._fan_out(parsed, sql, select, result, mode, max_age, info)
         result.elapsed = self.clock.now() - started
         return result
+
+    def _fan_out(
+        self,
+        urls: list[JdbcUrl],
+        sql: str,
+        select: Any,
+        result: QueryResult,
+        mode: QueryMode,
+        max_age: float | None,
+        info: Mapping[str, Any] | None,
+    ) -> None:
+        """Dispatch one sub-request per source concurrently.
+
+        Each branch fills a private partial result; partials are merged
+        into ``result`` afterwards in the caller's URL order, so rows and
+        statuses come out identically however branch round-trips overlap.
+        """
+        self.stats["fanout_queries"] += 1
+        partials = [QueryResult(columns=[], rows=[], mode=mode) for _ in urls]
+
+        def branch(url: JdbcUrl, partial: QueryResult):
+            return lambda: self._one_realtime(
+                url, sql, select, partial, mode, max_age, info
+            )
+
+        outcomes = self.dispatcher.run(
+            [branch(u, p) for u, p in zip(urls, partials)]
+        )
+        for outcome, partial in zip(outcomes, partials):
+            if outcome.error is not None:
+                # _one_realtime converts per-source failures to statuses;
+                # anything escaping it is a programming error worth
+                # surfacing, not a source outcome.
+                raise outcome.error
+            result.statuses.extend(partial.statuses)
+            if partial.columns:
+                self._merge(result, partial.columns, partial.rows)
 
     # ------------------------------------------------------------------
     def _execute_join(
@@ -207,13 +304,23 @@ class RequestManager:
         """
         from repro.sql.executor import execute_select, natural_join
 
-        self.stats["join_queries"] = self.stats.get("join_queries", 0) + 1
+        self.stats["join_queries"] += 1
         result = QueryResult(columns=[], rows=[], mode=mode)
-        relations = []
-        for group in select.tables:
-            sub = self.execute(
+
+        def branch(group: str):
+            return lambda: self.execute(
                 urls, f"SELECT * FROM {group}", mode=mode, max_age=max_age, info=info
             )
+
+        # One decomposed sub-query per GLUE group, dispatched
+        # concurrently (each branch fans out over the sources in turn);
+        # relations are consolidated in the statement's group order.
+        outcomes = self.dispatcher.run([branch(g) for g in select.tables])
+        relations = []
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+            sub = outcome.value
             result.statuses.extend(sub.statuses)
             relations.append((sub.columns, sub.dicts()))
         if any(not columns for columns, _ in relations):
@@ -239,27 +346,14 @@ class RequestManager:
         rows: Iterable[Sequence[Any]],
     ) -> int:
         """Append one source's rows, aligning columns by name."""
-        rows = [list(r) for r in rows]
-        if not result.columns:
-            result.columns = list(columns)
-            result.rows.extend(rows)
-            return len(rows)
-        if list(columns) == result.columns:
-            result.rows.extend(rows)
-            return len(rows)
-        # Heterogeneous projections (e.g. history adds provenance
-        # columns): align by name, None-filling gaps.
-        index = {c: i for i, c in enumerate(columns)}
-        for row in rows:
-            result.rows.append(
-                [row[index[c]] if c in index else None for c in result.columns]
-            )
-        return len(rows)
+        result.columns, n = merge_rows(result.columns, result.rows, columns, rows)
+        return n
 
     def _one_realtime(
         self,
         url: JdbcUrl,
         sql: str,
+        select: Any,
         result: QueryResult,
         mode: QueryMode,
         max_age: float | None,
@@ -282,8 +376,34 @@ class RequestManager:
             self.stats["breaker_short_circuits"] += 1
             self._one_degraded(url_text, sql, result)
             return
+        # Single-flight: an identical request already in the air to this
+        # source answers both of us with one agent round-trip.  The real
+        # flight already updated health, stats, cache and history — the
+        # joiner only waits for it and shares the outcome.
+        flight = self.dispatcher.join_flight(url_text, sql)
+        if flight is not None:
+            self.stats["singleflight_joins"] += 1
+            if flight.error is not None:
+                self.stats["source_failures"] += 1
+                result.statuses.append(
+                    SourceStatus(
+                        url=url_text,
+                        ok=False,
+                        coalesced=True,
+                        error=str(flight.error),
+                    )
+                )
+                return
+            columns, rows = flight.value
+            n = self._merge(result, columns, rows)
+            result.statuses.append(
+                SourceStatus(url=url_text, ok=True, rows=n, coalesced=True)
+            )
+            return
         try:
-            columns, rows = self._fetch(url, sql, info)
+            columns, rows = self.dispatcher.run_flight(
+                url_text, sql, lambda: self._fetch(url, sql, info)
+            )
         except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
             # Connect-stage failures (DataSourceError) were already
             # recorded into the health tracker by the driver manager;
@@ -305,7 +425,7 @@ class RequestManager:
         result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))
         self.cache.store(url_text, sql, list(columns), [list(r) for r in rows])
         if self.policy.history_enabled:
-            group = parse_select(sql).table
+            group = select.table
             if self.history.schema.has_group(group):
                 canonical = self.history.schema.group(group)
                 dict_rows = [dict(zip(columns, r)) for r in rows]

@@ -3,16 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
+from repro.core.errors import GridRmError
 from repro.gma.directory import DirectoryClient
 from repro.gma.records import ProducerRecord
 from repro.simnet.errors import NetworkError
 from repro.simnet.network import Address, Network
 
 
-class RemoteQueryFailure(Exception):
-    """The remote gateway rejected or failed the query."""
+class RemoteQueryFailure(GridRmError):
+    """The remote gateway rejected or failed the query.
+
+    A :class:`GridRmError` so the dispatch layer treats it as a
+    legitimate branch/flight outcome (captured and shared), not a
+    programming error.
+    """
 
 
 @dataclass
@@ -98,9 +104,16 @@ class GatewayConsumer:
         urls: list[str] | None = None,
         mode: str = "cached_ok",
         max_age: float | None = None,
+        producers: list[ProducerRecord] | None = None,
     ) -> RemoteResult:
-        """Query a site via its first reachable registered producer."""
-        producers = self.producers_for(site)
+        """Query a site via its first reachable registered producer.
+
+        ``producers`` short-circuits the directory lookup when the caller
+        already resolved the site (e.g. a batched
+        :meth:`DirectoryClient.lookup_sites` round).
+        """
+        if producers is None:
+            producers = self.producers_for(site)
         if not producers:
             raise RemoteQueryFailure(f"no producer registered for site {site!r}")
         last: Exception | None = None
@@ -114,3 +127,50 @@ class GatewayConsumer:
         raise RemoteQueryFailure(
             f"all {len(producers)} producer(s) for {site!r} failed: {last}"
         )
+
+    def query_sites(
+        self,
+        sites: Sequence[str],
+        sql: str,
+        *,
+        mode: str = "cached_ok",
+        max_age: float | None = None,
+        urls_by_site: dict[str, list[str]] | None = None,
+    ) -> list[RemoteResult | RemoteQueryFailure]:
+        """Scatter one query to several sites concurrently.
+
+        Directory lookups for all sites go out in one overlapped round,
+        then each site's query runs as a concurrent branch in virtual
+        time — the scatter costs the slowest site's round-trip, not the
+        sum.  Results come back in ``sites`` order; a site that fails
+        contributes its :class:`RemoteQueryFailure` in place rather than
+        aborting the gather.
+        """
+        sites = list(sites)
+        urls_by_site = urls_by_site or {}
+        if not sites:
+            return []
+
+        producers_by_site = self.directory.lookup_sites(sites)
+
+        def one(site: str) -> RemoteResult | RemoteQueryFailure:
+            try:
+                return self.query_site(
+                    site,
+                    sql,
+                    urls=urls_by_site.get(site),
+                    mode=mode,
+                    max_age=max_age,
+                    producers=producers_by_site[site],
+                )
+            except RemoteQueryFailure as exc:
+                return exc
+
+        if len(sites) == 1:
+            return [one(sites[0])]
+        results: list[RemoteResult | RemoteQueryFailure] = []
+        with self.network.clock.concurrent() as scope:
+            for site in sites:
+                with scope.branch():
+                    results.append(one(site))
+        return results

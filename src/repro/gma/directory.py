@@ -17,7 +17,7 @@ Wire protocol (tuples over the simulated network):
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Any
+from typing import Any, Sequence
 
 from repro.gma.records import ConsumerRecord, ProducerRecord
 from repro.simnet.network import Address, Network
@@ -97,6 +97,33 @@ class DirectoryClient:
 
     def lookup_site(self, site: str) -> list[ProducerRecord]:
         return [ProducerRecord(**d) for d in self._call("lookup_site", site)[1]]
+
+    def lookup_sites(self, sites: Sequence[str]) -> dict[str, list[ProducerRecord]]:
+        """Resolve several sites with overlapped directory round-trips.
+
+        Uses deferred RPC (:meth:`Network.request_async` + ``gather``) so
+        N lookups cost ~one round-trip of virtual time instead of N.
+        Falls back to serial calls inside a concurrent branch, where the
+        clock cannot be pumped (deliveries are deferred to the join).
+        """
+        sites = list(sites)
+        if len(sites) <= 1 or self.network.clock.in_concurrent_branch:
+            return {site: self.lookup_site(site) for site in sites}
+        futures = [
+            self.network.request_async(
+                self.from_host, self.directory, ("lookup_site", site)
+            )
+            for site in sites
+        ]
+        responses = self.network.gather(futures)
+        out: dict[str, list[ProducerRecord]] = {}
+        for site, response in zip(sites, responses):
+            if not isinstance(response, tuple) or not response:
+                raise RuntimeError("malformed directory response")
+            if response[0] == "error":
+                raise RuntimeError(f"directory error: {response[1]}")
+            out[site] = [ProducerRecord(**d) for d in response[1]]
+        return out
 
     def list_producers(self) -> list[ProducerRecord]:
         return [ProducerRecord(**d) for d in self._call("list_producers")[1]]

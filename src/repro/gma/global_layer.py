@@ -18,7 +18,7 @@ that owns the required data" (paper §1.1).  The GlobalLayer:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.errors import GridRmError
 from repro.core.security import ANONYMOUS, Principal
@@ -64,6 +64,7 @@ class GlobalLayer:
             "remote_cache_hits": 0,
             "remote_short_circuits": 0,
             "remote_stale_served": 0,
+            "remote_coalesced": 0,
         }
         self.register()
         # Enable the gateway's transparent remote-URL routing (paper
@@ -144,9 +145,30 @@ class GlobalLayer:
                 f"circuit open for site {site!r} until t={entry.open_until:.1f}s "
                 f"(last error: {entry.last_error or 'unknown'})"
             )
+        # Single-flight: an identical query to this site already in the
+        # air answers both callers with one consumer round-trip; the
+        # per-source concurrency cap queues excess requests to one
+        # remote gateway in virtual time.
+        dispatcher = self.gateway.dispatcher
+        flight = dispatcher.join_flight(cache_key_url, sql)
+        if flight is not None:
+            self.stats["remote_coalesced"] += 1
+            if flight.error is not None:
+                raise RemoteQueryError(str(flight.error)) from flight.error
+            shared = flight.value
+            return RemoteResult(
+                columns=list(shared.columns),
+                rows=[list(r) for r in shared.rows],
+                statuses=[dict(s, coalesced=True) for s in shared.statuses],
+                producer=shared.producer,
+            )
         try:
-            result = self.consumer.query_site(
-                site, sql, urls=urls, mode=mode, max_age=max_age
+            result = dispatcher.run_flight(
+                cache_key_url,
+                sql,
+                lambda: self.consumer.query_site(
+                    site, sql, urls=urls, mode=mode, max_age=max_age
+                ),
             )
         except RemoteQueryFailure as exc:
             health.record_failure(health_key, str(exc))
@@ -155,6 +177,37 @@ class GlobalLayer:
         if self.cache_remote:
             self.gateway.cache.store(cache_key_url, sql, result.columns, result.rows)
         return result
+
+    def query_remote_all(
+        self,
+        sites: Sequence[str],
+        sql: str,
+        *,
+        mode: str = "cached_ok",
+        max_age: float | None = None,
+        principal: Principal = ANONYMOUS,
+    ) -> dict[str, RemoteResult | Exception]:
+        """Scatter one query across several sites concurrently.
+
+        Each site goes through the full :meth:`query_remote` path (CGSL,
+        remote-answer cache, circuit breaker, single-flight) as its own
+        concurrent branch, so the gather costs the slowest site's
+        round-trip in virtual time.  Returns per-site results keyed in
+        ``sites`` order; a site that fails maps to its exception rather
+        than aborting the rest.
+        """
+        sites = list(sites)
+
+        def member(site: str):
+            return lambda: self.query_remote(
+                site, sql, mode=mode, max_age=max_age, principal=principal
+            )
+
+        outcomes = self.gateway.dispatcher.run([member(s) for s in sites])
+        return {
+            site: (o.value if o.error is None else o.error)
+            for site, o in zip(sites, outcomes)
+        }
 
     def known_sites(self) -> list[str]:
         """All sites with a registered producer (for the console)."""

@@ -9,7 +9,7 @@ connection setup cost, trap delivery) match a real deployment while staying
 seeded and fast.
 """
 
-from repro.simnet.clock import VirtualClock, ScheduledCall
+from repro.simnet.clock import ConcurrentScope, VirtualClock, ScheduledCall
 from repro.simnet.errors import (
     NetworkError,
     HostUnreachableError,
@@ -17,9 +17,11 @@ from repro.simnet.errors import (
     TimeoutError_,
 )
 from repro.simnet.link import LinkModel
-from repro.simnet.network import Address, Endpoint, Network
+from repro.simnet.network import Address, Endpoint, NetFuture, Network
 
 __all__ = [
+    "ConcurrentScope",
+    "NetFuture",
     "VirtualClock",
     "ScheduledCall",
     "NetworkError",

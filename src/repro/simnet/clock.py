@@ -5,14 +5,22 @@ experiments are deterministic and can compress hours of monitoring into
 milliseconds of wall time.  The clock is a plain monotone float of seconds
 plus an ordered schedule of callbacks (used for periodic agent metric
 updates, cache expiry sweeps and event redelivery).
+
+Concurrency is modelled with :class:`ConcurrentScope` (see
+:meth:`VirtualClock.concurrent`): every branch of a scope starts at the
+same virtual instant on its own private timeline, and joining the scope
+advances the shared clock by the *maximum* branch elapsed time — the
+semantics of work done in parallel.  The scheduler stack (fan-out
+queries, scatter-gather, deferred RPC futures) is built on this.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 
 @dataclass(order=True)
@@ -54,6 +62,10 @@ class VirtualClock:
         self._now = float(start)
         self._schedule: list[ScheduledCall] = []
         self._seq = itertools.count()
+        # Depth of active ConcurrentScope branches: while positive, time
+        # moves on a branch-private timeline and scheduled callbacks stay
+        # queued (they fire exactly once, when the outermost scope joins).
+        self._branch_depth = 0
 
     def now(self) -> float:
         """Current virtual time in seconds."""
@@ -71,17 +83,28 @@ class VirtualClock:
             raise ValueError(
                 f"cannot move clock backwards: now={self._now!r}, target={t!r}"
             )
-        while self._schedule and self._schedule[0].when <= t:
+        if self._branch_depth:
+            # Inside a concurrent branch: time passes on the branch's
+            # private timeline only.  Scheduled callbacks are deferred to
+            # the scope join so they fire exactly once, not once per
+            # branch that happens to sweep past their due time.
+            self._now = t
+            return
+        target = t
+        while self._schedule and self._schedule[0].when <= target:
             call = heapq.heappop(self._schedule)
             if call.cancelled:
                 continue
             # Fire with the clock at the callback's due instant.
             self._now = max(self._now, call.when)
             call.callback()
+            # The callback may itself have advanced the clock (nested
+            # blocking RPC work): never move backwards past it.
+            target = max(target, self._now)
             if call.period is not None and not call.cancelled:
                 call.when = call.when + call.period
                 heapq.heappush(self._schedule, call)
-        self._now = t
+        self._now = max(self._now, target)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> ScheduledCall:
         """Schedule ``callback`` to run at absolute virtual time ``when``."""
@@ -120,3 +143,94 @@ class VirtualClock:
     def pending(self) -> int:
         """Number of live (non-cancelled) scheduled calls."""
         return sum(1 for c in self._schedule if not c.cancelled)
+
+    def next_due(self) -> Optional[float]:
+        """The due time of the earliest live scheduled call, or None.
+
+        Used by event pumps (e.g. :meth:`Network.gather`) to advance the
+        simulation one event at a time without overshooting.
+        """
+        while self._schedule and self._schedule[0].cancelled:
+            heapq.heappop(self._schedule)
+        return self._schedule[0].when if self._schedule else None
+
+    # ------------------------------------------------------------------
+    # Concurrency (virtual-time parallelism)
+    # ------------------------------------------------------------------
+    @property
+    def in_concurrent_branch(self) -> bool:
+        """True while executing inside a :class:`ConcurrentScope` branch."""
+        return self._branch_depth > 0
+
+    def concurrent(self) -> "ConcurrentScope":
+        """A scope whose branches run "simultaneously" in virtual time.
+
+        >>> clock = VirtualClock()
+        >>> with clock.concurrent() as scope:
+        ...     with scope.branch():
+        ...         clock.advance(3.0)   # branch A takes 3s
+        ...     with scope.branch():
+        ...         clock.advance(5.0)   # branch B takes 5s
+        >>> clock.now()                  # joined: max, not sum
+        5.0
+        """
+        return ConcurrentScope(self)
+
+
+class ConcurrentScope:
+    """Models simultaneous branches of work on one :class:`VirtualClock`.
+
+    Branch bodies execute sequentially (the simulator is single-threaded)
+    but each starts at the scope's opening instant on a private timeline;
+    joining the scope advances the real clock by the *maximum* branch
+    elapsed time, so N parallel round-trips cost ``max`` rather than
+    ``sum`` of their delays.  Scopes nest: a branch may open its own
+    scope, in which case the inner join is deferred along with everything
+    else until the outermost scope joins.  Callbacks scheduled during any
+    branch (datagram deliveries, periodic agent updates) stay queued and
+    fire exactly once, at the join.
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self.started_at = clock.now()
+        self._ends: list[float] = []
+        self._joined = False
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        """Run the ``with`` body as one concurrent branch of this scope."""
+        if self._joined:
+            raise RuntimeError("ConcurrentScope already joined")
+        clock = self._clock
+        clock._branch_depth += 1
+        clock._now = self.started_at
+        try:
+            yield
+        finally:
+            self._ends.append(clock._now)
+            clock._branch_depth -= 1
+            clock._now = self.started_at
+
+    @property
+    def elapsed(self) -> float:
+        """Longest branch duration recorded so far."""
+        return max(self._ends, default=self.started_at) - self.started_at
+
+    def join(self) -> None:
+        """Advance the clock past the slowest branch (idempotent).
+
+        Fires any callbacks that became due during the branches — unless
+        this scope is itself nested inside another scope's branch, in
+        which case firing is deferred to the outermost join.
+        """
+        if self._joined:
+            return
+        self._joined = True
+        self._clock.advance_to(max(self._ends, default=self.started_at))
+
+    def __enter__(self) -> "ConcurrentScope":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.join()

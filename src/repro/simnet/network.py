@@ -1,9 +1,16 @@
 """In-process simulated network.
 
-The network is synchronous: :meth:`Network.request` performs a blocking
-RPC (advancing the virtual clock by the modelled round-trip delay), and
-:meth:`Network.send` delivers a one-way datagram (used for SNMP traps and
-GridRM event propagation) via the clock's schedule.
+:meth:`Network.request` performs a blocking RPC (advancing the virtual
+clock by the modelled round-trip delay), and :meth:`Network.send`
+delivers a one-way datagram (used for SNMP traps and GridRM event
+propagation) via the clock's schedule.
+
+:meth:`Network.request_async` is the deferred counterpart of ``request``:
+it returns a :class:`NetFuture` completed through the virtual clock's
+schedule — the request travels, is handled at its arrival instant, and
+the response lands without the caller blocking, so N outstanding RPCs
+cost the *max* of their round-trip times once :meth:`Network.gather`
+drives them to completion.
 
 Hosts belong to *sites*; traffic within a site uses the LAN link model and
 traffic between sites uses the WAN model, matching the paper's two-layer
@@ -83,6 +90,66 @@ def _payload_size(payload: Any) -> int:
     if isinstance(payload, str):
         return len(payload.encode("utf-8", errors="replace"))
     return len(repr(payload))
+
+
+class NetFuture:
+    """The deferred result of one :meth:`Network.request_async` RPC.
+
+    Completed via the virtual clock's schedule; drive the clock (directly
+    or with :meth:`Network.gather`) to resolve it.  ``completed_at`` holds
+    the virtual time at which the response (or failure) landed.
+    """
+
+    __slots__ = ("_done", "_value", "_exception", "_callbacks", "completed_at")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._exception: Exception | None = None
+        self._callbacks: list[Callable[["NetFuture"], None]] = []
+        self.completed_at: float | None = None
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        """The response payload; raises the RPC's failure if it failed."""
+        if not self._done:
+            raise RuntimeError(
+                "NetFuture not completed yet — advance the clock or use "
+                "Network.gather()"
+            )
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def exception(self) -> Exception | None:
+        if not self._done:
+            raise RuntimeError("NetFuture not completed yet")
+        return self._exception
+
+    def add_done_callback(self, fn: Callable[["NetFuture"], None]) -> None:
+        """Run ``fn(self)`` at completion (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _complete(
+        self,
+        at: float,
+        value: Any = None,
+        exception: Exception | None = None,
+    ) -> None:
+        if self._done:  # pragma: no cover - completions are scheduled once
+            return
+        self._done = True
+        self._value = value
+        self._exception = exception
+        self.completed_at = at
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
 
 class Network:
@@ -253,6 +320,129 @@ class Network:
             raise TimeoutError_(f"{dst} -> {src_host}: response lost")
         self.clock.advance(link.delay(rsize, self._rng))
         return response
+
+    def request_async(
+        self,
+        src_host: str,
+        dst: Address,
+        payload: Any,
+        *,
+        timeout: float | None = None,
+    ) -> NetFuture:
+        """Deferred RPC: returns immediately with a :class:`NetFuture`.
+
+        The request is delivered, handled and answered entirely through
+        the virtual clock's schedule: the destination handler runs at the
+        request's arrival instant and the future completes when the
+        response lands (or the failure becomes observable).  Failure
+        semantics mirror :meth:`request` — unreachable hosts and lost
+        packets surface as the same exceptions after the same timeout —
+        but the caller's clock does not move, so many RPCs can be in
+        flight at once.
+        """
+        timeout = self.DEFAULT_TIMEOUT if timeout is None else timeout
+        fut = NetFuture()
+        self.stats.requests += 1
+        size = _payload_size(payload)
+        self.stats.bytes_sent += size
+
+        def fail_after(delay: float, exc: Exception) -> None:
+            def _fail() -> None:
+                fut._complete(self.clock.now(), exception=exc)
+
+            self.clock.call_later(delay, _fail)
+
+        src = self._require_host(src_host)
+        dst_host = self._hosts.get(dst.host)
+        if dst_host is None or self._partitioned(src_host, dst.host):
+            fail_after(timeout, HostUnreachableError(f"{src_host} -> {dst}: no route"))
+            return fut
+        if not dst_host.up:
+            fail_after(timeout, HostUnreachableError(f"{src_host} -> {dst}: host down"))
+            return fut
+
+        link = self.link_for(src_host, dst.host)
+        loss = link.loss + src.extra_loss + dst_host.extra_loss
+        if loss > 0.0 and self._rng.random() < loss:
+            self.stats.drops += 1
+            fail_after(timeout, TimeoutError_(f"{src_host} -> {dst}: request lost"))
+            return fut
+        src_addr = Address(src_host, 0)
+
+        def _arrive() -> None:
+            now = self.clock.now()
+            live = self._hosts.get(dst.host)
+            if live is None or not live.up or self._partitioned(src_host, dst.host):
+                # Died (or was partitioned) while the request was in
+                # flight: the caller sees a timeout, not an instant error.
+                fail_after(
+                    timeout,
+                    HostUnreachableError(f"{src_host} -> {dst}: host went down"),
+                )
+                return
+            endpoint = live.ports.get(dst.port)
+            if endpoint is None:
+                fut._complete(
+                    now,
+                    exception=PortClosedError(
+                        f"{src_host} -> {dst}: connection refused"
+                    ),
+                )
+                return
+            response = endpoint.handler(payload, src_addr)
+            rsize = _payload_size(response)
+            self.stats.bytes_sent += rsize
+            if loss > 0.0 and self._rng.random() < loss:
+                self.stats.drops += 1
+                fail_after(
+                    timeout, TimeoutError_(f"{dst} -> {src_host}: response lost")
+                )
+                return
+
+            def _respond() -> None:
+                fut._complete(self.clock.now(), value=response)
+
+            self.clock.call_later(link.delay(rsize, self._rng), _respond)
+
+        self.clock.call_later(link.delay(size, self._rng), _arrive)
+        return fut
+
+    def gather(
+        self,
+        futures: "list[NetFuture] | tuple[NetFuture, ...]",
+        *,
+        return_exceptions: bool = False,
+    ) -> list[Any]:
+        """Drive the clock until every future completes; results in order.
+
+        Total virtual elapsed time is the *max* of the branches' delays,
+        not the sum — the whole point of deferred RPC.  With
+        ``return_exceptions`` failures are returned in place of results
+        instead of raised.  Cannot be used inside a
+        :class:`~repro.simnet.clock.ConcurrentScope` branch (callback
+        delivery is deferred there); use one future per branch instead.
+        """
+        futures = list(futures)
+        if self.clock.in_concurrent_branch:
+            raise RuntimeError(
+                "Network.gather() cannot run inside a concurrent branch: "
+                "scheduled deliveries are deferred until the scope joins"
+            )
+        while not all(f.done() for f in futures):
+            due = self.clock.next_due()
+            if due is None:
+                raise RuntimeError(
+                    "Network.gather() would deadlock: futures pending but "
+                    "nothing is scheduled"
+                )
+            self.clock.advance_to(due)
+        results: list[Any] = []
+        for fut in futures:
+            exc = fut.exception()
+            if exc is not None and not return_exceptions:
+                raise exc
+            results.append(exc if exc is not None else fut.result())
+        return results
 
     def send(self, src_host: str, dst: Address, payload: Any) -> None:
         """One-way datagram (trap/event); silently dropped on failure."""

@@ -116,10 +116,27 @@ class Console:
         return self.gateway.query([url], sql, mode=QueryMode.REALTIME)
 
     def poll_all(self, sql: str = "SELECT * FROM Host") -> list[QueryResult]:
-        """Poll every enabled source (the 'poll site' action)."""
-        return [
-            self.poll(str(s.url), sql) for s in self.gateway.sources() if s.enabled
+        """Poll every enabled source (the 'poll site' action).
+
+        Dispatched as one concurrent batch: the whole site poll costs
+        the slowest source's round-trip in virtual time, not the sum.
+        A source that fails outright still yields a QueryResult whose
+        statuses carry the error (per-source failures never raise).
+        """
+        from repro.core.gateway import BatchQuery
+
+        batch = [
+            BatchQuery(urls=[str(s.url)], sql=sql, mode=QueryMode.REALTIME)
+            for s in self.gateway.sources()
+            if s.enabled
         ]
+        results = self.gateway.query_batch(batch)
+        out: list[QueryResult] = []
+        for result in results:
+            if isinstance(result, Exception):
+                raise result
+            out.append(result)
+        return out
 
     # ------------------------------------------------------------------
     # Driver panel (Figure 8)
@@ -220,6 +237,30 @@ class Console:
                     f"  t={event.time:8.1f}s  {event.fields.get('source', '?')}  "
                     f"{event.name}"
                 )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Dispatch / concurrency view
+    # ------------------------------------------------------------------
+    def dispatch_panel(self) -> str:
+        """Concurrent-dispatch counters: fan-outs, single-flight
+        coalescing, per-source cap queueing and cache eviction pressure."""
+        gw = self.gateway
+        d = gw.dispatcher.stats
+        lines = [
+            "Concurrent dispatch "
+            f"(fan-out {'enabled' if gw.policy.fanout_enabled else 'DISABLED'}, "
+            f"single-flight {'enabled' if gw.policy.singleflight_enabled else 'DISABLED'}, "
+            f"cap/source={gw.policy.max_concurrent_per_source or 'unlimited'})",
+            f"  fan-outs: {d.fanouts} ({d.branches} branches), "
+            f"serial runs: {d.serial_runs}",
+            f"  flights: {d.flights}, coalesced joins: {d.singleflight_joins}",
+            f"  cap waits: {d.cap_waits} "
+            f"(total queued {d.cap_wait_time:.2f}s virtual)",
+            f"Query cache: {len(gw.cache)}/{gw.cache.max_entries or 'unbounded'} "
+            f"entries, {gw.cache.evictions} evicted "
+            f"(hit ratio {gw.cache.hit_ratio:.0%})",
+        ]
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

@@ -101,3 +101,60 @@ class TestEntriesFor:
         cache.lookup("u", "q")
         cache.lookup("u", "other")
         assert cache.hit_ratio == 0.5
+
+
+class TestLruBound:
+    def test_insert_past_capacity_evicts_oldest(self, clock):
+        cache = CacheController(clock, ttl=1000.0, max_entries=2)
+        cache.store("u", "q1", ["a"], [])
+        cache.store("u", "q2", ["a"], [])
+        cache.store("u", "q3", ["a"], [])
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup("u", "q1") is None
+        assert cache.lookup("u", "q2") is not None
+        assert cache.lookup("u", "q3") is not None
+
+    def test_lookup_refreshes_recency(self, clock):
+        cache = CacheController(clock, ttl=1000.0, max_entries=2)
+        cache.store("u", "q1", ["a"], [])
+        cache.store("u", "q2", ["a"], [])
+        cache.lookup("u", "q1")          # q1 is now most recently used
+        cache.store("u", "q3", ["a"], [])
+        assert cache.lookup("u", "q1") is not None
+        assert cache.lookup("u", "q2") is None   # evicted instead
+
+    def test_restore_refreshes_recency(self, clock):
+        cache = CacheController(clock, ttl=1000.0, max_entries=2)
+        cache.store("u", "q1", ["a"], [])
+        cache.store("u", "q2", ["a"], [])
+        cache.store("u", "q1", ["a"], [])        # re-store moves to back
+        cache.store("u", "q3", ["a"], [])
+        assert cache.lookup("u", "q1") is not None
+        assert cache.lookup("u", "q2") is None
+
+    def test_zero_capacity_means_unbounded(self, clock):
+        cache = CacheController(clock, ttl=1000.0, max_entries=0)
+        for i in range(500):
+            cache.store("u", f"q{i}", ["a"], [])
+        assert len(cache) == 500
+        assert cache.evictions == 0
+
+    def test_negative_capacity_rejected(self, clock):
+        with pytest.raises(ValueError):
+            CacheController(clock, max_entries=-1)
+
+    def test_future_stamped_entry_is_a_miss(self, clock):
+        # An entry stored by a concurrent sibling branch can carry a
+        # timestamp ahead of this branch's private timeline; it must not
+        # be served (negative age would defeat the single-flight path).
+        cache = CacheController(clock, ttl=1000.0)
+        with clock.concurrent() as scope:
+            with scope.branch():
+                clock.advance(5.0)
+                cache.store("u", "q", ["a"], [["v"]])
+            with scope.branch():
+                clock.advance(1.0)
+                assert cache.lookup("u", "q") is None
+        # After the join the entry is in the past and serves normally.
+        assert cache.lookup("u", "q") is not None

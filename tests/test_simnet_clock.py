@@ -133,3 +133,110 @@ class TestPeriodic:
         assert clock.pending() == 2
         h1.cancel()
         assert clock.pending() == 1
+
+
+class TestConcurrentScope:
+    def test_join_advances_to_max_not_sum(self):
+        clock = VirtualClock()
+        with clock.concurrent() as scope:
+            with scope.branch():
+                clock.advance(3.0)
+            with scope.branch():
+                clock.advance(5.0)
+            with scope.branch():
+                clock.advance(1.0)
+        assert clock.now() == 5.0
+        assert scope.elapsed == 5.0
+
+    def test_branches_all_start_at_scope_open(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        starts = []
+        with clock.concurrent() as scope:
+            with scope.branch():
+                starts.append(clock.now())
+                clock.advance(2.0)
+            with scope.branch():
+                starts.append(clock.now())
+        assert starts == [10.0, 10.0]
+        assert clock.now() == 12.0
+
+    def test_empty_scope_is_a_no_op(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        with clock.concurrent():
+            pass
+        assert clock.now() == 1.0
+
+    def test_callbacks_deferred_to_join_and_fire_once(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_later(1.0, lambda: fired.append(clock.now()))
+        with clock.concurrent() as scope:
+            with scope.branch():
+                clock.advance(4.0)     # sweeps past the due time
+                assert fired == []     # ...but deferred
+            with scope.branch():
+                clock.advance(2.0)     # would sweep past it again
+        # Exactly once, during the join sweep, at its due time.
+        assert fired == [1.0]
+
+    def test_nested_scopes_defer_to_outermost_join(self):
+        clock = VirtualClock()
+        with clock.concurrent() as outer:
+            with outer.branch():
+                with clock.concurrent() as inner:
+                    with inner.branch():
+                        clock.advance(2.0)
+                    with inner.branch():
+                        clock.advance(6.0)
+                # inner join happened on a private timeline
+                clock.advance(1.0)
+            with outer.branch():
+                clock.advance(3.0)
+        assert clock.now() == 7.0      # max(2,6) + 1 vs 3
+
+    def test_branch_after_join_rejected(self):
+        clock = VirtualClock()
+        scope = clock.concurrent()
+        scope.join()
+        with pytest.raises(RuntimeError):
+            with scope.branch():
+                pass
+
+    def test_join_is_idempotent(self):
+        clock = VirtualClock()
+        with clock.concurrent() as scope:
+            with scope.branch():
+                clock.advance(2.0)
+        scope.join()
+        assert clock.now() == 2.0
+
+    def test_in_concurrent_branch_flag(self):
+        clock = VirtualClock()
+        assert not clock.in_concurrent_branch
+        with clock.concurrent() as scope:
+            with scope.branch():
+                assert clock.in_concurrent_branch
+            assert not clock.in_concurrent_branch
+
+    def test_reentrant_callback_advancing_clock(self):
+        # A scheduled callback that itself advances the clock (nested
+        # blocking RPC work) must not move time backwards afterwards.
+        clock = VirtualClock()
+        seen = []
+        def nested():
+            clock.advance(5.0)
+            seen.append(clock.now())
+        clock.call_later(1.0, nested)
+        clock.advance(2.0)
+        assert seen == [6.0]
+        assert clock.now() == 6.0
+
+    def test_next_due_skips_cancelled(self):
+        clock = VirtualClock()
+        h = clock.call_later(1.0, lambda: None)
+        clock.call_later(2.0, lambda: None)
+        assert clock.next_due() == 1.0
+        h.cancel()
+        assert clock.next_due() == 2.0

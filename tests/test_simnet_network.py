@@ -215,3 +215,79 @@ class TestLinkModel:
 
         assert run(5) == run(5)
         assert run(5) != run(6)
+
+
+class TestDeferredRpc:
+    def test_request_async_matches_sync_result(self, net):
+        net.listen(Address("b", 9), echo)
+        future = net.request_async("a", Address("b", 9), "hello")
+        assert not future.done()
+        results = net.gather([future])
+        assert results == [("echo", "hello")]
+        assert future.done()
+        assert future.result() == ("echo", "hello")
+
+    def test_gather_overlaps_round_trips(self, net):
+        net.listen(Address("b", 9), echo)
+        t0 = net.clock.now()
+        serial = 0.0
+        for i in range(4):
+            start = net.clock.now()
+            net.request("a", Address("b", 9), i)
+            serial += net.clock.now() - start
+        t0 = net.clock.now()
+        futures = [net.request_async("a", Address("b", 9), i) for i in range(4)]
+        net.gather(futures)
+        overlapped = net.clock.now() - t0
+        # Four overlapped round-trips cost about one round-trip, far less
+        # than four serial ones.
+        assert overlapped < serial / 2
+
+    def test_gather_preserves_order(self, net):
+        net.listen(Address("b", 9), echo)
+        futures = [net.request_async("a", Address("b", 9), i) for i in range(5)]
+        assert net.gather(futures) == [("echo", i) for i in range(5)]
+
+    def test_async_failure_surfaces_on_result(self, net):
+        future = net.request_async("a", Address("b", 777), "x")  # port closed
+        with pytest.raises(PortClosedError):
+            net.gather([future])
+        assert isinstance(future.exception(), PortClosedError)
+
+    def test_gather_return_exceptions(self, net):
+        net.listen(Address("b", 9), echo)
+        good = net.request_async("a", Address("b", 9), "ok")
+        bad = net.request_async("a", Address("b", 777), "x")
+        results = net.gather([good, bad], return_exceptions=True)
+        assert results[0] == ("echo", "ok")
+        assert isinstance(results[1], PortClosedError)
+
+    def test_async_to_dead_host_times_out(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_host_up("b", False)
+        future = net.request_async("a", Address("b", 9), "x", timeout=0.5)
+        with pytest.raises((TimeoutError_, HostUnreachableError)):
+            net.gather([future])
+
+    def test_result_before_completion_raises(self, net):
+        net.listen(Address("b", 9), echo)
+        future = net.request_async("a", Address("b", 9), "x")
+        with pytest.raises(RuntimeError):
+            future.result()
+        net.gather([future])
+
+    def test_gather_rejected_inside_concurrent_branch(self, net):
+        net.listen(Address("b", 9), echo)
+        with net.clock.concurrent() as scope:
+            with scope.branch():
+                future = net.request_async("a", Address("b", 9), "x")
+                with pytest.raises(RuntimeError):
+                    net.gather([future])
+
+    def test_done_callback_runs_at_completion(self, net):
+        net.listen(Address("b", 9), echo)
+        seen = []
+        future = net.request_async("a", Address("b", 9), "x")
+        future.add_done_callback(lambda f: seen.append(net.clock.now()))
+        net.gather([future])
+        assert seen == [future.completed_at]
