@@ -1,0 +1,250 @@
+"""Chaos scenario runner: the fault plane pointed at a live testbed.
+
+``python -m repro chaos`` (or :func:`run_chaos` from a test) builds a
+site, installs a standard :class:`~repro.simnet.faults.FaultPlane`
+scenario — latency spikes, a slowed host, a flapping host, a flaky agent
+port, payload corruption and a timed partition — and drives query rounds
+through it, measuring what the robustness machinery (deadlines, retry
+budgets, hedged requests, circuit breakers) does to tail latency.
+
+Everything is seeded: re-running with the same ``seed`` and the same
+knobs replays the exact same fault schedule, the same per-request fault
+draws and therefore byte-identical results — the :class:`ChaosReport`
+carries a SHA-256 signature over every round's rows and statuses to make
+replay identity checkable.  (Different knobs legitimately produce
+different signatures: hedges and retries consume extra fault draws, and
+fan-out shifts request instants.)  The soak tests assert replay identity
+per configuration, plus the structural invariants: no stuck network
+futures and no inconsistent breaker entries once the dust settles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.dispatch import percentile
+from repro.core.health import BreakerState
+from repro.core.policy import GatewayPolicy
+from repro.core.request_manager import QueryMode
+from repro.simnet.faults import FaultPlane
+from repro.testbed import Site, build_testbed
+
+
+@dataclass
+class ChaosReport:
+    """One chaos run's measurements and invariant checks."""
+
+    seed: int
+    rounds: int
+    hedging: bool
+    fanout: bool
+    deadline: float
+    #: Per-round end-to-end virtual latencies, in round order.
+    latencies: list[float] = field(default_factory=list)
+    ok_rounds: int = 0
+    #: SHA-256 over every round's (columns, rows, statuses) — the replay
+    #: identity: same seed => same signature, whatever the knobs.
+    signature: str = ""
+    requests: dict[str, Any] = field(default_factory=dict)
+    dispatch: dict[str, Any] = field(default_factory=dict)
+    faults: dict[str, Any] = field(default_factory=dict)
+    breakers: dict[str, Any] = field(default_factory=dict)
+    #: Breaker entries violating structural invariants (must be empty).
+    breaker_violations: list[str] = field(default_factory=list)
+    #: Unresolved NetFutures after the run (must be 0).
+    pending_futures: int = 0
+    elapsed_virtual: float = 0.0
+
+    # ------------------------------------------------------------------
+    def latency(self, q: float) -> float:
+        """The q-th percentile of per-round latency (virtual seconds)."""
+        return percentile(self.latencies, q)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "hedging": self.hedging,
+            "fanout": self.fanout,
+            "deadline": self.deadline,
+            "p50": self.latency(50),
+            "p95": self.latency(95),
+            "p99": self.latency(99),
+            "max": max(self.latencies),
+            "ok_rounds": self.ok_rounds,
+            "signature": self.signature,
+            "requests": dict(self.requests),
+            "dispatch": dict(self.dispatch),
+            "faults": dict(self.faults),
+            "breakers": dict(self.breakers),
+            "breaker_violations": list(self.breaker_violations),
+            "pending_futures": self.pending_futures,
+            "elapsed_virtual": self.elapsed_virtual,
+        }
+
+    def format(self) -> str:
+        """Console rendering of the run."""
+        r = self.requests
+        d = self.dispatch
+        f = self.faults
+        lines = [
+            f"Chaos run: seed={self.seed}, {self.rounds} rounds, "
+            f"hedging {'on' if self.hedging else 'off'}, "
+            f"fan-out {'on' if self.fanout else 'off'}, "
+            f"deadline={self.deadline:g}s",
+            f"  latency (virtual): p50={self.latency(50):.3f}s "
+            f"p95={self.latency(95):.3f}s p99={self.latency(99):.3f}s "
+            f"max={max(self.latencies):.3f}s",
+            f"  clean rounds: {self.ok_rounds}/{self.rounds}, "
+            f"source failures: {r.get('source_failures', 0)}, "
+            f"deadline exceeded: {r.get('deadline_exceeded', 0)}",
+            f"  retries: {r.get('retries', 0)} "
+            f"(gave up {r.get('retry_giveups', 0)})",
+            f"  hedges: fired {d.get('hedges_fired', 0)}, "
+            f"won {d.get('hedges_won', 0)}, "
+            f"cancelled {d.get('hedges_cancelled', 0)}, "
+            f"saved {d.get('hedge_time_saved', 0.0):.2f}s virtual",
+            f"  faults injected: spikes={f.get('spikes_injected', 0)} "
+            f"(+{f.get('spike_seconds', 0.0):.1f}s), "
+            f"refusals={f.get('refusals', 0)}, "
+            f"corruptions={f.get('corruptions', 0)}, "
+            f"flaps={f.get('flaps', 0)}, "
+            f"partitions={f.get('partitions', 0)}/"
+            f"heals={f.get('heals', 0)}",
+            f"  breakers: {self.breakers.get('trips', 0)} trips, "
+            f"{self.breakers.get('recoveries', 0)} recoveries, "
+            f"{self.breakers.get('open', 0)} open at end",
+            f"  invariants: pending futures={self.pending_futures}, "
+            f"breaker violations={len(self.breaker_violations)}",
+            f"  replay signature: {self.signature[:16]}…",
+        ]
+        return "\n".join(lines)
+
+
+def install_standard_faults(
+    plane: FaultPlane, site: Site, *, period: float, rounds: int
+) -> None:
+    """Schedule the canonical chaos scenario over one site.
+
+    All windows are expressed relative to *now* and scaled by the poll
+    ``period`` so the same mix of overlapping faults hits whatever the
+    cadence: two spiky hosts from the start, a mid-run slowdown, a
+    flapping host, a flaky agent port, a corruption window, and a timed
+    partition (auto-healed) between the gateway and one host.
+    """
+    hosts = site.host_names()
+
+    def h(i: int) -> str:
+        return hosts[i % len(hosts)]
+
+    span = rounds * period
+    plane.latency_spikes(h(0), prob=0.30, extra=1.5)
+    plane.latency_spikes(h(1), prob=0.15, extra=2.5, start=0.1 * span)
+    plane.slow_host(
+        h(1), factor=3.0, service_time=0.05, start=0.25 * span, duration=0.25 * span
+    )
+    plane.flap_host(h(2), down_at=0.2 * span, down_for=1.5 * period, times=2)
+    plane.flaky_port(h(0), prob=0.25, start=0.4 * span, duration=0.3 * span)
+    plane.corrupt_payloads(h(1), prob=0.15, start=0.55 * span, duration=0.25 * span)
+    plane.partition_between(
+        [site.gateway.host], [h(3)], start=0.7 * span, duration=1.5 * period
+    )
+
+
+def _breaker_violations(board: dict[str, dict[str, Any]]) -> list[str]:
+    """Structural invariants every breaker entry must satisfy."""
+    valid = {s.value for s in BreakerState}
+    out = []
+    for key, e in board.items():
+        if e["state"] not in valid:
+            out.append(f"{key}: unknown state {e['state']!r}")
+        if e["consecutive_failures"] > e["total_failures"]:
+            out.append(f"{key}: consecutive_failures > total_failures")
+        if e["state"] == BreakerState.OPEN.value and e["open_until"] <= 0:
+            out.append(f"{key}: OPEN with no open_until instant")
+        if e["trips"] > 0 and e["total_failures"] == 0:
+            out.append(f"{key}: tripped without any recorded failure")
+    return out
+
+
+def run_chaos(
+    *,
+    seed: int = 0,
+    rounds: int = 30,
+    hosts: int = 4,
+    agents: Sequence[str] = ("snmp", "ganglia"),
+    hedging: bool = True,
+    fanout: bool = True,
+    deadline: float = 10.0,
+    period: float = 30.0,
+    warmup_rounds: int = 10,
+    sql: str = "SELECT * FROM Processor",
+) -> ChaosReport:
+    """Build a site, inject the standard fault scenario, measure.
+
+    ``warmup_rounds`` clean polls run first so the hedger has a latency
+    window to take its percentile from; faults start only after warm-up,
+    so two runs differing only in knobs see the identical schedule.
+    Returns a :class:`ChaosReport`; raises nothing on per-source
+    failures (they are part of the measurement).
+    """
+    policy = GatewayPolicy(
+        fanout_enabled=fanout,
+        hedge_enabled=hedging,
+        retry_attempts=2,
+        default_deadline=deadline,
+    )
+    network, (site,) = build_testbed(
+        n_hosts=hosts, agents=tuple(agents), seed=seed, policy=policy
+    )
+    gw = site.gateway
+    clock = network.clock
+    clock.advance(60.0)
+    urls = list(site.source_urls)
+
+    for _ in range(max(0, warmup_rounds)):
+        gw.query(urls, sql, mode=QueryMode.REALTIME)
+        clock.advance(period)
+
+    plane = FaultPlane(network, seed=seed)
+    install_standard_faults(plane, site, period=period, rounds=rounds)
+
+    report = ChaosReport(
+        seed=seed, rounds=rounds, hedging=hedging, fanout=fanout, deadline=deadline
+    )
+    digest = hashlib.sha256()
+    started = clock.now()
+    for i in range(rounds):
+        result = gw.query(urls, sql, mode=QueryMode.REALTIME)
+        report.latencies.append(result.elapsed)
+        if all(s.ok for s in result.statuses):
+            report.ok_rounds += 1
+        digest.update(
+            repr(
+                (
+                    i,
+                    result.columns,
+                    result.rows,
+                    [
+                        (s.url, s.ok, s.rows, s.from_cache, s.degraded, s.error)
+                        for s in result.statuses
+                    ],
+                )
+            ).encode()
+        )
+        clock.advance(period)
+    # Drain anything still scheduled (fault heals, breaker re-probes) so
+    # the invariant checks see the settled end state.
+    clock.advance(10 * period)
+
+    report.signature = digest.hexdigest()
+    report.elapsed_virtual = clock.now() - started
+    report.requests = dict(gw.request_manager.stats)
+    report.dispatch = gw.dispatcher.stats.as_dict()
+    report.faults = plane.stats.as_dict()
+    report.breakers = gw.health.summary()
+    report.breaker_violations = _breaker_violations(gw.health.scoreboard())
+    report.pending_futures = network.pending_futures()
+    return report

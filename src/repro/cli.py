@@ -8,6 +8,8 @@ everything is simulated) and exercises it:
 * ``tree``      — print the tree view after polling all sources;
 * ``discover``  — network-scan discovery from a blank gateway;
 * ``health``    — poll all sources and print the breaker scoreboard;
+* ``chaos``     — run the standard fault-plane scenario and report tail
+  latency, hedging/retry/deadline counters and the replay signature;
 * ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
 * ``lint``      — run the static driver-contract / project-invariant
   rules over source paths (see docs/DRIVER_GUIDE.md);
@@ -114,6 +116,33 @@ def cmd_health(args) -> int:
         console.poll_all()
         network.clock.advance(args.warmup or 30.0)
     print(console.health_panel())
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        rounds=args.rounds,
+        hosts=args.hosts,
+        agents=tuple(args.agents.split(",")) if args.agents else ("snmp", "ganglia"),
+        hedging=not args.no_hedge,
+        fanout=not args.no_fanout,
+        deadline=args.deadline,
+        period=args.period,
+    )
+    print(report.format())
+    if report.breaker_violations:
+        for violation in report.breaker_violations:
+            print(f"# breaker invariant violated: {violation}", file=sys.stderr)
+        return 1
+    if report.pending_futures:
+        print(
+            f"# {report.pending_futures} network future(s) never resolved",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -233,6 +262,26 @@ def main(argv: list[str] | None = None) -> int:
         "--rounds", type=int, default=3, help="poll rounds before reporting"
     )
     p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser("chaos", help="run the standard chaos scenario")
+    _add_common(p)
+    p.add_argument("--rounds", type=int, default=30, help="measured query rounds")
+    p.add_argument(
+        "--period", type=float, default=30.0, help="virtual seconds between rounds"
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        help="end-to-end query budget in virtual seconds (0 = unlimited)",
+    )
+    p.add_argument(
+        "--no-hedge", action="store_true", help="disable hedged requests"
+    )
+    p.add_argument(
+        "--no-fanout", action="store_true", help="disable concurrent fan-out"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("schema", help="print the GLUE schema")
     p.add_argument("--xml", action="store_true", help="XML rendering")

@@ -20,9 +20,14 @@ Composition, top to bottom, mirroring paper Figure 2/3:
   inter-gateway scalability.
 * :mod:`repro.core.health` — per-source circuit breakers: exponential
   backoff, pool quarantine and stale-result graceful degradation.
+* :mod:`repro.core.deadline` — end-to-end query deadlines carried
+  Consumer → Gateway → RequestManager → driver → network.
+* :mod:`repro.core.retry` — per-query retry budgets with jittered
+  backoff (retry-amplification guard).
 * :mod:`repro.core.gateway` — the Gateway that wires it all together.
 """
 
+from repro.core.deadline import Deadline
 from repro.core.errors import (
     GridRmError,
     SecurityError,
@@ -30,7 +35,9 @@ from repro.core.errors import (
     NoSuitableDriverError,
     DataSourceError,
     SourceQuarantinedError,
+    DeadlineExceededError,
 )
+from repro.core.retry import RetryBudget, RetryPolicy
 from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.policy import GatewayPolicy, FailureAction
 from repro.core.security import (
@@ -62,6 +69,10 @@ __all__ = [
     "NoSuitableDriverError",
     "DataSourceError",
     "SourceQuarantinedError",
+    "Deadline",
+    "DeadlineExceededError",
+    "RetryBudget",
+    "RetryPolicy",
     "BreakerState",
     "HealthTracker",
     "SourceHealth",

@@ -20,6 +20,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
+from repro.core.deadline import Deadline
 from repro.core.driver_manager import GridRmDriverManager
 from repro.core.health import BreakerState, HealthTracker
 from repro.core.policy import GatewayPolicy
@@ -78,10 +79,21 @@ class ConnectionManager:
 
     # ------------------------------------------------------------------
     def acquire(
-        self, url: JdbcUrl | str, info: Mapping[str, Any] | None = None
+        self,
+        url: JdbcUrl | str,
+        info: Mapping[str, Any] | None = None,
+        *,
+        deadline: Deadline | None = None,
     ) -> GridRmConnection:
-        """An open connection to ``url`` — pooled when possible."""
+        """An open connection to ``url`` — pooled when possible.
+
+        ``deadline``: the borrowing query's end-to-end deadline, checked
+        before any connect cost is paid and stamped onto the connection
+        so the driver's native requests clamp to the remaining budget.
+        """
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        if deadline is not None:
+            deadline.check(f"connection acquire for {url}")
         self.stats["acquires"] += 1
         quarantined = self.health is not None and self.health.is_quarantined(
             _pool_key(url)
@@ -97,16 +109,25 @@ class ConnectionManager:
                     self.stats["evicted_invalid"] += 1
                     continue
                 if now - entry.idle_since > self.policy.pool_idle_ttl:
-                    # Stale: pay one probe to revalidate before reuse.
+                    # Stale: pay one probe to revalidate before reuse,
+                    # bounded by the borrowing query's remaining budget.
                     self.stats["revalidated"] += 1
-                    if not conn.is_valid():
+                    probe_timeout = 1.0
+                    if deadline is not None:
+                        probe_timeout = deadline.clamp(
+                            probe_timeout, f"pool revalidation for {url}"
+                        )
+                    if not conn.is_valid(timeout=probe_timeout):
                         conn.close()
                         self.stats["evicted_invalid"] += 1
                         continue
                 self.stats["reused"] += 1
+                conn.deadline = deadline
                 return conn
         self.stats["created"] += 1
-        return self.driver_manager.open_connection(url, info)
+        conn = self.driver_manager.open_connection(url, info, deadline=deadline)
+        conn.deadline = deadline
+        return conn
 
     def release(self, connection: GridRmConnection) -> None:
         """Return a connection to its pool (or close it).
@@ -117,6 +138,7 @@ class ConnectionManager:
         handed to the next caller.  Healthy sources skip the probe, so
         the pool's whole point (no per-query native traffic) survives.
         """
+        connection.deadline = None  # deadlines are per-query, not per-session
         if connection.is_closed():
             return
         if not self.policy.pool_enabled:
@@ -146,6 +168,7 @@ class ConnectionManager:
 
     def discard(self, connection: GridRmConnection) -> None:
         """Close a connection that misbehaved instead of pooling it."""
+        connection.deadline = None
         connection.close()
 
     def quarantine(self, url: JdbcUrl | str) -> int:
@@ -167,14 +190,18 @@ class ConnectionManager:
 
     @contextmanager
     def connection(
-        self, url: JdbcUrl | str, info: Mapping[str, Any] | None = None
+        self,
+        url: JdbcUrl | str,
+        info: Mapping[str, Any] | None = None,
+        *,
+        deadline: Deadline | None = None,
     ) -> Iterator[GridRmConnection]:
         """``with cm.connection(url) as conn:`` acquire/release guard.
 
         A body that raises discards the connection (it may be mid-protocol
         or pointing at a dead agent) rather than pooling it.
         """
-        conn = self.acquire(url, info)
+        conn = self.acquire(url, info, deadline=deadline)
         try:
             yield conn
         except BaseException:

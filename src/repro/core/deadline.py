@@ -1,0 +1,67 @@
+"""End-to-end query deadlines (deadline propagation à la Dapper/gRPC).
+
+A :class:`Deadline` is an *absolute* instant on the virtual clock, fixed
+once where the query enters the system (consumer or gateway API).  Every
+hop downstream — gateway dispatch, Global-layer remote payloads, driver
+selection, connection acquisition, native agent requests — receives the
+same object, asks :meth:`remaining` for its budget, and fails fast with
+:class:`~repro.core.errors.DeadlineExceededError` once it hits zero.
+
+Propagating the *remaining budget* (rather than stacking independent
+per-hop timeouts) is what keeps tail latency bounded: a slow first hop
+eats into the budget of everything after it, and work whose answer can no
+longer arrive in time is never started.  Across process boundaries (the
+GMA wire protocol) the remaining budget travels as a float in the
+payload and is re-anchored on the receiver's clock.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DeadlineExceededError
+from repro.simnet.clock import VirtualClock
+
+
+class Deadline:
+    """An absolute give-up instant shared by every hop of one query."""
+
+    __slots__ = ("clock", "at")
+
+    def __init__(self, clock: VirtualClock, at: float) -> None:
+        self.clock = clock
+        self.at = at
+
+    @classmethod
+    def after(cls, clock: VirtualClock, budget: float) -> "Deadline":
+        """A deadline ``budget`` seconds from now."""
+        if budget <= 0:
+            raise ValueError(f"deadline budget must be > 0: {budget!r}")
+        return cls(clock, clock.now() + budget)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self.at - self.clock.now())
+
+    def expired(self) -> bool:
+        return self.clock.now() >= self.at
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is gone."""
+        if self.expired():
+            suffix = f" during {where}" if where else ""
+            raise DeadlineExceededError(
+                f"deadline exceeded{suffix} "
+                f"(deadline t={self.at:.3f}s, now t={self.clock.now():.3f}s)"
+            )
+
+    def clamp(self, timeout: float, where: str = "") -> float:
+        """``timeout`` bounded by the remaining budget; raises at zero.
+
+        Use at every hop that issues a native request: the hop's own
+        timeout still applies, but never extends past the end-to-end
+        deadline.
+        """
+        self.check(where)
+        return min(timeout, self.at - self.clock.now())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(at={self.at:.3f}, remaining={self.remaining():.3f})"

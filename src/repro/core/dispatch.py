@@ -17,6 +17,13 @@ elapsed time is the *max* of branch delays, and adds two controls on top:
   ``GatewayPolicy.max_concurrent_per_source`` requests may be in flight
   to one data source (or remote gateway) at once; excess branches queue
   in virtual time, so a gateway fan-out cannot stampede an agent.
+* **hedged requests** ("The Tail at Scale") — when a source's answer has
+  not arrived within a high percentile of its recently observed
+  latencies, a second identical request is fired at the same source and
+  whichever response lands first wins; the loser is abandoned and
+  counted.  Because tail slowness is usually transient (a latency spike,
+  a queue blip), the hedge re-draws and converts a p99 straggler into a
+  near-median response at the cost of a few percent extra load.
 
 One dispatcher is shared per gateway (RequestManager fan-out, multi-group
 join decomposition, Global-layer scatter-gather and client batches all go
@@ -26,6 +33,8 @@ clients of the same gateway.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -40,10 +49,34 @@ from repro.sql.errors import SqlError
 #: Soft bound on remembered flights; completed entries past it are swept.
 _FLIGHT_SWEEP_THRESHOLD = 512
 
+#: Sliding window of observed per-source latencies feeding the hedge
+#: timer (successful attempts only; failures would inflate the
+#: percentile toward the timeout and disarm hedging when it matters).
+_LATENCY_WINDOW = 64
+
 #: Failures a branch may legitimately end in; captured per-branch so one
 #: failing branch cannot abort its siblings mid-flight.  Programming
 #: errors (TypeError, KeyError, ...) propagate immediately instead.
 BRANCH_ERRORS = (GridRmError, SQLException, SqlError, NetworkError)
+
+
+def percentile(values: "Sequence[float] | deque[float]", q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Used for the hedge timer and latency reporting; ``values`` need not
+    be sorted.  Raises on an empty sequence.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
 
 
 @dataclass
@@ -81,6 +114,10 @@ class DispatchStats:
     cap_waits: int = 0
     cap_wait_time: float = 0.0
     flights: int = 0
+    hedges_fired: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
+    hedge_time_saved: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -91,6 +128,10 @@ class DispatchStats:
             "cap_waits": self.cap_waits,
             "cap_wait_time": self.cap_wait_time,
             "flights": self.flights,
+            "hedges_fired": self.hedges_fired,
+            "hedges_won": self.hedges_won,
+            "hedges_cancelled": self.hedges_cancelled,
+            "hedge_time_saved": self.hedge_time_saved,
         }
 
 
@@ -105,6 +146,8 @@ class FanoutDispatcher:
         #: Completion times of requests dispatched to each source; an
         #: entry with ``end > now`` is still in flight at ``now``.
         self._inflight_ends: dict[str, list[float]] = {}
+        #: Recent successful-attempt latencies per source (hedge timer).
+        self._latencies: dict[str, deque[float]] = {}
         self.stats = DispatchStats()
 
     # ------------------------------------------------------------------
@@ -175,7 +218,12 @@ class FanoutDispatcher:
         return flight
 
     def run_flight(
-        self, source_key: str, sql: str, fetch: Callable[[], Any]
+        self,
+        source_key: str,
+        sql: str,
+        fetch: Callable[[], Any],
+        *,
+        hedge: bool = True,
     ) -> Any:
         """Run the real fetch, registered as the coalescing target.
 
@@ -183,16 +231,100 @@ class FanoutDispatcher:
         time when the source is saturated), then records the flight —
         value or failure — so concurrent identical requests can join it.
         Exceptions propagate to the caller unchanged.
+
+        With hedging armed (policy enabled, enough latency history, and
+        ``hedge`` true — callers pass false for non-idempotent drivers),
+        the fetch runs on the hedged path: if it has not answered within
+        the source's ``hedge_percentile`` latency, a second fetch fires
+        and the first usable response wins.
         """
         self._await_slot(source_key)
         started = self.clock.now()
-        try:
-            value = fetch()
-        except BRANCH_ERRORS as exc:
-            self._finish_flight(source_key, sql, started, error=exc)
-            raise
-        self._finish_flight(source_key, sql, started, value=value)
-        return value
+        delay = self._hedge_delay(source_key) if hedge else None
+        if delay is None:
+            try:
+                value = fetch()
+            except BRANCH_ERRORS as exc:
+                self._finish_flight(source_key, sql, started, error=exc)
+                raise
+            self._note_latency(source_key, self.clock.now() - started)
+            self._finish_flight(source_key, sql, started, value=value)
+            return value
+        outcome = self._run_hedged(source_key, fetch, delay)
+        if outcome.error is not None:
+            self._finish_flight(source_key, sql, started, error=outcome.error)
+            raise outcome.error
+        self._finish_flight(source_key, sql, started, value=outcome.value)
+        return outcome.value
+
+    def _run_hedged(
+        self, source_key: str, fetch: Callable[[], Any], delay: float
+    ) -> BranchOutcome:
+        """Primary fetch, hedged by an identical fetch after ``delay``.
+
+        Both attempts run as concurrent-scope branches (each measured on
+        a private timeline from the same start instant); the clock then
+        advances by the *winner's* completion offset.  The loser is
+        abandoned: its virtual traffic happened, but nobody waits for it.
+        When both fail, the caller learns at the later failure — a
+        hedged client keeps waiting for the surviving sibling.
+        """
+        scope = self.clock.concurrent()
+        with scope.branch():
+            primary = self._run_one(fetch)
+        if primary.ok:
+            self._note_latency(source_key, primary.elapsed)
+        if primary.elapsed <= delay:
+            # Answered before the hedge timer armed: no hedge traffic.
+            self.clock.advance(primary.elapsed)
+            return primary
+        self.stats.hedges_fired += 1
+        with scope.branch():
+            self.clock.advance(delay)
+            hedge = self._run_one(fetch)
+        hedge_end = delay + hedge.elapsed
+        if hedge.ok:
+            self._note_latency(source_key, hedge.elapsed)
+        if primary.ok and hedge.ok:
+            winner, end = (
+                (hedge, hedge_end) if hedge_end < primary.elapsed
+                else (primary, primary.elapsed)
+            )
+        elif primary.ok:
+            winner, end = primary, primary.elapsed
+        elif hedge.ok:
+            winner, end = hedge, hedge_end
+        else:
+            winner, end = primary, max(primary.elapsed, hedge_end)
+        if winner is hedge and winner.ok:
+            self.stats.hedges_won += 1
+            self.stats.hedge_time_saved += max(0.0, primary.elapsed - end)
+        self.stats.hedges_cancelled += 1  # exactly one loser per fired hedge
+        self.clock.advance(end)
+        return winner
+
+    # ------------------------------------------------------------------
+    # Hedge timer (per-source latency percentile)
+    # ------------------------------------------------------------------
+    def _note_latency(self, source_key: str, elapsed: float) -> None:
+        window = self._latencies.get(source_key)
+        if window is None:
+            window = self._latencies[source_key] = deque(maxlen=_LATENCY_WINDOW)
+        window.append(elapsed)
+
+    def _hedge_delay(self, source_key: str) -> float | None:
+        """Arm the hedge timer, or None when hedging must not fire."""
+        if not (self.policy.hedge_enabled and self.policy.fanout_enabled):
+            return None
+        window = self._latencies.get(source_key)
+        if window is None or len(window) < self.policy.hedge_min_samples:
+            return None
+        delay = percentile(window, self.policy.hedge_percentile)
+        return max(delay, self.policy.hedge_min_delay)
+
+    def hedge_delay(self, source_key: str) -> float | None:
+        """The currently armed hedge timer for a source (console view)."""
+        return self._hedge_delay(source_key)
 
     def _finish_flight(
         self,

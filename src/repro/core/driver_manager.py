@@ -27,6 +27,7 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, MutableMapping, Optional
 
+from repro.core.deadline import Deadline
 from repro.core.errors import (
     DataSourceError,
     GridRmError,
@@ -41,6 +42,11 @@ from repro.dbapi.registry import DriverRegistry
 from repro.dbapi.url import JdbcUrl
 from repro.drivers.base import GridRmConnection, GridRmDriver
 from repro.simnet.network import Network
+
+
+#: Default connect-time liveness-probe timeout (matches the DDK's
+#: ``probe(url, timeout=1.0)`` default); clamped further by any deadline.
+PROBE_TIMEOUT = 1.0
 
 
 def driver_spec(driver: Driver) -> str:
@@ -239,7 +245,11 @@ class GridRmDriverManager:
         return self.registry.locate_all(url), False
 
     def open_connection(
-        self, url: JdbcUrl | str, info: Mapping[str, Any] | None = None
+        self,
+        url: JdbcUrl | str,
+        info: Mapping[str, Any] | None = None,
+        *,
+        deadline: Deadline | None = None,
     ) -> GridRmConnection:
         """Allocate a driver for ``url`` and open a connection, applying
         the configured failure policy on the way.
@@ -249,9 +259,16 @@ class GridRmDriverManager:
         selection/retry machinery with :class:`SourceQuarantinedError`
         (no connect attempts, no retry budget spent), and connect
         outcomes are recorded back into the tracker.
+
+        A ``deadline`` is re-checked before every connect attempt: a
+        budget already eaten by earlier candidates (each costing a native
+        probe timeout) stops the selection loop instead of trying ever
+        more drivers nobody is waiting for.
         """
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
         source_key = str(url)
+        if deadline is not None:
+            deadline.check(f"driver selection for {url}")
         if self.health is not None and not self.health.allow_request(source_key):
             self.stats["breaker_fast_fails"] += 1
             entry = self.health.health(source_key)
@@ -274,8 +291,18 @@ class GridRmDriverManager:
         def try_driver(driver: Driver) -> Optional[GridRmConnection]:
             nonlocal last_error
             for _ in range(attempts_per_driver):
+                attempt_info = dict(info or {})
+                if deadline is not None:
+                    deadline.check(f"driver selection for {url}")
+                    # Bound the connect-time liveness probe by whatever
+                    # budget remains, so a dead host cannot eat more of
+                    # the deadline than the caller has left to give.
+                    base = float(attempt_info.get("connect_timeout", PROBE_TIMEOUT))
+                    attempt_info["connect_timeout"] = deadline.clamp(
+                        base, f"connect probe for {url}"
+                    )
                 try:
-                    conn = driver.connect(url, dict(info or {}))
+                    conn = driver.connect(url, attempt_info)
                 except SQLException as exc:
                     self.stats["connect_failures"] += 1
                     last_error = exc

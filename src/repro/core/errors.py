@@ -30,6 +30,15 @@ class SourceQuarantinedError(DataSourceError):
     no retry budget spent).  Cleared by a successful HALF_OPEN probe."""
 
 
+class DeadlineExceededError(GridRmError):
+    """The query's end-to-end deadline ran out.
+
+    Raised by :class:`repro.core.deadline.Deadline` checks at every hop
+    (gateway dispatch, driver selection, connection acquisition, native
+    requests): once the remaining budget hits zero, the hop fails fast
+    instead of starting work whose answer nobody is waiting for."""
+
+
 class PolicyError(GridRmError):
     """Invalid gateway policy configuration."""
 

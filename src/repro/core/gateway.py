@@ -23,9 +23,10 @@ from repro.analysis.query_check import validate_sql
 from repro.core.acil import AbstractClientInterface
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
+from repro.core.deadline import Deadline
 from repro.core.dispatch import FanoutDispatcher
 from repro.core.driver_manager import GridRmDriverManager
-from repro.core.errors import GridRmError
+from repro.core.errors import DeadlineExceededError, GridRmError
 from repro.core.events import Event, EventManager, SnmpTrapEventDriver
 from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.history import HistoryStore
@@ -78,6 +79,9 @@ class BatchQuery:
     sql: str
     mode: QueryMode = QueryMode.CACHED_OK
     max_age: float | None = None
+    #: Per-member end-to-end budget in virtual seconds (None = policy
+    #: default); each member of a batch gets its own deadline.
+    timeout: float | None = None
 
 
 def _spec_finding(spec: str, error: str) -> Finding:
@@ -300,13 +304,30 @@ class Gateway:
         mode: QueryMode = QueryMode.REALTIME,
         principal: Principal = ANONYMOUS,
         max_age: float | None = None,
+        timeout: float | None = None,
+        deadline: Deadline | None = None,
     ) -> QueryResult:
-        """Run a client query against one or more local data sources."""
+        """Run a client query against one or more local data sources.
+
+        ``timeout`` gives the query an end-to-end budget in virtual
+        seconds: a :class:`~repro.core.deadline.Deadline` is minted here
+        and carried down every hop (request manager, driver selection,
+        connection acquire, the driver's native requests, and — for
+        remote URLs — the Global layer's wire payloads), each hop seeing
+        only the *remaining* budget.  When omitted, the policy's
+        ``default_deadline`` applies (0 = unlimited, the default).
+        ``deadline`` lets an upstream caller (e.g. a remote producer
+        re-anchoring a wire budget) pass an existing deadline instead.
+        """
         if isinstance(urls, (str, JdbcUrl)):
             urls = [urls]
         parsed = [JdbcUrl.parse(u) if isinstance(u, str) else u for u in urls]
         operation = "history" if mode is QueryMode.HISTORY else "query"
         self._authorise(principal, parsed, sql, operation)
+        if deadline is None:
+            budget = timeout if timeout is not None else self.policy.default_deadline
+            if budget > 0:
+                deadline = Deadline.after(self.network.clock, budget)
 
         # Transparent Global-layer routing (paper §1.1): URLs whose host
         # belongs to another site are forwarded to the owning gateway
@@ -320,7 +341,7 @@ class Gateway:
         if not remote_by_site:
             # Local-only fast path: the RequestManager fans out itself.
             result = self.request_manager.execute(
-                local, sql, mode=mode, max_age=max_age, info=info
+                local, sql, mode=mode, max_age=max_age, info=info, deadline=deadline
             )
         else:
             # Scatter-gather: the local batch and each remote site's
@@ -331,7 +352,8 @@ class Gateway:
             if local:
                 thunks.append(
                     lambda: self.request_manager.execute(
-                        local, sql, mode=mode, max_age=max_age, info=info
+                        local, sql, mode=mode, max_age=max_age, info=info,
+                        deadline=deadline,
                     )
                 )
 
@@ -339,7 +361,8 @@ class Gateway:
                 def run() -> QueryResult:
                     partial = QueryResult(columns=[], rows=[], mode=mode)
                     self._query_remote_site(
-                        site_name, site_urls, sql, mode, max_age, principal, partial
+                        site_name, site_urls, sql, mode, max_age, principal,
+                        partial, deadline,
                     )
                     return partial
 
@@ -403,6 +426,7 @@ class Gateway:
         max_age: float | None,
         principal: Principal,
         result,
+        deadline: Deadline | None = None,
     ) -> None:
         """Forward one remote batch via the Global layer, merging the
         remote answer (or failure) into ``result``."""
@@ -417,8 +441,9 @@ class Gateway:
                 mode=mode.value,
                 max_age=max_age,
                 principal=principal,
+                deadline=deadline,
             )
-        except RemoteQueryError as exc:
+        except (RemoteQueryError, DeadlineExceededError) as exc:
             degraded = self.health.state(f"gma://{site_name}") is BreakerState.OPEN
             for u in site_urls:
                 result.statuses.append(
@@ -458,7 +483,12 @@ class Gateway:
 
         def member(q: BatchQuery):
             return lambda: self.query(
-                q.urls, q.sql, mode=q.mode, principal=principal, max_age=q.max_age
+                q.urls,
+                q.sql,
+                mode=q.mode,
+                principal=principal,
+                max_age=q.max_age,
+                timeout=q.timeout,
             )
 
         outcomes = self.dispatcher.run([member(q) for q in queries])

@@ -58,6 +58,16 @@ from repro.simnet.clock import VirtualClock
 BACKOFF_JITTER = 0.25
 
 
+def jittered_backoff(raw: float, cap: float, rng: random.Random) -> float:
+    """One jittered wait: uniform in ``[raw, raw * (1 + jitter)]``, capped.
+
+    Shared by the circuit breakers (OPEN duration per trip) and the
+    query retry layer (:mod:`repro.core.retry`), so every backoff in the
+    gateway desynchronises the same way.
+    """
+    return min(cap, raw * (1 + rng.uniform(0.0, BACKOFF_JITTER)))
+
+
 class BreakerState(enum.Enum):
     CLOSED = "closed"
     OPEN = "open"
@@ -213,7 +223,7 @@ class HealthTracker:
             raw = self.policy.breaker_base_backoff
         else:
             raw = min(cap, entry.current_backoff * 2)
-        wait = min(cap, raw * (1 + self._rng.uniform(0.0, BACKOFF_JITTER)))
+        wait = jittered_backoff(raw, cap, self._rng)
         entry.current_backoff = raw
         entry.trips += 1
         entry.opened_at = now

@@ -79,6 +79,27 @@ class GatewayPolicy:
         singleflight_enabled: coalesce identical concurrently in-flight
             ``(source url, normalised SQL)`` requests into one agent
             round-trip shared by every waiter.
+        default_deadline: end-to-end budget stamped on queries that
+            arrive without one (s, virtual); 0 disables implicit
+            deadlines.  See :mod:`repro.core.deadline`.
+        retry_attempts: max attempts per source per query, including the
+            first (1 = no query-level retries).  Only transient failures
+            against idempotent drivers are retried.
+        retry_budget: retry tokens shared by all sources of one query —
+            the anti-amplification cap (see :mod:`repro.core.retry`).
+        retry_base_backoff: jittered-exponential backoff base between
+            attempts (s, virtual).
+        retry_max_backoff: ceiling on the per-attempt backoff.
+        hedge_enabled: after a configurable latency percentile elapses
+            with no answer, fire a second request to the same source and
+            take whichever responds first ("The Tail at Scale" hedging).
+            Only idempotent drivers are hedged.
+        hedge_percentile: percentile of the source's observed latencies
+            that arms the hedge timer (95 = hedge the slowest 5%).
+        hedge_min_samples: observed latencies required per source before
+            hedging activates (cold sources are never hedged).
+        hedge_min_delay: floor on the hedge timer, so very fast sources
+            do not double their traffic on micro-jitter.
     """
 
     query_cache_ttl: float = 30.0
@@ -106,6 +127,15 @@ class GatewayPolicy:
     breaker_max_backoff: float = 300.0
     breaker_half_open_probes: int = 1
     serve_stale_on_open: bool = True
+    default_deadline: float = 0.0
+    retry_attempts: int = 1
+    retry_budget: int = 3
+    retry_base_backoff: float = 0.05
+    retry_max_backoff: float = 2.0
+    hedge_enabled: bool = False
+    hedge_percentile: float = 95.0
+    hedge_min_samples: int = 8
+    hedge_min_delay: float = 0.005
 
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
@@ -164,3 +194,28 @@ class GatewayPolicy:
                 "breaker_half_open_probes must be >= 1: "
                 f"{self.breaker_half_open_probes!r}"
             )
+        if self.default_deadline < 0:
+            raise PolicyError(f"default_deadline < 0: {self.default_deadline!r}")
+        if self.retry_attempts < 1:
+            raise PolicyError(f"retry_attempts must be >= 1: {self.retry_attempts!r}")
+        if self.retry_budget < 0:
+            raise PolicyError(f"retry_budget < 0: {self.retry_budget!r}")
+        if self.retry_base_backoff <= 0:
+            raise PolicyError(
+                f"retry_base_backoff must be > 0: {self.retry_base_backoff!r}"
+            )
+        if self.retry_max_backoff < self.retry_base_backoff:
+            raise PolicyError(
+                "retry_max_backoff must be >= retry_base_backoff: "
+                f"{self.retry_max_backoff!r} < {self.retry_base_backoff!r}"
+            )
+        if not 0.0 < self.hedge_percentile <= 100.0:
+            raise PolicyError(
+                f"hedge_percentile must be in (0, 100]: {self.hedge_percentile!r}"
+            )
+        if self.hedge_min_samples < 1:
+            raise PolicyError(
+                f"hedge_min_samples must be >= 1: {self.hedge_min_samples!r}"
+            )
+        if self.hedge_min_delay < 0:
+            raise PolicyError(f"hedge_min_delay < 0: {self.hedge_min_delay!r}")

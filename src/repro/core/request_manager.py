@@ -33,20 +33,25 @@ fan-out from stampeding one agent.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.query_check import validate_select
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
+from repro.core.deadline import Deadline
 from repro.core.dispatch import FanoutDispatcher
 from repro.core.errors import (
     DataSourceError,
+    DeadlineExceededError,
     GridRmError,
     NoSuitableDriverError,
     QueryValidationError,
+    SourceQuarantinedError,
 )
 from repro.core.health import HealthTracker
+from repro.core.retry import RetryBudget, RetryPolicy
 from repro.core.history import HistoryStore
 from repro.core.policy import GatewayPolicy
 from repro.dbapi.exceptions import (
@@ -174,6 +179,9 @@ class RequestManager:
             if dispatcher is not None
             else FanoutDispatcher(self.clock, policy)
         )
+        #: Seeded jitter source for retry backoffs — deterministic under
+        #: replay (draws happen in deterministic branch order).
+        self._retry_rng = random.Random(0)
         self.stats = {
             "queries": 0,
             "join_queries": 0,
@@ -186,6 +194,9 @@ class RequestManager:
             "breaker_short_circuits": 0,
             "stale_served": 0,
             "validation_rejects": 0,
+            "retries": 0,
+            "retry_giveups": 0,
+            "deadline_exceeded": 0,
         }
 
     # ------------------------------------------------------------------
@@ -197,9 +208,24 @@ class RequestManager:
         mode: QueryMode = QueryMode.REALTIME,
         max_age: float | None = None,
         info: Mapping[str, Any] | None = None,
+        deadline: Deadline | None = None,
+        retry_budget: RetryBudget | None = None,
     ) -> QueryResult:
-        """Run ``sql`` against one or many data sources and consolidate."""
+        """Run ``sql`` against one or many data sources and consolidate.
+
+        ``deadline``: end-to-end budget shared by every sub-request (see
+        :mod:`repro.core.deadline`); an expired deadline turns remaining
+        sources into fast-failed statuses rather than agent traffic.
+        ``retry_budget``: internal — the join decomposition passes the
+        top-level query's budget down so sub-queries cannot multiply it.
+        """
         self.stats["queries"] += 1
+        if (
+            retry_budget is None
+            and self.policy.retry_attempts > 1
+            and self.policy.retry_budget > 0
+        ):
+            retry_budget = RetryBudget(self.policy.retry_budget)
         if isinstance(urls, (str, JdbcUrl)):
             urls = [urls]
         parsed = [JdbcUrl.parse(u) if isinstance(u, str) else u for u in urls]
@@ -229,7 +255,9 @@ class RequestManager:
 
         started = self.clock.now()
         if select.is_join:
-            result = self._execute_join(parsed, select, mode, max_age, info)
+            result = self._execute_join(
+                parsed, select, mode, max_age, info, deadline, retry_budget
+            )
             result.started_at = started
         else:
             result = QueryResult(columns=[], rows=[], mode=mode, started_at=started)
@@ -240,9 +268,15 @@ class RequestManager:
                     self._one_history(url, sql, result)
             elif len(parsed) == 1 or not self.policy.fanout_enabled:
                 for url in parsed:
-                    self._one_realtime(url, sql, select, result, mode, max_age, info)
+                    self._one_realtime(
+                        url, sql, select, result, mode, max_age, info,
+                        deadline, retry_budget,
+                    )
             else:
-                self._fan_out(parsed, sql, select, result, mode, max_age, info)
+                self._fan_out(
+                    parsed, sql, select, result, mode, max_age, info,
+                    deadline, retry_budget,
+                )
         result.elapsed = self.clock.now() - started
         return result
 
@@ -255,6 +289,8 @@ class RequestManager:
         mode: QueryMode,
         max_age: float | None,
         info: Mapping[str, Any] | None,
+        deadline: Deadline | None = None,
+        retry_budget: RetryBudget | None = None,
     ) -> None:
         """Dispatch one sub-request per source concurrently.
 
@@ -267,7 +303,8 @@ class RequestManager:
 
         def branch(url: JdbcUrl, partial: QueryResult):
             return lambda: self._one_realtime(
-                url, sql, select, partial, mode, max_age, info
+                url, sql, select, partial, mode, max_age, info,
+                deadline, retry_budget,
             )
 
         outcomes = self.dispatcher.run(
@@ -291,6 +328,8 @@ class RequestManager:
         mode: QueryMode,
         max_age: float | None,
         info: Mapping[str, Any] | None,
+        deadline: Deadline | None = None,
+        retry_budget: RetryBudget | None = None,
     ) -> QueryResult:
         """Multi-group query: "Clients select one or more GLUE group
         names to query" (paper §3.2.3).
@@ -309,7 +348,13 @@ class RequestManager:
 
         def branch(group: str):
             return lambda: self.execute(
-                urls, f"SELECT * FROM {group}", mode=mode, max_age=max_age, info=info
+                urls,
+                f"SELECT * FROM {group}",
+                mode=mode,
+                max_age=max_age,
+                info=info,
+                deadline=deadline,
+                retry_budget=retry_budget,
             )
 
         # One decomposed sub-query per GLUE group, dispatched
@@ -358,8 +403,22 @@ class RequestManager:
         mode: QueryMode,
         max_age: float | None,
         info: Mapping[str, Any] | None,
+        deadline: Deadline | None = None,
+        retry_budget: RetryBudget | None = None,
     ) -> None:
         url_text = str(url)
+        if deadline is not None and deadline.expired():
+            # Budget gone before this source was even dispatched (eaten
+            # by earlier hops): fail fast, no agent traffic, and no
+            # health penalty — the source did nothing wrong.
+            self.stats["deadline_exceeded"] += 1
+            self.stats["source_failures"] += 1
+            result.statuses.append(
+                SourceStatus(
+                    url=url_text, ok=False, error="deadline exceeded before dispatch"
+                )
+            )
+            return
         if mode is QueryMode.CACHED_OK:
             cached = self.cache.lookup(url_text, sql, max_age=max_age)
             if cached is not None:
@@ -400,24 +459,59 @@ class RequestManager:
                 SourceStatus(url=url_text, ok=True, rows=n, coalesced=True)
             )
             return
-        try:
-            columns, rows = self.dispatcher.run_flight(
-                url_text, sql, lambda: self._fetch(url, sql, info)
-            )
-        except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
-            # Connect-stage failures (DataSourceError) were already
-            # recorded into the health tracker by the driver manager;
-            # post-connect transport failures are recorded here.  Syntax
-            # or mapping errors say nothing about source health.
-            if self.health is not None and isinstance(
-                exc, (SQLConnectionException, SQLTimeoutException)
-            ):
-                self.health.record_failure(url_text, str(exc))
-            self.stats["source_failures"] += 1
-            result.statuses.append(
-                SourceStatus(url=url_text, ok=False, error=str(exc))
-            )
-            return
+        # Only idempotent drivers may have their fetch re-issued —
+        # whether by the retry loop below or by a dispatcher hedge.
+        reissuable = self._idempotent(url)
+        retry = RetryPolicy.from_gateway_policy(self.policy)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                columns, rows = self.dispatcher.run_flight(
+                    url_text,
+                    sql,
+                    lambda: self._fetch(url, sql, info, deadline),
+                    hedge=reissuable,
+                )
+                break
+            except DeadlineExceededError as exc:
+                # The end-to-end budget ran out mid-fetch: report it as
+                # this source's outcome.  No health penalty (the source
+                # was not proven unhealthy) and never a retry.
+                self.stats["deadline_exceeded"] += 1
+                self.stats["source_failures"] += 1
+                result.statuses.append(
+                    SourceStatus(url=url_text, ok=False, error=str(exc))
+                )
+                return
+            except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
+                # Connect-stage failures (DataSourceError) were already
+                # recorded into the health tracker by the driver manager;
+                # post-connect transport failures are recorded here.  Syntax
+                # or mapping errors say nothing about source health.
+                if self.health is not None and isinstance(
+                    exc, (SQLConnectionException, SQLTimeoutException)
+                ):
+                    self.health.record_failure(url_text, str(exc))
+                transient = isinstance(
+                    exc, (SQLConnectionException, SQLTimeoutException, DataSourceError)
+                ) and not isinstance(exc, SourceQuarantinedError)
+                if transient and reissuable and attempt < retry.attempts:
+                    pause = retry.backoff(attempt, self._retry_rng)
+                    if deadline is not None and deadline.remaining() <= pause:
+                        # No budget left to back off and try again.
+                        self.stats["retry_giveups"] += 1
+                    elif retry_budget is not None and retry_budget.take():
+                        self.stats["retries"] += 1
+                        self.clock.advance(pause)
+                        continue
+                    elif retry_budget is not None:
+                        self.stats["retry_giveups"] += 1
+                self.stats["source_failures"] += 1
+                result.statuses.append(
+                    SourceStatus(url=url_text, ok=False, error=str(exc))
+                )
+                return
         if self.health is not None:
             self.health.record_success(url_text)
         self.stats["realtime_fetches"] += 1
@@ -467,10 +561,26 @@ class RequestManager:
             )
         )
 
+    def _idempotent(self, url: JdbcUrl) -> bool:
+        """May this source's fetch be safely re-issued (retry / hedge)?
+
+        Decided by the driver's ``idempotent`` declaration.  Before any
+        driver is allocated the answer defaults to True — monitoring
+        reads are idempotent unless a driver says otherwise.
+        """
+        driver = self.connection_manager.driver_manager.cached_driver(url)
+        if driver is None:
+            return True
+        return bool(getattr(driver, "idempotent", True))
+
     def _fetch(
-        self, url: JdbcUrl, sql: str, info: Mapping[str, Any] | None
+        self,
+        url: JdbcUrl,
+        sql: str,
+        info: Mapping[str, Any] | None,
+        deadline: Deadline | None = None,
     ) -> tuple[list[str], list[list[Any]]]:
-        with self.connection_manager.connection(url, info) as conn:
+        with self.connection_manager.connection(url, info, deadline=deadline) as conn:
             statement = conn.create_statement()
             rs = statement.execute_query(sql)
             assert isinstance(rs, ListResultSet)

@@ -31,7 +31,7 @@ wrap around their expensive full-dump fetches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.dbapi.exceptions import (
     SQLConnectionException,
@@ -56,6 +56,9 @@ from repro.sql import ast_nodes as sql_ast
 from repro.sql.errors import SqlError
 from repro.sql.executor import execute_select
 from repro.sql.parser import parse_select
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.deadline import Deadline
 
 #: Default TTL for coarse-grained response caches, virtual seconds.
 DEFAULT_CACHE_TTL = 15.0
@@ -214,6 +217,11 @@ class GridRmConnection(Connection):
         self._mapping_handle = self._fetch_mapping()
         # Session state usable by concrete drivers (per-connection caches).
         self.session: dict[str, Any] = {}
+        #: End-to-end deadline of the query currently borrowing this
+        #: connection; stamped by the ConnectionManager at acquire time
+        #: and cleared at release.  Every native request is clamped to
+        #: the remaining budget (see :meth:`request`).
+        self.deadline: "Deadline | None" = None
 
     # -- schema mapping lifecycle --------------------------------------
     def _fetch_mapping(self) -> _MappingHandle:
@@ -272,7 +280,18 @@ class GridRmConnection(Connection):
         return Address(self.url.host, port)
 
     def request(self, payload: Any, *, timeout: float | None = None) -> Any:
-        """One native round-trip from the gateway host to the agent."""
+        """One native round-trip from the gateway host to the agent.
+
+        When the borrowing query carries a deadline, the native timeout
+        is clamped to the remaining budget (and the request fails fast
+        with :class:`~repro.core.errors.DeadlineExceededError` once that
+        budget is gone) — a driver that routes all its agent traffic
+        through here honours end-to-end deadlines for free.
+        """
+        deadline = self.deadline
+        if deadline is not None:
+            base = self.network.DEFAULT_TIMEOUT if timeout is None else timeout
+            timeout = deadline.clamp(base, f"native request to {self.url.host}")
         return self.network.request(
             self.driver.gateway_host,
             self.agent_address(),
@@ -295,6 +314,11 @@ class GridRmDriver(Driver):
     default_port = 0
     #: Human-readable driver name.
     display_name = "GridRM driver"
+    #: Whether a fetch may safely be re-issued (retries, hedging).
+    #: Monitoring reads are idempotent; a driver wrapping an agent with
+    #: side effects (counters reset on read, one-shot probes) must set
+    #: this False to opt out of query-level retries and hedged requests.
+    idempotent = True
 
     def __init__(self, network: Network, *, gateway_host: str = "gateway") -> None:
         if not self.protocol:
@@ -330,8 +354,16 @@ class GridRmDriver(Driver):
                 f"{self.name()} cannot serve protocol {url.protocol!r}"
             )
         self.stats["connects"] += 1
+        # JDBC's login-timeout idiom: a "connect_timeout" connection
+        # property bounds the liveness probe, so a caller with little
+        # deadline budget left is not stuck paying the full probe
+        # timeout to a dead host (the DriverManager sets this from the
+        # query's remaining deadline).
+        probe_kwargs: dict[str, Any] = {}
+        if info is not None and "connect_timeout" in info:
+            probe_kwargs["timeout"] = float(info["connect_timeout"])
         try:
-            alive = self.probe(url)
+            alive = self.probe(url, **probe_kwargs)
         except NetworkError as exc:
             raise SQLConnectionException(
                 f"{self.name()}: cannot reach {url.host}: {exc}", cause=exc

@@ -100,7 +100,14 @@ class SnmpDriver(GridRmDriver):
     default_port = wire.SNMP_PORT
     display_name = "JDBC-SNMP"
 
-    _request_ids = itertools.count(1)
+    def __init__(self, network, *, gateway_host: str = "gateway") -> None:
+        super().__init__(network, gateway_host=gateway_host)
+        # Per-instance, not a class attribute: request ids feed the wire
+        # payload, whose repr length feeds the bandwidth-delay model — a
+        # process-global counter would make one testbed's timing depend
+        # on how many SNMP requests earlier testbeds sent, breaking
+        # seeded chaos replays.
+        self._request_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     def build_mapping(self) -> SchemaMapping:
@@ -216,10 +223,46 @@ class SnmpDriver(GridRmDriver):
     def _community(self, url: JdbcUrl) -> str:
         return url.params.get("community", "public")
 
-    def _get(
-        self, url: JdbcUrl, oids: list[wire.Oid], *, timeout: float | None = None
+    def _send(
+        self,
+        url: JdbcUrl,
+        msg: wire.SnmpMessage,
+        *,
+        timeout: float | None = None,
+        conn: GridRmConnection | None = None,
     ) -> wire.SnmpMessage:
-        port = url.port if url.port is not None else self.default_port
+        """One native SNMP round-trip.
+
+        Fetch-path callers pass the borrowing ``conn`` so the request is
+        routed through :meth:`GridRmConnection.request` and the native
+        timeout is clamped to the query's remaining deadline.  Probe-time
+        callers have no connection yet and go straight to the network.
+        """
+        if conn is not None:
+            raw = conn.request(msg.encode(), timeout=timeout)
+        else:
+            port = url.port if url.port is not None else self.default_port
+            raw = self.network.request(
+                self.gateway_host,
+                wire.Address(url.host, port),
+                msg.encode(),
+                timeout=timeout,
+            )
+        try:
+            return wire.SnmpMessage.decode(raw)
+        except wire.SnmpCodecError as exc:
+            raise SQLConnectionException(
+                f"undecodable SNMP response from {url.host}", cause=exc
+            ) from exc
+
+    def _get(
+        self,
+        url: JdbcUrl,
+        oids: list[wire.Oid],
+        *,
+        timeout: float | None = None,
+        conn: GridRmConnection | None = None,
+    ) -> wire.SnmpMessage:
         msg = wire.SnmpMessage(
             version=0,
             community=self._community(url),
@@ -229,23 +272,16 @@ class SnmpDriver(GridRmDriver):
             error_index=0,
             varbinds=tuple(wire.VarBind(oid) for oid in oids),
         )
-        raw = self.network.request(
-            self.gateway_host,
-            wire.Address(url.host, port),
-            msg.encode(),
-            timeout=timeout,
-        )
-        try:
-            return wire.SnmpMessage.decode(raw)
-        except wire.SnmpCodecError as exc:
-            raise SQLConnectionException(
-                f"undecodable SNMP response from {url.host}", cause=exc
-            ) from exc
+        return self._send(url, msg, timeout=timeout, conn=conn)
 
     def _getnext(
-        self, url: JdbcUrl, oid: wire.Oid, *, timeout: float | None = None
+        self,
+        url: JdbcUrl,
+        oid: wire.Oid,
+        *,
+        timeout: float | None = None,
+        conn: GridRmConnection | None = None,
     ) -> wire.SnmpMessage:
-        port = url.port if url.port is not None else self.default_port
         msg = wire.SnmpMessage(
             version=0,
             community=self._community(url),
@@ -255,20 +291,15 @@ class SnmpDriver(GridRmDriver):
             error_index=0,
             varbinds=(wire.VarBind(oid),),
         )
-        raw = self.network.request(
-            self.gateway_host,
-            wire.Address(url.host, port),
-            msg.encode(),
-            timeout=timeout,
-        )
-        try:
-            return wire.SnmpMessage.decode(raw)
-        except wire.SnmpCodecError as exc:
-            raise SQLConnectionException(
-                f"undecodable SNMP response from {url.host}", cause=exc
-            ) from exc
+        return self._send(url, msg, timeout=timeout, conn=conn)
 
-    def walk(self, url: JdbcUrl, base: wire.Oid) -> list[tuple[wire.Oid, Any]]:
+    def walk(
+        self,
+        url: JdbcUrl,
+        base: wire.Oid,
+        *,
+        conn: GridRmConnection | None = None,
+    ) -> list[tuple[wire.Oid, Any]]:
         """GETNEXT walk of one MIB subtree: [(suffix, value), ...].
 
         This is how a real JDBC-SNMP driver enumerates conceptual table
@@ -277,7 +308,7 @@ class SnmpDriver(GridRmDriver):
         out: list[tuple[wire.Oid, Any]] = []
         current = base
         while True:
-            resp = self._getnext(url, current)
+            resp = self._getnext(url, current, conn=conn)
             if resp.error_status != wire.ERR_NONE or not resp.varbinds:
                 break
             vb = resp.varbinds[0]
@@ -288,14 +319,18 @@ class SnmpDriver(GridRmDriver):
         return out
 
     def bulk_walk(
-        self, url: JdbcUrl, base: wire.Oid, *, max_repetitions: int = 16
+        self,
+        url: JdbcUrl,
+        base: wire.Oid,
+        *,
+        max_repetitions: int = 16,
+        conn: GridRmConnection | None = None,
     ) -> list[tuple[wire.Oid, Any]]:
         """GETBULK walk: like :meth:`walk` but fetching ``max_repetitions``
         entries per round-trip (SNMPv2c).  Ablation A2 measures the
         round-trip saving on table enumeration."""
         if max_repetitions < 1:
             raise SQLException(f"max_repetitions must be >= 1: {max_repetitions!r}")
-        port = url.port if url.port is not None else self.default_port
         out: list[tuple[wire.Oid, Any]] = []
         current = base
         while True:
@@ -308,15 +343,7 @@ class SnmpDriver(GridRmDriver):
                 error_index=max_repetitions,
                 varbinds=(wire.VarBind(current),),
             )
-            raw = self.network.request(
-                self.gateway_host, wire.Address(url.host, port), msg.encode()
-            )
-            try:
-                resp = wire.SnmpMessage.decode(raw)
-            except wire.SnmpCodecError as exc:
-                raise SQLConnectionException(
-                    f"undecodable SNMP response from {url.host}", cause=exc
-                ) from exc
+            resp = self._send(url, msg, conn=conn)
             if resp.error_status != wire.ERR_NONE or not resp.varbinds:
                 break
             done = False
@@ -372,12 +399,12 @@ class SnmpDriver(GridRmDriver):
         }
         if oid_by_key:
             keys = list(oid_by_key)
-            resp = self._get(url, [oid_by_key[k] for k in keys])
+            resp = self._get(url, [oid_by_key[k] for k in keys], conn=connection)
             # (single-record groups; table groups are handled above)
             if resp.error_status == wire.ERR_NO_SUCH_NAME:
                 # Partial MIB: retry one-by-one so present OIDs still land.
                 for key in keys:
-                    single = self._get(url, [oid_by_key[key]])
+                    single = self._get(url, [oid_by_key[key]], conn=connection)
                     if single.error_status == wire.ERR_NONE and single.varbinds:
                         record[key] = single.varbinds[0].value
             elif resp.error_status != wire.ERR_NONE:
@@ -401,14 +428,14 @@ class SnmpDriver(GridRmDriver):
             "_unique_id": f"{url.host}#{self.protocol}",
             "_reachable": True,
         }
-        descrs = self.walk(url, wire.HR_STORAGE_DESCR)
+        descrs = self.walk(url, wire.HR_STORAGE_DESCR, conn=connection)
         if not descrs:
             return []
         # One batched GET for every size/used cell of the table.
         indices = [suffix for suffix, _ in descrs]
         oids = [wire.HR_STORAGE_SIZE_MB + s for s in indices]
         oids += [wire.HR_STORAGE_USED_MB + s for s in indices]
-        resp = self._get(url, oids)
+        resp = self._get(url, oids, conn=connection)
         if resp.error_status != wire.ERR_NONE:
             raise SQLConnectionException(
                 f"SNMP error {resp.error_status} walking storage on {url.host}"
@@ -443,14 +470,14 @@ class SnmpDriver(GridRmDriver):
             "_unique_id": f"{url.host}#{self.protocol}",
             "_reachable": True,
         }
-        names = self.bulk_walk(url, wire.HR_SWRUN_NAME, max_repetitions=16)
+        names = self.bulk_walk(url, wire.HR_SWRUN_NAME, max_repetitions=16, conn=connection)
         if not names:
             return []
         indices = [suffix for suffix, _ in names]
         oids = [wire.HR_SWRUN_STATUS + s for s in indices]
         oids += [wire.HR_SWRUN_CPU + s for s in indices]
         oids += [wire.HR_SWRUN_MEM + s for s in indices]
-        resp = self._get(url, oids)
+        resp = self._get(url, oids, conn=connection)
         records: list[dict[str, Any]] = []
         n = len(indices)
         ok = resp.error_status == wire.ERR_NONE

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.errors import GridRmError
 from repro.gma.directory import DirectoryClient
 from repro.gma.records import ProducerRecord
@@ -64,8 +65,16 @@ class GatewayConsumer:
         mode: str = "cached_ok",
         max_age: float | None = None,
         timeout: float | None = None,
+        deadline: Deadline | None = None,
     ) -> RemoteResult:
-        """Send one query to one producer."""
+        """Send one query to one producer.
+
+        A ``deadline`` clamps the network timeout to the remaining
+        budget and rides along on the wire as ``deadline_budget`` — a
+        relative number of seconds, because the producer's clock is not
+        ours to anchor an absolute instant against.  The producer
+        re-anchors it locally, so every hop sees only what is left.
+        """
         self.queries_sent += 1
         payload = {
             "op": "query",
@@ -75,6 +84,10 @@ class GatewayConsumer:
             "max_age": max_age,
             "from_site": self.from_site,
         }
+        if deadline is not None:
+            base = self.network.DEFAULT_TIMEOUT if timeout is None else timeout
+            timeout = deadline.clamp(base, f"remote query to {producer.key()}")
+            payload["deadline_budget"] = deadline.remaining()
         try:
             response = self.network.request(
                 self.from_host,
@@ -105,12 +118,16 @@ class GatewayConsumer:
         mode: str = "cached_ok",
         max_age: float | None = None,
         producers: list[ProducerRecord] | None = None,
+        deadline: Deadline | None = None,
     ) -> RemoteResult:
         """Query a site via its first reachable registered producer.
 
         ``producers`` short-circuits the directory lookup when the caller
         already resolved the site (e.g. a batched
-        :meth:`DirectoryClient.lookup_sites` round).
+        :meth:`DirectoryClient.lookup_sites` round).  A ``deadline``
+        stops the failover loop: once the budget is gone, remaining
+        producers are not tried (``DeadlineExceededError`` propagates
+        rather than being folded into the all-failed summary).
         """
         if producers is None:
             producers = self.producers_for(site)
@@ -120,7 +137,8 @@ class GatewayConsumer:
         for producer in producers:
             try:
                 return self.query_producer(
-                    producer, sql, urls=urls, mode=mode, max_age=max_age
+                    producer, sql, urls=urls, mode=mode, max_age=max_age,
+                    deadline=deadline,
                 )
             except RemoteQueryFailure as exc:
                 last = exc
@@ -136,6 +154,7 @@ class GatewayConsumer:
         mode: str = "cached_ok",
         max_age: float | None = None,
         urls_by_site: dict[str, list[str]] | None = None,
+        deadline: Deadline | None = None,
     ) -> list[RemoteResult | RemoteQueryFailure]:
         """Scatter one query to several sites concurrently.
 
@@ -162,6 +181,7 @@ class GatewayConsumer:
                     mode=mode,
                     max_age=max_age,
                     producers=producers_by_site[site],
+                    deadline=deadline,
                 )
             except RemoteQueryFailure as exc:
                 return exc

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.errors import GridRmError
 from repro.core.security import ANONYMOUS, Principal
 from repro.gma.consumer import GatewayConsumer, RemoteQueryFailure, RemoteResult
@@ -99,13 +100,19 @@ class GlobalLayer:
         mode: str = "cached_ok",
         max_age: float | None = None,
         principal: Principal = ANONYMOUS,
+        deadline: Deadline | None = None,
     ) -> RemoteResult:
         """Route a query to the gateway owning ``site``'s resources.
 
         The local CGSL gates outbound remote queries; the remote FGSL is
-        applied by the owning gateway when it executes them.
+        applied by the owning gateway when it executes them.  A
+        ``deadline`` is checked before any remote cost is paid and
+        carried onto the wire as the remaining budget, so the owning
+        gateway inherits what is left rather than a fresh allowance.
         """
         self.gateway.cgsl.check(principal, "query_remote")
+        if deadline is not None:
+            deadline.check(f"remote query to site {site!r}")
         self.stats["remote_queries"] += 1
         cache_key_url = f"gma://{site}" + (f"/{','.join(urls)}" if urls else "")
         if self.cache_remote:
@@ -167,7 +174,8 @@ class GlobalLayer:
                 cache_key_url,
                 sql,
                 lambda: self.consumer.query_site(
-                    site, sql, urls=urls, mode=mode, max_age=max_age
+                    site, sql, urls=urls, mode=mode, max_age=max_age,
+                    deadline=deadline,
                 ),
             )
         except RemoteQueryFailure as exc:

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from typing import Any, TYPE_CHECKING
 
-from repro.core.errors import GridRmError
+from repro.core.deadline import Deadline
+from repro.core.errors import DeadlineExceededError, GridRmError
 from repro.core.request_manager import QueryMode
 from repro.core.security import Principal
 from repro.dbapi.exceptions import SQLException
@@ -70,12 +71,25 @@ class GatewayProducer:
         mode = QueryMode(payload.get("mode", "cached_ok"))
         from_site = payload.get("from_site", "unknown")
         principal = Principal.with_roles(f"remote:{from_site}", "remote")
+        # The wire carries the *remaining* budget as a relative number of
+        # seconds (clocks are per-simulation here, but real deployments
+        # cannot assume synchronised clocks either); re-anchor it against
+        # our own clock so every local hop inherits what is left.
+        budget = payload.get("deadline_budget")
+        deadline = None
+        if budget is not None:
+            if budget <= 0:
+                raise DeadlineExceededError(
+                    f"remote query from {from_site!r} arrived with no budget left"
+                )
+            deadline = Deadline.after(self.gateway.network.clock, budget)
         result = self.gateway.query(
             urls,
             sql,
             mode=mode,
             principal=principal,
             max_age=payload.get("max_age"),
+            deadline=deadline,
         )
         return {
             "ok": True,

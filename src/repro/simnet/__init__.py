@@ -13,9 +13,11 @@ from repro.simnet.clock import ConcurrentScope, VirtualClock, ScheduledCall
 from repro.simnet.errors import (
     NetworkError,
     HostUnreachableError,
+    PayloadCorruptedError,
     PortClosedError,
     TimeoutError_,
 )
+from repro.simnet.faults import FaultPlane, FaultPlaneStats, FaultWindow
 from repro.simnet.link import LinkModel
 from repro.simnet.network import Address, Endpoint, NetFuture, Network
 
@@ -26,8 +28,12 @@ __all__ = [
     "ScheduledCall",
     "NetworkError",
     "HostUnreachableError",
+    "PayloadCorruptedError",
     "PortClosedError",
     "TimeoutError_",
+    "FaultPlane",
+    "FaultPlaneStats",
+    "FaultWindow",
     "LinkModel",
     "Address",
     "Endpoint",

@@ -21,3 +21,11 @@ class TimeoutError_(NetworkError):
     Named with a trailing underscore to avoid shadowing the builtin
     ``TimeoutError`` while remaining greppable.
     """
+
+
+class PayloadCorruptedError(NetworkError):
+    """The response arrived but failed its transport checksum.
+
+    Injected by the fault plane; surfaces at the instant the corrupted
+    response lands, like a TCP/TLS integrity failure would.
+    """

@@ -22,15 +22,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.simnet.clock import VirtualClock
 from repro.simnet.errors import (
     HostUnreachableError,
+    PayloadCorruptedError,
     PortClosedError,
     TimeoutError_,
 )
 from repro.simnet.link import LAN, WAN, LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.faults import FaultPlane
 
 #: RPC handler: (payload, source address) -> response payload.
 RequestHandler = Callable[[Any, "Address"], Any]
@@ -64,6 +68,13 @@ class _Host:
     site: str
     up: bool = True
     extra_loss: float = 0.0
+    #: Fixed queueing/processing delay the host adds to every request it
+    #: serves (a live-but-overloaded agent), charged against the caller's
+    #: timeout like any other wire delay.
+    service_time: float = 0.0
+    #: Multiplier on link delays and service time for traffic to this
+    #: host (1.0 = nominal; a degraded NIC or saturated uplink).
+    slowdown: float = 1.0
     ports: dict[int, Endpoint] = field(default_factory=dict)
 
 
@@ -141,7 +152,9 @@ class NetFuture:
         value: Any = None,
         exception: Exception | None = None,
     ) -> None:
-        if self._done:  # pragma: no cover - completions are scheduled once
+        if self._done:
+            # A late response losing the race against the deadline guard
+            # (or a cancelled hedge sibling): first completion wins.
             return
         self._done = True
         self._value = value
@@ -180,6 +193,9 @@ class Network:
         self._hosts: dict[str, _Host] = {}
         self._partitions: Optional[list[set[str]]] = None
         self.stats = NetworkStats()
+        #: Optional chaos plane consulted per request (see simnet.faults).
+        self.fault_plane: "FaultPlane | None" = None
+        self._outstanding_futures = 0
 
     # ------------------------------------------------------------------
     # Topology management
@@ -244,6 +260,41 @@ class Network:
             raise ValueError(f"loss must be in [0, 1): {loss!r}")
         self._require_host(name).extra_loss = loss
 
+    def set_service_time(self, name: str, seconds: float) -> None:
+        """Fixed per-request processing delay at ``name`` (0 = instant).
+
+        Charged against the caller's timeout, so a live-but-overloaded
+        host can genuinely miss a deadline.
+        """
+        if seconds < 0:
+            raise ValueError(f"service time must be >= 0: {seconds!r}")
+        self._require_host(name).service_time = seconds
+
+    def set_slowdown(self, name: str, factor: float) -> None:
+        """Multiply link delays and service time for traffic to ``name``."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0: {factor!r}")
+        self._require_host(name).slowdown = factor
+
+    def service_time(self, name: str) -> float:
+        return self._require_host(name).service_time
+
+    def slowdown(self, name: str) -> float:
+        return self._require_host(name).slowdown
+
+    def install_fault_plane(self, plane: "FaultPlane | None") -> None:
+        """Attach (or detach, with None) a chaos plane to this network."""
+        self.fault_plane = plane
+
+    def pending_futures(self) -> int:
+        """Outstanding :class:`NetFuture` RPCs not yet completed.
+
+        Every async request is guarded by a deadline timer, so this must
+        drain to zero once the clock passes the last deadline — the chaos
+        soak asserts exactly that (no stuck futures).
+        """
+        return self._outstanding_futures
+
     def partition(self, *groups: set[str]) -> None:
         """Split the network: traffic may only flow within one group.
 
@@ -283,42 +334,88 @@ class Network:
         Advances the virtual clock by the modelled round-trip time.
         Raises :class:`HostUnreachableError`, :class:`PortClosedError` or
         :class:`TimeoutError_` exactly where a real socket would fail.
+
+        ``timeout`` is enforced against accumulated virtual wire time:
+        link delays (scaled by the destination's slowdown factor) plus
+        the destination's service time plus any fault-plane latency
+        spikes.  When the budget runs out the clock lands exactly on the
+        deadline instant and :class:`TimeoutError_` is raised — a slow
+        chain can no longer exceed its deadline yet return success.
+        Handler *compute* time (nested RPC work done by the server) is
+        not charged; end-to-end budgets across multi-hop chains are the
+        job of the core layer's ``Deadline``, which re-checks the
+        remaining budget at every hop.
         """
         timeout = self.DEFAULT_TIMEOUT if timeout is None else timeout
         self.stats.requests += 1
         size = _payload_size(payload)
         self.stats.bytes_sent += size
 
+        budget = timeout  # remaining transport + service budget
+
+        def expire(remaining: float, exc: Exception) -> Exception:
+            # The caller's timer runs out: land exactly on the deadline.
+            self.clock.advance(remaining)
+            return exc
+
         src = self._require_host(src_host)
         dst_host = self._hosts.get(dst.host)
         if dst_host is None or self._partitioned(src_host, dst.host):
             # An unreachable destination looks like a timeout on the wire.
-            self.clock.advance(timeout)
-            raise HostUnreachableError(f"{src_host} -> {dst}: no route")
+            raise expire(budget, HostUnreachableError(f"{src_host} -> {dst}: no route"))
         if not dst_host.up:
-            self.clock.advance(timeout)
-            raise HostUnreachableError(f"{src_host} -> {dst}: host down")
+            raise expire(budget, HostUnreachableError(f"{src_host} -> {dst}: host down"))
 
+        plane = self.fault_plane
+        slow = dst_host.slowdown
         link = self.link_for(src_host, dst.host)
         loss = link.loss + src.extra_loss + dst_host.extra_loss
         if loss > 0.0 and self._rng.random() < loss:
             self.stats.drops += 1
-            self.clock.advance(timeout)
-            raise TimeoutError_(f"{src_host} -> {dst}: request lost")
+            raise expire(budget, TimeoutError_(f"{src_host} -> {dst}: request lost"))
 
-        self.clock.advance(link.delay(size, self._rng))
+        send_delay = link.delay(size, self._rng) * slow
+        if send_delay > budget:
+            raise expire(
+                budget, TimeoutError_(f"{src_host} -> {dst}: no reply within {timeout:g}s")
+            )
+        self.clock.advance(send_delay)
+        budget -= send_delay
+
+        if plane is not None and plane.refuses(dst.host, dst.port):
+            raise PortClosedError(f"{src_host} -> {dst}: connection refused (flaky port)")
         endpoint = dst_host.ports.get(dst.port)
         if endpoint is None:
             raise PortClosedError(f"{src_host} -> {dst}: connection refused")
+
+        service = dst_host.service_time * slow
+        if plane is not None:
+            service += plane.request_overhead(dst.host)
+        if service > 0.0:
+            if service > budget:
+                raise expire(
+                    budget,
+                    TimeoutError_(f"{src_host} -> {dst}: no reply within {timeout:g}s"),
+                )
+            self.clock.advance(service)
+            budget -= service
 
         response = endpoint.handler(payload, Address(src_host, 0))
         rsize = _payload_size(response)
         self.stats.bytes_sent += rsize
         if loss > 0.0 and self._rng.random() < loss:
             self.stats.drops += 1
-            self.clock.advance(timeout)
-            raise TimeoutError_(f"{dst} -> {src_host}: response lost")
-        self.clock.advance(link.delay(rsize, self._rng))
+            raise expire(budget, TimeoutError_(f"{dst} -> {src_host}: response lost"))
+        resp_delay = link.delay(rsize, self._rng) * slow
+        if resp_delay > budget:
+            raise expire(
+                budget, TimeoutError_(f"{src_host} -> {dst}: no reply within {timeout:g}s")
+            )
+        self.clock.advance(resp_delay)
+        if plane is not None and plane.corrupts(dst.host):
+            raise PayloadCorruptedError(
+                f"{dst} -> {src_host}: response failed checksum"
+            )
         return response
 
     def request_async(
@@ -339,45 +436,78 @@ class Network:
         packets surface as the same exceptions after the same timeout —
         but the caller's clock does not move, so many RPCs can be in
         flight at once.
+
+        The timeout is an *absolute* deadline fixed at send time: a
+        deadline guard scheduled at ``now + timeout`` fails the future if
+        nothing completed it first, so a host dying mid-flight (or a
+        slow service queue) surfaces at send-time + timeout — matching
+        the sync path — rather than arrival-time + timeout.
         """
         timeout = self.DEFAULT_TIMEOUT if timeout is None else timeout
+        src = self._require_host(src_host)
+        deadline = self.clock.now() + timeout
         fut = NetFuture()
+        self._outstanding_futures += 1
+        fut.add_done_callback(lambda _f: self._future_resolved())
         self.stats.requests += 1
         size = _payload_size(payload)
         self.stats.bytes_sent += size
 
-        def fail_after(delay: float, exc: Exception) -> None:
+        def _expire() -> None:
+            fut._complete(
+                self.clock.now(),
+                exception=TimeoutError_(
+                    f"{src_host} -> {dst}: no reply within {timeout:g}s"
+                ),
+            )
+
+        guard = self.clock.call_at(deadline, _expire)
+        fut.add_done_callback(lambda _f: guard.cancel())
+
+        def fail_at_deadline(exc: Exception) -> None:
+            # Replace the generic deadline timeout with a specific cause,
+            # still surfacing at the same instant the caller gives up.
+            guard.cancel()
+
             def _fail() -> None:
                 fut._complete(self.clock.now(), exception=exc)
 
-            self.clock.call_later(delay, _fail)
+            self.clock.call_at(max(deadline, self.clock.now()), _fail)
 
-        src = self._require_host(src_host)
         dst_host = self._hosts.get(dst.host)
         if dst_host is None or self._partitioned(src_host, dst.host):
-            fail_after(timeout, HostUnreachableError(f"{src_host} -> {dst}: no route"))
+            fail_at_deadline(HostUnreachableError(f"{src_host} -> {dst}: no route"))
             return fut
         if not dst_host.up:
-            fail_after(timeout, HostUnreachableError(f"{src_host} -> {dst}: host down"))
+            fail_at_deadline(HostUnreachableError(f"{src_host} -> {dst}: host down"))
             return fut
 
         link = self.link_for(src_host, dst.host)
         loss = link.loss + src.extra_loss + dst_host.extra_loss
         if loss > 0.0 and self._rng.random() < loss:
             self.stats.drops += 1
-            fail_after(timeout, TimeoutError_(f"{src_host} -> {dst}: request lost"))
+            fail_at_deadline(TimeoutError_(f"{src_host} -> {dst}: request lost"))
             return fut
         src_addr = Address(src_host, 0)
+        plane = self.fault_plane
 
         def _arrive() -> None:
             now = self.clock.now()
             live = self._hosts.get(dst.host)
             if live is None or not live.up or self._partitioned(src_host, dst.host):
                 # Died (or was partitioned) while the request was in
-                # flight: the caller sees a timeout, not an instant error.
-                fail_after(
-                    timeout,
-                    HostUnreachableError(f"{src_host} -> {dst}: host went down"),
+                # flight: the caller sees a timeout, not an instant error
+                # — at send-time + timeout, not arrival + timeout.
+                fail_at_deadline(
+                    HostUnreachableError(f"{src_host} -> {dst}: host went down")
+                )
+                return
+            if plane is not None and plane.refuses(dst.host, dst.port):
+                fut._complete(
+                    now,
+                    exception=PortClosedError(
+                        f"{src_host} -> {dst}: connection refused (flaky port)"
+                    ),
                 )
                 return
             endpoint = live.ports.get(dst.port)
@@ -389,22 +519,44 @@ class Network:
                     ),
                 )
                 return
-            response = endpoint.handler(payload, src_addr)
-            rsize = _payload_size(response)
-            self.stats.bytes_sent += rsize
-            if loss > 0.0 and self._rng.random() < loss:
-                self.stats.drops += 1
-                fail_after(
-                    timeout, TimeoutError_(f"{dst} -> {src_host}: response lost")
+
+            def _handle() -> None:
+                response = endpoint.handler(payload, src_addr)
+                rsize = _payload_size(response)
+                self.stats.bytes_sent += rsize
+                if loss > 0.0 and self._rng.random() < loss:
+                    self.stats.drops += 1
+                    fail_at_deadline(
+                        TimeoutError_(f"{dst} -> {src_host}: response lost")
+                    )
+                    return
+
+                def _respond() -> None:
+                    # A response landing after the deadline guard fired is
+                    # silently dropped by NetFuture's first-wins rule.
+                    if plane is not None and plane.corrupts(dst.host):
+                        fut._complete(
+                            self.clock.now(),
+                            exception=PayloadCorruptedError(
+                                f"{dst} -> {src_host}: response failed checksum"
+                            ),
+                        )
+                        return
+                    fut._complete(self.clock.now(), value=response)
+
+                self.clock.call_later(
+                    link.delay(rsize, self._rng) * live.slowdown, _respond
                 )
-                return
 
-            def _respond() -> None:
-                fut._complete(self.clock.now(), value=response)
+            service = live.service_time * live.slowdown
+            if plane is not None:
+                service += plane.request_overhead(dst.host)
+            if service > 0.0:
+                self.clock.call_later(service, _handle)
+            else:
+                _handle()
 
-            self.clock.call_later(link.delay(rsize, self._rng), _respond)
-
-        self.clock.call_later(link.delay(size, self._rng), _arrive)
+        self.clock.call_later(link.delay(size, self._rng) * dst_host.slowdown, _arrive)
         return fut
 
     def gather(
@@ -483,6 +635,9 @@ class Network:
         self.clock.call_later(delay, _deliver)
 
     # ------------------------------------------------------------------
+    def _future_resolved(self) -> None:
+        self._outstanding_futures -= 1
+
     def _require_host(self, name: str) -> _Host:
         host = self._hosts.get(name)
         if host is None:

@@ -309,3 +309,86 @@ class TestRemoteSiteBreaker:
         result = a.gateway.query(remote_url, SQL, mode=QueryMode.REALTIME)
         assert result.ok_sources == 1 and not result.degraded
         assert a.gateway.health.state("gma://brb") is BreakerState.CLOSED
+
+
+class TestPartitionHealVsHalfOpenProbe:
+    """A network partition racing the breaker's HALF_OPEN re-probe.
+
+    The chaos plane heals partitions on a clock schedule, so the heal can
+    land either side of the breaker's probe window — both orderings must
+    converge without inconsistent breaker state.
+    """
+
+    def _partitioned_site(self):
+        site = make_site(
+            GatewayPolicy(
+                breaker_failure_threshold=2,
+                breaker_base_backoff=30.0,
+                breaker_max_backoff=60.0,
+            )
+        )
+        gw = site.gateway
+        host = site.host_names()[0]
+        url = site.url_for("snmp", host=host)
+        site.network.partition(
+            {gw.host, site.host_names()[1]}, {host}
+        )
+        trip_source(site, url, n=2)
+        assert gw.health.state(url) is BreakerState.OPEN
+        return site, url, host
+
+    def test_heal_lands_before_probe_window(self):
+        site, url, host = self._partitioned_site()
+        gw = site.gateway
+        site.network.heal()  # partition heals while the breaker is OPEN
+        site.clock.advance(gw.policy.breaker_max_backoff)
+        result = gw.query(url, SQL, mode=QueryMode.REALTIME)
+        assert result.ok_sources == 1 and not result.degraded
+        assert gw.health.state(url) is BreakerState.CLOSED
+        assert gw.health.stats["recoveries"] == 1
+
+    def test_probe_fires_while_still_partitioned(self):
+        site, url, host = self._partitioned_site()
+        gw = site.gateway
+        entry = gw.health.health(url)
+        first_backoff = entry.current_backoff
+
+        # The probe window opens but the partition has NOT healed: the
+        # HALF_OPEN probe fails, re-trips the breaker and doubles the
+        # backoff.
+        site.clock.advance(gw.policy.breaker_max_backoff)
+        probe = gw.query(url, SQL, mode=QueryMode.REALTIME)
+        assert probe.failed_sources == 1
+        entry = gw.health.health(url)
+        assert gw.health.state(url) is BreakerState.OPEN
+        assert entry.trips == 2
+        assert entry.current_backoff > first_backoff  # exponential growth
+        assert entry.current_backoff <= gw.policy.breaker_max_backoff
+
+        # Now the heal lands; the next probe window closes the breaker.
+        site.network.heal()
+        site.clock.advance(gw.policy.breaker_max_backoff)
+        result = gw.query(url, SQL, mode=QueryMode.REALTIME)
+        assert result.ok_sources == 1
+        assert gw.health.state(url) is BreakerState.CLOSED
+        # Consecutive-failure and trip counters stay coherent through the
+        # race (same invariants the chaos soak checks).
+        entry = gw.health.health(url)
+        assert entry.consecutive_failures == 0
+        assert entry.total_failures >= 3
+        assert gw.health.stats["recoveries"] == 1
+
+    def test_heal_racing_probe_instant_is_benign(self):
+        # The adversarial interleaving: the heal is scheduled on the
+        # clock for the *exact* instant the probe window opens (as the
+        # chaos plane's auto-heal can do).  Whichever callback runs
+        # first, the query after that instant must observe a consistent
+        # breaker and the source must eventually recover.
+        site, url, host = self._partitioned_site()
+        gw = site.gateway
+        entry = gw.health.health(url)
+        site.clock.call_at(entry.open_until, site.network.heal)
+        site.clock.advance(gw.policy.breaker_max_backoff)
+        result = gw.query(url, SQL, mode=QueryMode.REALTIME)
+        assert result.ok_sources == 1 and not result.degraded
+        assert gw.health.state(url) is BreakerState.CLOSED

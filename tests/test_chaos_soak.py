@@ -1,0 +1,96 @@
+"""Seeded chaos soak: replay identity and structural invariants.
+
+Runs the standard fault-plane scenario (``repro.chaos.run_chaos``) and
+asserts the properties the chaos plane promises:
+
+* **replay identity** — the same seed and knobs reproduce byte-identical
+  rows, statuses and latencies (the SHA-256 signature matches), with
+  fan-out on *or* off;
+* **no stuck futures** — every async RPC's deadline guard fired or was
+  cancelled, so ``Network.pending_futures()`` drains to zero;
+* **breaker consistency** — every breaker entry satisfies its structural
+  invariants once the dust settles (state valid, counters coherent, OPEN
+  implies a re-probe instant).
+
+Kept small (few rounds) so the soak stays cheap in CI; the ``chaos-smoke``
+job runs the bigger CLI scenario on two fixed seeds.
+"""
+
+import pytest
+
+from repro.chaos import run_chaos
+
+ROUNDS = 8
+WARMUP = 4
+PERIOD = 10.0
+
+
+def soak(seed, **overrides):
+    kwargs = {
+        "seed": seed,
+        "rounds": ROUNDS,
+        "warmup_rounds": WARMUP,
+        "period": PERIOD,
+    }
+    kwargs.update(overrides)
+    return run_chaos(**kwargs)
+
+
+def assert_invariants(report):
+    assert report.pending_futures == 0, "stuck NetFutures after drain"
+    assert report.breaker_violations == [], report.breaker_violations
+    assert len(report.latencies) == report.rounds
+    assert all(lat >= 0 for lat in report.latencies)
+    assert report.signature
+
+
+@pytest.mark.parametrize("fanout", [True, False])
+def test_replay_identity_same_seed(fanout):
+    first = soak(seed=5, fanout=fanout)
+    second = soak(seed=5, fanout=fanout)
+    assert first.signature == second.signature
+    assert first.latencies == second.latencies
+    assert first.faults == second.faults
+    assert first.requests == second.requests
+    assert_invariants(first)
+    assert_invariants(second)
+
+
+def test_different_seeds_produce_different_runs():
+    assert soak(seed=5).signature != soak(seed=6).signature
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_soak_invariants_hold(seed):
+    report = soak(seed=seed, rounds=10, warmup_rounds=5)
+    assert_invariants(report)
+    # The scenario genuinely exercised the fault plane.
+    faults = report.faults
+    assert faults["spikes_injected"] > 0
+    assert faults["flaps"] > 0
+    assert faults["partitions"] == faults["heals"] == 1
+
+
+def test_hedging_machinery_engages():
+    report = soak(seed=3, rounds=12, warmup_rounds=8, hedging=True)
+    assert report.dispatch["hedges_fired"] > 0
+    # Every fired hedge has exactly one abandoned loser.
+    assert report.dispatch["hedges_cancelled"] == report.dispatch["hedges_fired"]
+    assert_invariants(report)
+
+
+def test_hedging_off_fires_no_hedges():
+    report = soak(seed=3, hedging=False)
+    assert report.dispatch["hedges_fired"] == 0
+    assert_invariants(report)
+
+
+def test_report_rendering_and_dict():
+    report = soak(seed=4)
+    d = report.as_dict()
+    assert d["seed"] == 4
+    assert d["p99"] >= d["p50"] >= 0
+    text = report.format()
+    assert "replay signature" in text
+    assert "invariants" in text
+    assert f"seed={report.seed}" in text

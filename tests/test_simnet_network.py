@@ -291,3 +291,166 @@ class TestDeferredRpc:
         future.add_done_callback(lambda f: seen.append(net.clock.now()))
         net.gather([future])
         assert seen == [future.completed_at]
+
+
+class TestTimeoutBudget:
+    """``request`` enforces ``timeout`` against accumulated virtual time."""
+
+    def test_service_time_exceeding_budget_times_out(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_service_time("b", 10.0)
+        with pytest.raises(TimeoutError_):
+            net.request("a", Address("b", 9), "x", timeout=0.5)
+
+    def test_timeout_lands_exactly_on_deadline_instant(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_service_time("b", 10.0)
+        t0 = net.clock.now()
+        with pytest.raises(TimeoutError_):
+            net.request("a", Address("b", 9), "x", timeout=0.5)
+        # The clock advances to exactly t0 + timeout — a slow chain can
+        # never exceed its deadline and still return.
+        assert net.clock.now() - t0 == pytest.approx(0.5)
+
+    def test_service_time_within_budget_is_charged(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_service_time("b", 0.2)
+        t0 = net.clock.now()
+        assert net.request("a", Address("b", 9), "x") == ("echo", "x")
+        assert net.clock.now() - t0 >= 0.2
+
+    def test_slowdown_scales_round_trip(self):
+        def run(factor):
+            clock = VirtualClock()
+            n = Network(clock, seed=3)
+            n.add_host("x", site="s")
+            n.add_host("y", site="s")
+            n.listen(Address("y", 1), echo)
+            n.set_slowdown("y", factor)
+            t0 = clock.now()
+            n.request("x", Address("y", 1), "p")
+            return clock.now() - t0
+
+        # Same seed => same link draws, so the ratio is exact.
+        assert run(10.0) == pytest.approx(run(1.0) * 10.0)
+
+    def test_slow_host_misses_deadline(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_slowdown("b", 100_000.0)
+        t0 = net.clock.now()
+        with pytest.raises(TimeoutError_):
+            net.request("a", Address("b", 9), "x", timeout=0.5)
+        assert net.clock.now() - t0 == pytest.approx(0.5)
+
+    def test_handler_compute_not_charged_against_budget(self, net):
+        # End-to-end budgets across multi-hop chains belong to the core
+        # layer's Deadline; the transport timeout covers wire + service
+        # time of *this* hop only, so a nested slow RPC inside the
+        # handler must not expire the outer request.
+        net.listen(Address("c", 9), echo)
+
+        def relay(payload, src):
+            return net.request("b", Address("c", 9), payload)  # slow WAN hop
+
+        net.listen(Address("b", 9), relay)
+        t0 = net.clock.now()
+        result = net.request("a", Address("b", 9), "x", timeout=0.01)
+        assert result == ("echo", "x")
+        # The nested WAN round-trip dwarfed the outer 10 ms budget.
+        assert net.clock.now() - t0 > 0.01
+
+    def test_fault_knob_validation(self, net):
+        with pytest.raises(ValueError):
+            net.set_service_time("b", -1.0)
+        with pytest.raises(ValueError):
+            net.set_slowdown("b", 0.0)
+        with pytest.raises(ValueError):
+            net.set_extra_loss("b", 1.0)
+
+    def test_service_time_accessors(self, net):
+        net.set_service_time("b", 0.25)
+        net.set_slowdown("b", 2.0)
+        assert net.service_time("b") == 0.25
+        assert net.slowdown("b") == 2.0
+
+
+class TestAsyncMidFlightDeath:
+    """A host dying mid-flight surfaces at send-time + timeout."""
+
+    def test_death_mid_flight_surfaces_at_send_plus_timeout(self, net):
+        net.listen(Address("b", 9), echo)
+        t0 = net.clock.now()
+        future = net.request_async("a", Address("b", 9), "x", timeout=0.5)
+        net.set_host_up("b", False)  # dies while the request is in flight
+        with pytest.raises(HostUnreachableError) as exc:
+            net.gather([future])
+        assert "went down" in str(exc.value)
+        # Not arrival-time + timeout: the deadline was fixed at send time.
+        assert future.completed_at == pytest.approx(t0 + 0.5)
+
+    def test_partition_mid_flight_surfaces_at_send_plus_timeout(self, net):
+        net.listen(Address("c", 9), echo)
+        t0 = net.clock.now()
+        future = net.request_async("a", Address("c", 9), "x", timeout=0.5)
+        net.partition({"a", "b"}, {"c"})
+        with pytest.raises(HostUnreachableError):
+            net.gather([future])
+        assert future.completed_at == pytest.approx(t0 + 0.5)
+
+    def test_already_dead_host_fails_at_deadline(self, net):
+        net.listen(Address("b", 9), echo)
+        net.set_host_up("b", False)
+        t0 = net.clock.now()
+        future = net.request_async("a", Address("b", 9), "x", timeout=0.25)
+        with pytest.raises(HostUnreachableError) as exc:
+            net.gather([future])
+        assert "host down" in str(exc.value)
+        assert future.completed_at == pytest.approx(t0 + 0.25)
+
+
+class TestGatherAllFail:
+    """``gather(return_exceptions=True)`` when every future fails."""
+
+    def _three_doomed(self, net):
+        net.listen(Address("b", 9), echo)
+        net.add_host("d", site="s1")
+        net.listen(Address("d", 9), echo)
+        net.set_extra_loss("d", 0.9999999)  # every packet lost
+        return [
+            net.request_async("a", Address("ghost", 9), "x", timeout=0.2),
+            net.request_async("a", Address("b", 777), "x", timeout=0.2),
+            net.request_async("a", Address("d", 9), "x", timeout=0.2),
+        ]
+
+    def test_ordering_and_exception_types_preserved(self, net):
+        futures = self._three_doomed(net)
+        results = net.gather(futures, return_exceptions=True)
+        assert isinstance(results[0], HostUnreachableError)
+        assert isinstance(results[1], PortClosedError)
+        assert isinstance(results[2], TimeoutError_)
+        assert "lost" in str(results[2])
+        assert all(f.done() for f in futures)
+        assert net.pending_futures() == 0
+
+    def test_without_flag_first_failure_raises(self, net):
+        futures = self._three_doomed(net)
+        with pytest.raises(HostUnreachableError):
+            net.gather(futures)
+
+
+class TestPendingFutures:
+    def test_counts_outstanding_and_drains_to_zero(self, net):
+        net.listen(Address("b", 9), echo)
+        assert net.pending_futures() == 0
+        futures = [net.request_async("a", Address("b", 9), i) for i in range(3)]
+        assert net.pending_futures() == 3
+        net.gather(futures)
+        assert net.pending_futures() == 0
+
+    def test_failed_futures_drain_via_deadline_guard(self, net):
+        net.set_host_up("b", False)
+        future = net.request_async("a", Address("b", 9), "x", timeout=0.2)
+        assert net.pending_futures() == 1
+        net.clock.advance(0.25)
+        assert future.done()
+        assert net.pending_futures() == 0
