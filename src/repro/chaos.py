@@ -53,6 +53,11 @@ class ChaosReport:
     breakers: dict[str, Any] = field(default_factory=dict)
     #: Breaker entries violating structural invariants (must be empty).
     breaker_violations: list[str] = field(default_factory=list)
+    #: Span-tree invariant violations across every retained query trace
+    #: (closure, containment, hedge accounting — must be empty).
+    trace_violations: list[str] = field(default_factory=list)
+    #: Query traces checked by the invariant pass.
+    traces_checked: int = 0
     #: Unresolved NetFutures after the run (must be 0).
     pending_futures: int = 0
     elapsed_virtual: float = 0.0
@@ -80,6 +85,8 @@ class ChaosReport:
             "faults": dict(self.faults),
             "breakers": dict(self.breakers),
             "breaker_violations": list(self.breaker_violations),
+            "trace_violations": list(self.trace_violations),
+            "traces_checked": self.traces_checked,
             "pending_futures": self.pending_futures,
             "elapsed_virtual": self.elapsed_virtual,
         }
@@ -117,7 +124,9 @@ class ChaosReport:
             f"{self.breakers.get('recoveries', 0)} recoveries, "
             f"{self.breakers.get('open', 0)} open at end",
             f"  invariants: pending futures={self.pending_futures}, "
-            f"breaker violations={len(self.breaker_violations)}",
+            f"breaker violations={len(self.breaker_violations)}, "
+            f"trace violations={len(self.trace_violations)} "
+            f"({self.traces_checked} traces checked)",
             f"  replay signature: {self.signature[:16]}…",
         ]
         return "\n".join(lines)
@@ -246,5 +255,9 @@ def run_chaos(
     report.faults = plane.stats.as_dict()
     report.breakers = gw.health.summary()
     report.breaker_violations = _breaker_violations(gw.health.scoreboard())
+    from repro.obs.invariants import check_tracer
+
+    report.traces_checked = len(gw.tracer.traces())
+    report.trace_violations = check_tracer(gw.tracer)
     report.pending_futures = network.pending_futures()
     return report

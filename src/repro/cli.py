@@ -10,6 +10,8 @@ everything is simulated) and exercises it:
 * ``health``    — poll all sources and print the breaker scoreboard;
 * ``chaos``     — run the standard fault-plane scenario and report tail
   latency, hedging/retry/deadline counters and the replay signature;
+* ``trace``     — run a query, print its hop-by-hop span tree, verify the
+  trace invariants, and dump the metrics registry;
 * ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
 * ``lint``      — run the static driver-contract / project-invariant
   rules over source paths (see docs/DRIVER_GUIDE.md);
@@ -137,12 +139,44 @@ def cmd_chaos(args) -> int:
         for violation in report.breaker_violations:
             print(f"# breaker invariant violated: {violation}", file=sys.stderr)
         return 1
+    if report.trace_violations:
+        for violation in report.trace_violations:
+            print(f"# trace invariant violated: {violation}", file=sys.stderr)
+        return 1
     if report.pending_futures:
         print(
             f"# {report.pending_futures} network future(s) never resolved",
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import check_tracer
+
+    network, site = _build(args)
+    gw = site.gateway
+    console = Console(gw)
+    urls = args.url or [u for u in site.source_urls]
+    mode = QueryMode(args.mode)
+    result = gw.query(urls, args.sql, mode=mode)
+    trace = gw.tracer.get(result.trace_id)
+    if trace is None:
+        print("error: tracing disabled or trace evicted", file=sys.stderr)
+        return 2
+    print(trace.render(), end="")
+    print()
+    print(console.trace_panel())
+    violations = check_tracer(gw.tracer)
+    if violations:
+        for violation in violations:
+            print(f"# trace invariant violated: {violation}", file=sys.stderr)
+        return 1
+    print(f"# trace invariants OK across {len(gw.tracer.traces())} trace(s)")
+    if args.metrics:
+        print()
+        print(console.metrics_panel())
     return 0
 
 
@@ -282,6 +316,35 @@ def main(argv: list[str] | None = None) -> int:
         "--no-fanout", action="store_true", help="disable concurrent fan-out"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace", help="run a query and print its hop-by-hop trace"
+    )
+    _add_common(p)
+    p.add_argument(
+        "sql",
+        nargs="?",
+        default="SELECT * FROM Processor",
+        help='query to trace (default: "SELECT * FROM Processor")',
+    )
+    p.add_argument(
+        "--url",
+        action="append",
+        default=None,
+        metavar="JDBC_URL",
+        help="explicit source URL(s) to query (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--mode",
+        default="realtime",
+        choices=[m.value for m in QueryMode],
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also dump the gateway's metrics registry",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("schema", help="print the GLUE schema")
     p.add_argument("--xml", action="store_true", help="XML rendering")

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.clock import VirtualClock
 
 
@@ -59,7 +60,12 @@ class CacheController:
     """
 
     def __init__(
-        self, clock: VirtualClock, *, ttl: float = 30.0, max_entries: int = 0
+        self,
+        clock: VirtualClock,
+        *,
+        ttl: float = 30.0,
+        max_entries: int = 0,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if ttl < 0:
             raise ValueError(f"negative ttl: {ttl!r}")
@@ -69,9 +75,37 @@ class CacheController:
         self.ttl = ttl
         self.max_entries = max_entries
         self._entries: dict[tuple[str, str], CachedResult] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Counters live in the shared registry (prefix ``cache.``) so the
+        # self-monitoring driver sees them; the ``hits``/``misses``/
+        # ``evictions`` attribute reads below stay source-compatible.
+        reg = registry if registry is not None else MetricsRegistry()
+        self._hits = reg.counter("cache.hits")
+        self._misses = reg.counter("cache.misses")
+        self._evictions = reg.counter("cache.evictions")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.add(value - self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.add(value - self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.add(value - self._evictions.value)
 
     def key(self, source_url: str, sql: str) -> tuple[str, str]:
         return (source_url, normalise_sql(sql))

@@ -26,6 +26,8 @@ from repro.core.health import BreakerState, HealthTracker
 from repro.core.policy import GatewayPolicy
 from repro.dbapi.url import JdbcUrl
 from repro.drivers.base import GridRmConnection
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.trace import NO_TRACER, Tracer
 from repro.simnet.clock import VirtualClock
 
 
@@ -59,23 +61,30 @@ class ConnectionManager:
         policy: GatewayPolicy,
         *,
         health: HealthTracker | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.driver_manager = driver_manager
         self.clock = clock
         self.policy = policy
         #: Shared per-source circuit breakers (injected by the Gateway).
         self.health = health
+        self.tracer = tracer if tracer is not None else NO_TRACER
         self._idle: dict[str, list[PooledConnection]] = {}
-        self.stats = {
-            "acquires": 0,
-            "created": 0,
-            "reused": 0,
-            "revalidated": 0,
-            "evicted_invalid": 0,
-            "evicted_capacity": 0,
-            "evicted_unhealthy": 0,
-            "quarantined": 0,
-        }
+        self.stats = StatsView(
+            registry if registry is not None else MetricsRegistry(),
+            "pool",
+            (
+                "acquires",
+                "created",
+                "reused",
+                "revalidated",
+                "evicted_invalid",
+                "evicted_capacity",
+                "evicted_unhealthy",
+                "quarantined",
+            ),
+        )
 
     # ------------------------------------------------------------------
     def acquire(
@@ -92,42 +101,48 @@ class ConnectionManager:
         so the driver's native requests clamp to the remaining budget.
         """
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
-        if deadline is not None:
-            deadline.check(f"connection acquire for {url}")
-        self.stats["acquires"] += 1
-        quarantined = self.health is not None and self.health.is_quarantined(
-            _pool_key(url)
-        )
-        if self.policy.pool_enabled and not quarantined:
-            key = _pool_key(url)
-            idle = self._idle.get(key, [])
-            now = self.clock.now()
-            while idle:
-                entry = idle.pop()
-                conn = entry.connection
-                if conn.is_closed():
-                    self.stats["evicted_invalid"] += 1
-                    continue
-                if now - entry.idle_since > self.policy.pool_idle_ttl:
-                    # Stale: pay one probe to revalidate before reuse,
-                    # bounded by the borrowing query's remaining budget.
-                    self.stats["revalidated"] += 1
-                    probe_timeout = 1.0
-                    if deadline is not None:
-                        probe_timeout = deadline.clamp(
-                            probe_timeout, f"pool revalidation for {url}"
-                        )
-                    if not conn.is_valid(timeout=probe_timeout):
-                        conn.close()
+        with self.tracer.span("conn.acquire", url=str(url)) as span:
+            if deadline is not None:
+                deadline.check(f"connection acquire for {url}")
+            self.stats["acquires"] += 1
+            quarantined = self.health is not None and self.health.is_quarantined(
+                _pool_key(url)
+            )
+            if self.policy.pool_enabled and not quarantined:
+                key = _pool_key(url)
+                idle = self._idle.get(key, [])
+                now = self.clock.now()
+                while idle:
+                    entry = idle.pop()
+                    conn = entry.connection
+                    if conn.is_closed():
                         self.stats["evicted_invalid"] += 1
                         continue
-                self.stats["reused"] += 1
-                conn.deadline = deadline
-                return conn
-        self.stats["created"] += 1
-        conn = self.driver_manager.open_connection(url, info, deadline=deadline)
-        conn.deadline = deadline
-        return conn
+                    if now - entry.idle_since > self.policy.pool_idle_ttl:
+                        # Stale: pay one probe to revalidate before reuse,
+                        # bounded by the borrowing query's remaining budget.
+                        self.stats["revalidated"] += 1
+                        span["revalidated"] = True
+                        probe_timeout = 1.0
+                        if deadline is not None:
+                            probe_timeout = deadline.clamp(
+                                probe_timeout, f"pool revalidation for {url}"
+                            )
+                        if not conn.is_valid(timeout=probe_timeout):
+                            conn.close()
+                            self.stats["evicted_invalid"] += 1
+                            continue
+                    self.stats["reused"] += 1
+                    span["pooled"] = True
+                    conn.deadline = deadline
+                    conn.tracer = self.tracer
+                    return conn
+            self.stats["created"] += 1
+            span["pooled"] = False
+            conn = self.driver_manager.open_connection(url, info, deadline=deadline)
+            conn.deadline = deadline
+            conn.tracer = self.tracer
+            return conn
 
     def release(self, connection: GridRmConnection) -> None:
         """Return a connection to its pool (or close it).
@@ -139,6 +154,7 @@ class ConnectionManager:
         the pool's whole point (no per-query native traffic) survives.
         """
         connection.deadline = None  # deadlines are per-query, not per-session
+        connection.tracer = None  # spans are per-query too
         if connection.is_closed():
             return
         if not self.policy.pool_enabled:
@@ -169,6 +185,7 @@ class ConnectionManager:
     def discard(self, connection: GridRmConnection) -> None:
         """Close a connection that misbehaved instead of pooling it."""
         connection.deadline = None
+        connection.tracer = None
         connection.close()
 
     def quarantine(self, url: JdbcUrl | str) -> int:

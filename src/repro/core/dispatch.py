@@ -42,6 +42,8 @@ from repro.core.cache import normalise_sql
 from repro.core.errors import GridRmError
 from repro.core.policy import GatewayPolicy
 from repro.dbapi.exceptions import SQLException
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NO_TRACER, Tracer
 from repro.simnet.clock import VirtualClock
 from repro.simnet.errors import NetworkError
 from repro.sql.errors import SqlError
@@ -103,52 +105,83 @@ class Flight:
     completed_at: float = 0.0
 
 
-@dataclass
 class DispatchStats:
-    """Counters surfaced via ``Gateway.stats()`` and the console."""
+    """Counters surfaced via ``Gateway.stats()`` and the console.
 
-    fanouts: int = 0
-    branches: int = 0
-    serial_runs: int = 0
-    singleflight_joins: int = 0
-    cap_waits: int = 0
-    cap_wait_time: float = 0.0
-    flights: int = 0
-    hedges_fired: int = 0
-    hedges_won: int = 0
-    hedges_cancelled: int = 0
-    hedge_time_saved: float = 0.0
+    Attribute-shaped compatibility view over ``dispatch.*`` registry
+    counters: ``stats.fanouts += 1`` and :meth:`as_dict` behave exactly
+    as the plain dataclass this replaces, while the same numbers surface
+    through ``SELECT * FROM GatewayMetrics``.
+    """
+
+    FIELDS = (
+        "fanouts",
+        "branches",
+        "serial_runs",
+        "singleflight_joins",
+        "cap_waits",
+        "cap_wait_time",
+        "flights",
+        "hedges_fired",
+        "hedges_won",
+        "hedges_cancelled",
+        "hedge_time_saved",
+    )
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        object.__setattr__(
+            self, "_registry", registry if registry is not None else MetricsRegistry()
+        )
+        for name in self.FIELDS:
+            self._registry.counter(f"dispatch.{name}")
+
+    def __getattr__(self, name: str) -> Any:
+        if name in self.FIELDS:
+            return self._registry.counter(f"dispatch.{name}").value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name not in self.FIELDS:
+            object.__setattr__(self, name, value)
+            return
+        counter = self._registry.counter(f"dispatch.{name}")
+        counter.add(value - counter.value)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
-            "fanouts": self.fanouts,
-            "branches": self.branches,
-            "serial_runs": self.serial_runs,
-            "singleflight_joins": self.singleflight_joins,
-            "cap_waits": self.cap_waits,
-            "cap_wait_time": self.cap_wait_time,
-            "flights": self.flights,
-            "hedges_fired": self.hedges_fired,
-            "hedges_won": self.hedges_won,
-            "hedges_cancelled": self.hedges_cancelled,
-            "hedge_time_saved": self.hedge_time_saved,
-        }
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DispatchStats):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"DispatchStats({self.as_dict()!r})"
 
 
 class FanoutDispatcher:
     """Concurrent dispatch + single-flight + per-source caps for one
     gateway."""
 
-    def __init__(self, clock: VirtualClock, policy: GatewayPolicy) -> None:
+    def __init__(
+        self,
+        clock: VirtualClock,
+        policy: GatewayPolicy,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.clock = clock
         self.policy = policy
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NO_TRACER
         self._flights: dict[tuple[str, str], Flight] = {}
         #: Completion times of requests dispatched to each source; an
         #: entry with ``end > now`` is still in flight at ``now``.
         self._inflight_ends: dict[str, list[float]] = {}
         #: Recent successful-attempt latencies per source (hedge timer).
         self._latencies: dict[str, deque[float]] = {}
-        self.stats = DispatchStats()
+        self.stats = DispatchStats(self.registry)
 
     # ------------------------------------------------------------------
     # Fan-out
@@ -172,10 +205,11 @@ class FanoutDispatcher:
         self.stats.fanouts += 1
         self.stats.branches += len(thunks)
         outcomes: list[BranchOutcome] = []
-        with self.clock.concurrent() as scope:
-            for thunk in thunks:
-                with scope.branch():
-                    outcomes.append(self._run_one(thunk))
+        with self.tracer.span("fanout", branches=len(thunks)):
+            with self.clock.concurrent() as scope:
+                for thunk in thunks:
+                    with scope.branch():
+                        outcomes.append(self._run_one(thunk))
         return outcomes
 
     def _run_one(self, thunk: Callable[[], Any]) -> BranchOutcome:
@@ -271,17 +305,30 @@ class FanoutDispatcher:
         """
         scope = self.clock.concurrent()
         with scope.branch():
-            primary = self._run_one(fetch)
+            with self.tracer.span("hedge", index=0) as primary_span:
+                primary = self._run_one(fetch)
+                if primary.error is not None:
+                    primary_span.fail(primary.error)
         if primary.ok:
             self._note_latency(source_key, primary.elapsed)
         if primary.elapsed <= delay:
-            # Answered before the hedge timer armed: no hedge traffic.
+            # Answered before the hedge timer armed: no hedge traffic —
+            # so no race happened, and a span named "hedge" would lie.
+            # Rename it to the plain fetch it was.  (A disabled tracer
+            # hands out NULL_SPAN, whose name is "null", so the guard
+            # also skips the rename when tracing is off.)
+            if primary_span.name == "hedge":
+                primary_span.name = "fetch"
+                primary_span.attrs.pop("index", None)
             self.clock.advance(primary.elapsed)
             return primary
         self.stats.hedges_fired += 1
         with scope.branch():
             self.clock.advance(delay)
-            hedge = self._run_one(fetch)
+            with self.tracer.span("hedge", index=1, delay=delay) as hedge_span:
+                hedge = self._run_one(fetch)
+                if hedge.error is not None:
+                    hedge_span.fail(hedge.error)
         hedge_end = delay + hedge.elapsed
         if hedge.ok:
             self._note_latency(source_key, hedge.elapsed)
@@ -300,6 +347,9 @@ class FanoutDispatcher:
             self.stats.hedges_won += 1
             self.stats.hedge_time_saved += max(0.0, primary.elapsed - end)
         self.stats.hedges_cancelled += 1  # exactly one loser per fired hedge
+        # The abandoned attempt's span may outlive its parent — marking
+        # it cancelled is what exempts it from the containment invariant.
+        (hedge_span if winner is primary else primary_span).cancel()
         self.clock.advance(end)
         return winner
 
@@ -311,6 +361,7 @@ class FanoutDispatcher:
         if window is None:
             window = self._latencies[source_key] = deque(maxlen=_LATENCY_WINDOW)
         window.append(elapsed)
+        self.registry.histogram("dispatch.attempt_latency").record(elapsed)
 
     def _hedge_delay(self, source_key: str) -> float | None:
         """Arm the hedge timer, or None when hedging must not fire."""
@@ -363,10 +414,12 @@ class FanoutDispatcher:
         cap = self.policy.max_concurrent_per_source
         if cap > 0 and len(live) >= cap:
             waited_from = now
-            while len(live) >= cap:
-                self.clock.advance_to(min(live))
-                now = self.clock.now()
-                live = [e for e in live if e > now]
+            with self.tracer.span("cap_wait", source=source_key) as wspan:
+                while len(live) >= cap:
+                    self.clock.advance_to(min(live))
+                    now = self.clock.now()
+                    live = [e for e in live if e > now]
+                wspan["waited"] = now - waited_from
             self.stats.cap_waits += 1
             self.stats.cap_wait_time += now - waited_from
         self._inflight_ends[source_key] = live

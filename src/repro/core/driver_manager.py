@@ -41,6 +41,8 @@ from repro.dbapi.interfaces import Driver
 from repro.dbapi.registry import DriverRegistry
 from repro.dbapi.url import JdbcUrl
 from repro.drivers.base import GridRmConnection, GridRmDriver
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.trace import NO_TRACER, Tracer
 from repro.simnet.network import Network
 
 
@@ -113,6 +115,8 @@ class GridRmDriverManager:
         *,
         persistent_store: MutableMapping[str, str] | None = None,
         health: HealthTracker | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.registry = registry
         self.policy = policy
@@ -122,16 +126,21 @@ class GridRmDriverManager:
         #: Shared per-source circuit breakers (the Gateway injects one
         #: tracker across all managers); None disables health tracking.
         self.health = health
+        self.tracer = tracer if tracer is not None else NO_TRACER
         self._preferences: dict[str, DriverPreference] = {}
         self._last_driver: dict[str, Driver] = {}
-        self.stats = {
-            "selections": 0,
-            "cache_hits": 0,
-            "dynamic_scans": 0,
-            "failovers": 0,
-            "connect_failures": 0,
-            "breaker_fast_fails": 0,
-        }
+        self.stats = StatsView(
+            metrics if metrics is not None else MetricsRegistry(),
+            "drivers",
+            (
+                "selections",
+                "cache_hits",
+                "dynamic_scans",
+                "failovers",
+                "connect_failures",
+                "breaker_fast_fails",
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -266,11 +275,22 @@ class GridRmDriverManager:
         more drivers nobody is waiting for.
         """
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
+        with self.tracer.span("driver.connect", url=str(url)) as span:
+            return self._open_connection_traced(url, info, deadline, span)
+
+    def _open_connection_traced(
+        self,
+        url: JdbcUrl,
+        info: Mapping[str, Any] | None,
+        deadline: Deadline | None,
+        span: Any,
+    ) -> GridRmConnection:
         source_key = str(url)
         if deadline is not None:
             deadline.check(f"driver selection for {url}")
         if self.health is not None and not self.health.allow_request(source_key):
             self.stats["breaker_fast_fails"] += 1
+            span["fast_failed"] = True
             entry = self.health.health(source_key)
             raise SourceQuarantinedError(
                 f"circuit open for {url} until t={entry.open_until:.1f}s "
@@ -278,6 +298,7 @@ class GridRmDriverManager:
             )
         self.stats["selections"] += 1
         candidates, only_cached = self._candidates(url)
+        span["candidates"] = len(candidates)
         if not candidates:
             raise NoSuitableDriverError(f"no registered driver accepts {url}")
 
@@ -311,6 +332,10 @@ class GridRmDriverManager:
                     self._last_driver[_url_key(url)] = driver
                 if self.health is not None:
                     self.health.record_success(source_key)
+                try:
+                    span["driver"] = driver.name()
+                except SQLException:
+                    span["driver"] = type(driver).__name__
                 return conn
             return None
 

@@ -50,6 +50,9 @@ from repro.dbapi.interfaces import Driver
 from repro.dbapi.registry import DriverRegistry
 from repro.dbapi.url import JdbcUrl
 from repro.drivers import default_driver_set
+from repro.obs.driver import GatewayMetricsDriver
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.simnet.network import Address, Network
 from repro.sql.parser import parse_select
 
@@ -121,24 +124,45 @@ class Gateway:
             schema_manager if schema_manager is not None else SchemaManager()
         )
         self.registry = DriverRegistry()
+        # The observability plane comes first: every manager below hangs
+        # its stats off this shared registry and emits spans into this
+        # tracer, and the self-monitoring driver serves the registry back
+        # out as the GatewayMetrics GLUE group.
+        self.metrics = MetricsRegistry(network.clock)
+        self.tracer = Tracer(
+            network.clock,
+            enabled=self.policy.tracing_enabled,
+            max_traces=self.policy.trace_max_traces,
+        )
         # One health tracker shared by every manager: local sources are
         # keyed by their full JDBC URL, remote gateways by gma://<site>.
         self.health = HealthTracker(
-            network.clock, self.policy, on_transition=self._on_breaker_transition
+            network.clock,
+            self.policy,
+            on_transition=self._on_breaker_transition,
+            registry=self.metrics,
         )
         self.driver_manager = GridRmDriverManager(
             self.registry,
             self.policy,
             persistent_store=persistent_store,
             health=self.health,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.connection_manager = ConnectionManager(
-            self.driver_manager, network.clock, self.policy, health=self.health
+            self.driver_manager,
+            network.clock,
+            self.policy,
+            health=self.health,
+            registry=self.metrics,
+            tracer=self.tracer,
         )
         self.cache = CacheController(
             network.clock,
             ttl=self.policy.query_cache_ttl,
             max_entries=self.policy.query_cache_max_entries,
+            registry=self.metrics,
         )
         self.history = HistoryStore(
             self.schema_manager.schema,
@@ -151,7 +175,9 @@ class Gateway:
         # per-source fan-out, the Global layer's scatter-gather and
         # client batches all share it, so identical concurrent requests
         # coalesce across every code path.
-        self.dispatcher = FanoutDispatcher(network.clock, self.policy)
+        self.dispatcher = FanoutDispatcher(
+            network.clock, self.policy, registry=self.metrics, tracer=self.tracer
+        )
         self.request_manager = RequestManager(
             self.connection_manager,
             self.cache,
@@ -159,6 +185,8 @@ class Gateway:
             self.policy,
             health=self.health,
             dispatcher=self.dispatcher,
+            registry=self.metrics,
+            tracer=self.tracer,
         )
         self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
         self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)
@@ -178,6 +206,21 @@ class Gateway:
         if register_default_drivers:
             for driver in default_driver_set(network, gateway_host=host):
                 self.driver_manager.register(driver)
+        # The monitor monitors itself: the grm:// self-monitoring driver
+        # serves this gateway's own metrics registry through the normal
+        # stack (``SELECT * FROM GatewayMetrics``).  Not persisted — its
+        # constructor needs the live registry, which a start-up restore
+        # could not supply.
+        self.driver_manager.register(
+            GatewayMetricsDriver(
+                network,
+                gateway_host=host,
+                registry=self.metrics,
+                tracer=self.tracer,
+                site=self.site,
+            ),
+            persist=False,
+        )
         # Drivers persisted by an earlier gateway incarnation re-register
         # on start-up (paper §3.2.2) — skip specs already live; a spec
         # that no longer loads is skipped, not allowed to abort start-up.
@@ -306,6 +349,7 @@ class Gateway:
         max_age: float | None = None,
         timeout: float | None = None,
         deadline: Deadline | None = None,
+        trace_parent: Mapping[str, Any] | None = None,
     ) -> QueryResult:
         """Run a client query against one or more local data sources.
 
@@ -318,6 +362,12 @@ class Gateway:
         ``default_deadline`` applies (0 = unlimited, the default).
         ``deadline`` lets an upstream caller (e.g. a remote producer
         re-anchoring a wire budget) pass an existing deadline instead.
+
+        A trace rides the same path: the root span opens here, every hop
+        below adds children, and the finished tree is retrievable as
+        ``result.trace_id``.  ``trace_parent`` carries the originating
+        span context when this query arrived over the GMA wire, so a
+        remote site's tree links back to the consumer's.
         """
         if isinstance(urls, (str, JdbcUrl)):
             urls = [urls]
@@ -329,6 +379,31 @@ class Gateway:
             if budget > 0:
                 deadline = Deadline.after(self.network.clock, budget)
 
+        with self.tracer.start_trace(
+            "query",
+            remote_parent=dict(trace_parent) if trace_parent else None,
+            sql=sql,
+            mode=mode.value,
+            site=self.site,
+            urls=len(parsed),
+        ) as root:
+            trace = self.tracer.current_trace()
+            result = self._traced_query(
+                parsed, sql, mode, max_age, principal, deadline, root
+            )
+        result.trace_id = trace.trace_id if trace is not None else ""
+        return result
+
+    def _traced_query(
+        self,
+        parsed: list[JdbcUrl],
+        sql: str,
+        mode: QueryMode,
+        max_age: float | None,
+        principal: Principal,
+        deadline: Deadline | None,
+        root,
+    ) -> QueryResult:
         # Transparent Global-layer routing (paper §1.1): URLs whose host
         # belongs to another site are forwarded to the owning gateway
         # when this gateway has joined the GMA fabric.
@@ -380,6 +455,12 @@ class Gateway:
                         result.columns, result.rows, partial.columns, partial.rows
                     )
         result.elapsed = self.network.clock.now() - started
+        root.annotate(
+            rows=len(result.rows),
+            sources_ok=sum(1 for s in result.statuses if s.ok),
+            sources_failed=sum(1 for s in result.statuses if not s.ok),
+        )
+        self.metrics.histogram("gateway.query_elapsed").record(result.elapsed)
         # Update per-source poll status for the tree view (Figure 9).
         now = self.network.clock.now()
         for status in result.statuses:
@@ -610,4 +691,8 @@ class Gateway:
                 "scoreboard": self.health.scoreboard(),
             },
             "history_rows": self.history.row_count(),
+            "metrics": {
+                "instruments": len(self.metrics),
+                "traces": len(self.tracer.traces()),
+            },
         }

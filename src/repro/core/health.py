@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.policy import GatewayPolicy
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.simnet.clock import VirtualClock
 
 #: Upper bound of the multiplicative jitter applied to each backoff: the
@@ -128,13 +129,18 @@ class HealthTracker:
         *,
         on_transition: TransitionListener | None = None,
         jitter_seed: int = 0,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         self.clock = clock
         self.policy = policy
         self.on_transition = on_transition
         self._rng = random.Random(jitter_seed)
         self._sources: dict[str, SourceHealth] = {}
-        self.stats = {"trips": 0, "recoveries": 0, "short_circuits": 0}
+        self.stats = StatsView(
+            registry if registry is not None else MetricsRegistry(),
+            "health",
+            ("trips", "recoveries", "short_circuits"),
+        )
 
     # ------------------------------------------------------------------
     # Queries

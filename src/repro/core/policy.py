@@ -100,6 +100,11 @@ class GatewayPolicy:
             hedging activates (cold sources are never hedged).
         hedge_min_delay: floor on the hedge timer, so very fast sources
             do not double their traffic on micro-jitter.
+        tracing_enabled: record one span per hop of every query into the
+            gateway's :class:`~repro.obs.trace.Tracer` (console
+            ``trace_panel``, ``GET /trace/<qid>``, ``repro trace``).
+        trace_max_traces: finished traces retained in the tracer's ring
+            buffer before the oldest are dropped.
     """
 
     query_cache_ttl: float = 30.0
@@ -136,6 +141,8 @@ class GatewayPolicy:
     hedge_percentile: float = 95.0
     hedge_min_samples: int = 8
     hedge_min_delay: float = 0.005
+    tracing_enabled: bool = True
+    trace_max_traces: int = 256
 
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
@@ -219,3 +226,7 @@ class GatewayPolicy:
             )
         if self.hedge_min_delay < 0:
             raise PolicyError(f"hedge_min_delay < 0: {self.hedge_min_delay!r}")
+        if self.trace_max_traces < 1:
+            raise PolicyError(
+                f"trace_max_traces must be >= 1: {self.trace_max_traces!r}"
+            )

@@ -61,6 +61,8 @@ from repro.dbapi.exceptions import (
 )
 from repro.dbapi.resultset import ListResultSet
 from repro.dbapi.url import JdbcUrl
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.trace import NO_TRACER, Tracer
 from repro.sql.errors import SqlError
 from repro.sql.parser import parse_select
 
@@ -99,6 +101,9 @@ class QueryResult:
     mode: QueryMode = QueryMode.REALTIME
     started_at: float = 0.0
     elapsed: float = 0.0
+    #: Id of the query's trace tree in the gateway's Tracer ("" when the
+    #: result was produced without one).
+    trace_id: str = ""
 
     @property
     def ok_sources(self) -> int:
@@ -163,6 +168,8 @@ class RequestManager:
         *,
         health: HealthTracker | None = None,
         dispatcher: FanoutDispatcher | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.connection_manager = connection_manager
         self.cache = cache
@@ -171,6 +178,11 @@ class RequestManager:
         #: Shared per-source circuit breakers (injected by the Gateway).
         self.health = health
         self.clock = connection_manager.clock
+        #: Shared metrics registry (injected by the Gateway; standalone
+        #: construction gets a private one so the stats below behave the
+        #: same either way) and per-hop tracer.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NO_TRACER
         #: Concurrent dispatch + single-flight + per-source caps.  The
         #: Gateway injects its shared dispatcher so coalescing works
         #: across every consumer of the same sources.
@@ -182,22 +194,30 @@ class RequestManager:
         #: Seeded jitter source for retry backoffs — deterministic under
         #: replay (draws happen in deterministic branch order).
         self._retry_rng = random.Random(0)
-        self.stats = {
-            "queries": 0,
-            "join_queries": 0,
-            "fanout_queries": 0,
-            "singleflight_joins": 0,
-            "realtime_fetches": 0,
-            "cache_served": 0,
-            "history_served": 0,
-            "source_failures": 0,
-            "breaker_short_circuits": 0,
-            "stale_served": 0,
-            "validation_rejects": 0,
-            "retries": 0,
-            "retry_giveups": 0,
-            "deadline_exceeded": 0,
-        }
+        #: Compatibility view over ``requests.*`` registry counters: the
+        #: historical dict keys keep working (``stats["queries"] += 1``,
+        #: ``dict(stats)``), and the same numbers surface through
+        #: ``SELECT * FROM GatewayMetrics``.
+        self.stats = StatsView(
+            self.registry,
+            "requests",
+            (
+                "queries",
+                "join_queries",
+                "fanout_queries",
+                "singleflight_joins",
+                "realtime_fetches",
+                "cache_served",
+                "history_served",
+                "source_failures",
+                "breaker_short_circuits",
+                "stale_served",
+                "validation_rejects",
+                "retries",
+                "retry_giveups",
+                "deadline_exceeded",
+            ),
+        )
 
     # ------------------------------------------------------------------
     def execute(
@@ -254,29 +274,34 @@ class RequestManager:
             )
 
         started = self.clock.now()
-        if select.is_join:
-            result = self._execute_join(
-                parsed, select, mode, max_age, info, deadline, retry_budget
-            )
-            result.started_at = started
-        else:
-            result = QueryResult(columns=[], rows=[], mode=mode, started_at=started)
-            if mode is QueryMode.HISTORY:
-                # Historical queries hit the gateway-local store: no
-                # network round-trips, nothing to overlap.
-                for url in parsed:
-                    self._one_history(url, sql, result)
-            elif len(parsed) == 1 or not self.policy.fanout_enabled:
-                for url in parsed:
-                    self._one_realtime(
-                        url, sql, select, result, mode, max_age, info,
+        with self.tracer.span(
+            "execute", mode=mode.value, sources=len(parsed), join=select.is_join
+        ):
+            if select.is_join:
+                result = self._execute_join(
+                    parsed, select, mode, max_age, info, deadline, retry_budget
+                )
+                result.started_at = started
+            else:
+                result = QueryResult(
+                    columns=[], rows=[], mode=mode, started_at=started
+                )
+                if mode is QueryMode.HISTORY:
+                    # Historical queries hit the gateway-local store: no
+                    # network round-trips, nothing to overlap.
+                    for url in parsed:
+                        self._one_history(url, sql, result)
+                elif len(parsed) == 1 or not self.policy.fanout_enabled:
+                    for url in parsed:
+                        self._one_realtime(
+                            url, sql, select, result, mode, max_age, info,
+                            deadline, retry_budget,
+                        )
+                else:
+                    self._fan_out(
+                        parsed, sql, select, result, mode, max_age, info,
                         deadline, retry_budget,
                     )
-            else:
-                self._fan_out(
-                    parsed, sql, select, result, mode, max_age, info,
-                    deadline, retry_budget,
-                )
         result.elapsed = self.clock.now() - started
         return result
 
@@ -345,6 +370,7 @@ class RequestManager:
 
         self.stats["join_queries"] += 1
         result = QueryResult(columns=[], rows=[], mode=mode)
+        self.tracer.current_span().annotate(groups=len(select.tables))
 
         def branch(group: str):
             return lambda: self.execute(
@@ -406,6 +432,29 @@ class RequestManager:
         deadline: Deadline | None = None,
         retry_budget: RetryBudget | None = None,
     ) -> None:
+        with self.tracer.span("source", url=str(url)) as span:
+            if deadline is not None:
+                span["deadline_remaining"] = deadline.remaining()
+            if self.health is not None:
+                span["breaker"] = self.health.state(str(url)).value
+            self._one_realtime_traced(
+                url, sql, select, result, mode, max_age, info,
+                deadline, retry_budget, span,
+            )
+
+    def _one_realtime_traced(
+        self,
+        url: JdbcUrl,
+        sql: str,
+        select: Any,
+        result: QueryResult,
+        mode: QueryMode,
+        max_age: float | None,
+        info: Mapping[str, Any] | None,
+        deadline: Deadline | None,
+        retry_budget: RetryBudget | None,
+        span,
+    ) -> None:
         url_text = str(url)
         if deadline is not None and deadline.expired():
             # Budget gone before this source was even dispatched (eaten
@@ -413,6 +462,8 @@ class RequestManager:
             # health penalty — the source did nothing wrong.
             self.stats["deadline_exceeded"] += 1
             self.stats["source_failures"] += 1
+            span.fail("deadline exceeded before dispatch",
+                      status="deadline_exceeded")
             result.statuses.append(
                 SourceStatus(
                     url=url_text, ok=False, error="deadline exceeded before dispatch"
@@ -423,16 +474,20 @@ class RequestManager:
             cached = self.cache.lookup(url_text, sql, max_age=max_age)
             if cached is not None:
                 self.stats["cache_served"] += 1
+                span["cache"] = "hit"
                 n = self._merge(result, cached.columns, cached.rows)
                 result.statuses.append(
                     SourceStatus(url=url_text, ok=True, rows=n, from_cache=True)
                 )
                 return
+        span["cache"] = "miss" if mode is QueryMode.CACHED_OK else "bypass"
         if self.health is not None and not self.health.allow_request(url_text):
             # Circuit OPEN: never touch the source (even in REALTIME —
             # that is the breaker's whole point).  Serve the last cached
             # answer past its TTL when the policy allows, else fail fast.
             self.stats["breaker_short_circuits"] += 1
+            span["breaker"] = "open"
+            span["short_circuited"] = True
             self._one_degraded(url_text, sql, result)
             return
         # Single-flight: an identical request already in the air to this
@@ -442,6 +497,7 @@ class RequestManager:
         flight = self.dispatcher.join_flight(url_text, sql)
         if flight is not None:
             self.stats["singleflight_joins"] += 1
+            span["coalesced"] = True
             if flight.error is not None:
                 self.stats["source_failures"] += 1
                 result.statuses.append(
@@ -463,16 +519,18 @@ class RequestManager:
         # whether by the retry loop below or by a dispatcher hedge.
         reissuable = self._idempotent(url)
         retry = RetryPolicy.from_gateway_policy(self.policy)
+        fetch_started = self.clock.now()
         attempt = 0
         while True:
             attempt += 1
             try:
-                columns, rows = self.dispatcher.run_flight(
-                    url_text,
-                    sql,
-                    lambda: self._fetch(url, sql, info, deadline),
-                    hedge=reissuable,
-                )
+                with self.tracer.span("attempt", index=attempt):
+                    columns, rows = self.dispatcher.run_flight(
+                        url_text,
+                        sql,
+                        lambda: self._fetch(url, sql, info, deadline),
+                        hedge=reissuable,
+                    )
                 break
             except DeadlineExceededError as exc:
                 # The end-to-end budget ran out mid-fetch: report it as
@@ -480,6 +538,8 @@ class RequestManager:
                 # was not proven unhealthy) and never a retry.
                 self.stats["deadline_exceeded"] += 1
                 self.stats["source_failures"] += 1
+                span.annotate(attempts=attempt)
+                span.fail(exc, status="deadline_exceeded")
                 result.statuses.append(
                     SourceStatus(url=url_text, ok=False, error=str(exc))
                 )
@@ -508,6 +568,8 @@ class RequestManager:
                     elif retry_budget is not None:
                         self.stats["retry_giveups"] += 1
                 self.stats["source_failures"] += 1
+                span.annotate(attempts=attempt)
+                span.fail(exc)
                 result.statuses.append(
                     SourceStatus(url=url_text, ok=False, error=str(exc))
                 )
@@ -515,6 +577,10 @@ class RequestManager:
         if self.health is not None:
             self.health.record_success(url_text)
         self.stats["realtime_fetches"] += 1
+        span.annotate(attempts=attempt)
+        self.registry.histogram("requests.source_latency").record(
+            self.clock.now() - fetch_started
+        )
         n = self._merge(result, columns, rows)
         result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))
         self.cache.store(url_text, sql, list(columns), [list(r) for r in rows])
@@ -588,11 +654,16 @@ class RequestManager:
 
     def _one_history(self, url: JdbcUrl, sql: str, result: QueryResult) -> None:
         url_text = str(url)
-        try:
-            sel = self.history.query(sql, source_url=url_text)
-        except SqlError as exc:
-            result.statuses.append(SourceStatus(url=url_text, ok=False, error=str(exc)))
-            return
-        self.stats["history_served"] += 1
-        n = self._merge(result, sel.columns, sel.rows)
-        result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))
+        with self.tracer.span("history", url=url_text) as span:
+            try:
+                sel = self.history.query(sql, source_url=url_text)
+            except SqlError as exc:
+                span.fail(exc)
+                result.statuses.append(
+                    SourceStatus(url=url_text, ok=False, error=str(exc))
+                )
+                return
+            self.stats["history_served"] += 1
+            n = self._merge(result, sel.columns, sel.rows)
+            span["rows"] = n
+            result.statuses.append(SourceStatus(url=url_text, ok=True, rows=n))

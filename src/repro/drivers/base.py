@@ -222,6 +222,10 @@ class GridRmConnection(Connection):
         #: and cleared at release.  Every native request is clamped to
         #: the remaining budget (see :meth:`request`).
         self.deadline: "Deadline | None" = None
+        #: Tracer of the query currently borrowing this connection —
+        #: stamped and cleared exactly like :attr:`deadline` — so native
+        #: round-trips show up as spans without drivers doing anything.
+        self.tracer: Any = None
 
     # -- schema mapping lifecycle --------------------------------------
     def _fetch_mapping(self) -> _MappingHandle:
@@ -292,12 +296,24 @@ class GridRmConnection(Connection):
         if deadline is not None:
             base = self.network.DEFAULT_TIMEOUT if timeout is None else timeout
             timeout = deadline.clamp(base, f"native request to {self.url.host}")
-        return self.network.request(
-            self.driver.gateway_host,
-            self.agent_address(),
-            payload,
-            timeout=timeout,
-        )
+        if self.tracer is None:
+            return self.network.request(
+                self.driver.gateway_host,
+                self.agent_address(),
+                payload,
+                timeout=timeout,
+            )
+        with self.tracer.span(
+            "native", host=self.url.host, protocol=self.driver.protocol
+        ) as span:
+            if timeout is not None:
+                span["timeout"] = timeout
+            return self.network.request(
+                self.driver.gateway_host,
+                self.agent_address(),
+                payload,
+                timeout=timeout,
+            )
 
 
 class GridRmDriver(Driver):

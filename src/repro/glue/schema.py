@@ -271,6 +271,20 @@ def standard_schema() -> GlueSchema:
             ),
             "Batch jobs (cluster management sources, e.g. SCMS)",
         ),
+        GlueGroup(
+            "GatewayMetrics",
+            host_key
+            + (
+                _f("Name", "TEXT", "", "dotted instrument name"),
+                _f("Kind", "TEXT", "", "counter / gauge / histogram"),
+                _f("Value", "REAL", "", "counter/gauge value; histogram mean"),
+                _f("Count", "INTEGER", "count", "histogram sample count"),
+                _f("P50", "REAL", "", "50th percentile (histograms)"),
+                _f("P95", "REAL", "", "95th percentile (histograms)"),
+                _f("P99", "REAL", "", "99th percentile (histograms)"),
+            ),
+            "The gateway's own metrics registry (self-monitoring driver)",
+        ),
     ]
     return GlueSchema(version="GLUE-1.1-gridrm", groups=groups)
 

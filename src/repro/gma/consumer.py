@@ -9,6 +9,7 @@ from repro.core.deadline import Deadline
 from repro.core.errors import GridRmError
 from repro.gma.directory import DirectoryClient
 from repro.gma.records import ProducerRecord
+from repro.obs.trace import NO_TRACER, Tracer
 from repro.simnet.errors import NetworkError
 from repro.simnet.network import Address, Network
 
@@ -30,6 +31,9 @@ class RemoteResult:
     rows: list[list[Any]]
     statuses: list[dict[str, Any]] = field(default_factory=list)
     producer: ProducerRecord | None = None
+    #: Trace id of the query as executed at the *remote* gateway (its
+    #: tracer owns that trace; ours only records the wire span).
+    remote_trace_id: str = ""
 
     def dicts(self) -> list[dict[str, Any]]:
         return [dict(zip(self.columns, r)) for r in self.rows]
@@ -45,11 +49,13 @@ class GatewayConsumer:
         directory: DirectoryClient,
         *,
         from_site: str = "",
+        tracer: Tracer | None = None,
     ) -> None:
         self.network = network
         self.from_host = from_host
         self.directory = directory
         self.from_site = from_site or network.site_of(from_host)
+        self.tracer = tracer if tracer is not None else NO_TRACER
         self.queries_sent = 0
 
     # ------------------------------------------------------------------
@@ -88,26 +94,38 @@ class GatewayConsumer:
             base = self.network.DEFAULT_TIMEOUT if timeout is None else timeout
             timeout = deadline.clamp(base, f"remote query to {producer.key()}")
             payload["deadline_budget"] = deadline.remaining()
-        try:
-            response = self.network.request(
-                self.from_host,
-                Address(producer.gateway_host, producer.port),
-                payload,
-                timeout=timeout,
+        # Span context rides the wire so the remote gateway re-parents
+        # its own query trace under this hop (see GatewayProducer._query).
+        ctx = self.tracer.context()
+        if ctx is not None:
+            payload["trace_ctx"] = ctx
+        with self.tracer.span("wire", producer=producer.key()) as span:
+            try:
+                response = self.network.request(
+                    self.from_host,
+                    Address(producer.gateway_host, producer.port),
+                    payload,
+                    timeout=timeout,
+                )
+            except NetworkError as exc:
+                raise RemoteQueryFailure(
+                    f"producer {producer.key()} unreachable: {exc}"
+                ) from exc
+            if not isinstance(response, dict) or not response.get("ok"):
+                error = (
+                    response.get("error") if isinstance(response, dict) else "garbage"
+                )
+                raise RemoteQueryFailure(f"producer {producer.key()}: {error}")
+            remote_trace_id = str(response.get("trace_id", ""))
+            if remote_trace_id:
+                span["remote_trace"] = remote_trace_id
+            return RemoteResult(
+                columns=list(response.get("columns", [])),
+                rows=[list(r) for r in response.get("rows", [])],
+                statuses=list(response.get("statuses", [])),
+                producer=producer,
+                remote_trace_id=remote_trace_id,
             )
-        except NetworkError as exc:
-            raise RemoteQueryFailure(
-                f"producer {producer.key()} unreachable: {exc}"
-            ) from exc
-        if not isinstance(response, dict) or not response.get("ok"):
-            error = response.get("error") if isinstance(response, dict) else "garbage"
-            raise RemoteQueryFailure(f"producer {producer.key()}: {error}")
-        return RemoteResult(
-            columns=list(response.get("columns", [])),
-            rows=[list(r) for r in response.get("rows", [])],
-            statuses=list(response.get("statuses", [])),
-            producer=producer,
-        )
 
     def query_site(
         self,

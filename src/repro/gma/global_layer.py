@@ -27,6 +27,7 @@ from repro.gma.consumer import GatewayConsumer, RemoteQueryFailure, RemoteResult
 from repro.gma.directory import DirectoryClient, GMADirectory
 from repro.gma.producer import PRODUCER_PORT, GatewayProducer
 from repro.gma.records import ProducerRecord
+from repro.obs.metrics import StatsView
 from repro.simnet.network import Address
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,16 +58,24 @@ class GlobalLayer:
         )
         self.producer = GatewayProducer(gateway, port=producer_port)
         self.consumer = GatewayConsumer(
-            gateway.network, gateway.host, self.directory, from_site=gateway.site
+            gateway.network,
+            gateway.host,
+            self.directory,
+            from_site=gateway.site,
+            tracer=gateway.tracer,
         )
         self.cache_remote = cache_remote
-        self.stats = {
-            "remote_queries": 0,
-            "remote_cache_hits": 0,
-            "remote_short_circuits": 0,
-            "remote_stale_served": 0,
-            "remote_coalesced": 0,
-        }
+        self.stats = StatsView(
+            gateway.metrics,
+            "gma",
+            (
+                "remote_queries",
+                "remote_cache_hits",
+                "remote_short_circuits",
+                "remote_stale_served",
+                "remote_coalesced",
+            ),
+        )
         self.register()
         # Enable the gateway's transparent remote-URL routing (paper
         # §1.1: remote requests "are routed through to the Global layer").
@@ -113,12 +122,28 @@ class GlobalLayer:
         self.gateway.cgsl.check(principal, "query_remote")
         if deadline is not None:
             deadline.check(f"remote query to site {site!r}")
+        with self.gateway.tracer.span("remote", site=site) as span:
+            return self._query_remote_traced(
+                site, sql, urls, mode, max_age, deadline, span
+            )
+
+    def _query_remote_traced(
+        self,
+        site: str,
+        sql: str,
+        urls: list[str] | None,
+        mode: str,
+        max_age: float | None,
+        deadline: Deadline | None,
+        span,
+    ) -> RemoteResult:
         self.stats["remote_queries"] += 1
         cache_key_url = f"gma://{site}" + (f"/{','.join(urls)}" if urls else "")
         if self.cache_remote:
             cached = self.gateway.cache.lookup(cache_key_url, sql, max_age=max_age)
             if cached is not None:
                 self.stats["remote_cache_hits"] += 1
+                span["cache"] = "hit"
                 return RemoteResult(
                     columns=list(cached.columns),
                     rows=[list(r) for r in cached.rows],
@@ -131,10 +156,12 @@ class GlobalLayer:
         health_key = f"gma://{site}"
         if not health.allow_request(health_key):
             self.stats["remote_short_circuits"] += 1
+            span["short_circuited"] = True
             if self.cache_remote and self.gateway.policy.serve_stale_on_open:
                 stale = self.gateway.cache.lookup_stale(cache_key_url, sql)
                 if stale is not None:
                     self.stats["remote_stale_served"] += 1
+                    span["stale"] = True
                     return RemoteResult(
                         columns=list(stale.columns),
                         rows=[list(r) for r in stale.rows],
@@ -160,6 +187,7 @@ class GlobalLayer:
         flight = dispatcher.join_flight(cache_key_url, sql)
         if flight is not None:
             self.stats["remote_coalesced"] += 1
+            span["coalesced"] = True
             if flight.error is not None:
                 raise RemoteQueryError(str(flight.error)) from flight.error
             shared = flight.value
@@ -182,6 +210,8 @@ class GlobalLayer:
             health.record_failure(health_key, str(exc))
             raise RemoteQueryError(str(exc)) from exc
         health.record_success(health_key)
+        if result.remote_trace_id:
+            span["remote_trace"] = result.remote_trace_id
         if self.cache_remote:
             self.gateway.cache.store(cache_key_url, sql, result.columns, result.rows)
         return result

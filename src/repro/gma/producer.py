@@ -83,6 +83,10 @@ class GatewayProducer:
                     f"remote query from {from_site!r} arrived with no budget left"
                 )
             deadline = Deadline.after(self.gateway.network.clock, budget)
+        # Span context from the consumer's wire envelope: the local trace
+        # records where in the *caller's* trace this query hangs, and the
+        # response carries our trace id back for cross-site correlation.
+        trace_ctx = payload.get("trace_ctx")
         result = self.gateway.query(
             urls,
             sql,
@@ -90,9 +94,11 @@ class GatewayProducer:
             principal=principal,
             max_age=payload.get("max_age"),
             deadline=deadline,
+            trace_parent=trace_ctx if isinstance(trace_ctx, dict) else None,
         )
         return {
             "ok": True,
+            "trace_id": result.trace_id,
             "columns": result.columns,
             "rows": result.rows,
             "statuses": [

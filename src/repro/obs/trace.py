@@ -1,0 +1,394 @@
+"""Hop-by-hop query tracing on the virtual clock.
+
+A :class:`Tracer` rides the same path the ``Deadline`` already travels:
+the gateway opens a trace per query, every hop (fan-out, source fetch,
+retry attempt, hedge, pool acquire, driver connect, native round-trip,
+GMA wire) opens a child span, and the finished trace trees are kept in
+a bounded ring for the console ``trace_panel``, the servlet
+``GET /trace/<qid>``, and the ``python -m repro trace`` CLI.
+
+Everything is deterministic: trace ids are ``q1, q2, ...`` in start
+order, span ids count up per trace, and all timestamps come from the
+:class:`~repro.simnet.clock.VirtualClock` — so a seeded scenario
+renders a byte-identical trace tree every run (the golden-trace test
+holds this to the same discipline as the chaos replay signature).
+
+Concurrency note: branches of a :class:`~repro.simnet.clock.ConcurrentScope`
+execute sequentially on a rewound clock, so a simple span stack yields
+correct nesting even for fan-outs.  The one wrinkle is hedging — the
+dispatcher abandons the losing attempt *after* its branch already ran,
+so a loser's span can end later than its parent; such spans are marked
+``cancelled`` and the invariant checker exempts them from parent-end
+containment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.clock import VirtualClock
+
+
+def _is_deadline_error(exc: BaseException) -> bool:
+    # Imported lazily: repro.core imports this module (via the Gateway),
+    # so a module-level import here would be circular.  By the time a
+    # DeadlineExceededError is in flight, repro.core.errors is loaded.
+    try:
+        from repro.core.errors import DeadlineExceededError
+    except ImportError:  # pragma: no cover
+        return False
+    return isinstance(exc, DeadlineExceededError)
+
+#: Span statuses, in the order the renderer abbreviates them.
+STATUSES = ("ok", "error", "deadline_exceeded", "cancelled")
+
+
+class Span:
+    """One hop of one query: a named, attributed time interval."""
+
+    __slots__ = (
+        "span_id",
+        "name",
+        "parent_id",
+        "start",
+        "end",
+        "status",
+        "error",
+        "attrs",
+        "children",
+    )
+
+    def __init__(
+        self, span_id: int, name: str, parent_id: "int | None", start: float
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.status = "ok"
+        self.error = ""
+        self.attrs: dict[str, Any] = {}
+        self.children: list[Span] = []
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def cancel(self) -> None:
+        """Mark this span an abandoned loser (hedge that lost the race).
+
+        Cancelled spans — and their subtrees — are exempt from the
+        parent-end containment invariant.
+        """
+        self.status = "cancelled"
+
+    def fail(self, error: BaseException | str, *, status: str = "error") -> None:
+        self.status = status
+        self.error = str(error)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.span_id}, {self.name!r}, status={self.status!r}, "
+            f"start={self.start!r}, end={self.end!r})"
+        )
+
+
+class _NullSpan:
+    """No-op span handed out when tracing is off or no trace is open."""
+
+    __slots__ = ()
+    span_id = 0
+    name = "null"
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    status = "ok"
+    error = ""
+    closed = True
+    duration = 0.0
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        return {}
+
+    @property
+    def children(self) -> "list[Span]":
+        return []
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        pass
+
+    def cancel(self) -> None:
+        pass
+
+    def fail(self, error: BaseException | str, *, status: str = "error") -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """One query's finished (or in-flight) span tree."""
+
+    def __init__(self, trace_id: str, name: str) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.spans: list[Span] = []
+        self.remote_parent: dict[str, Any] | None = None
+
+    @property
+    def root(self) -> "Span | None":
+        return self.spans[0] if self.spans else None
+
+    @property
+    def duration(self) -> float:
+        root = self.root
+        return root.duration if root is not None else 0.0
+
+    def find_span(self, ref: "int | str") -> "Span | None":
+        """A span by id, or the first (document-order) span by name."""
+        for span in self.spans:
+            if span.span_id == ref or span.name == ref:
+                return span
+        return None
+
+    def walk(self) -> Iterator[tuple[Span, int]]:
+        """Depth-first (span, depth) pairs from the root."""
+        root = self.root
+        if root is None:
+            return
+        stack: list[tuple[Span, int]] = [(root, 0)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    @staticmethod
+    def _fmt_value(value: Any) -> str:
+        if isinstance(value, bool) or value is None:
+            return str(value)
+        if isinstance(value, float):
+            return format(value, ".6f")
+        return str(value)
+
+    def render(self) -> str:
+        """Deterministic ASCII tree; byte-identical for a fixed seed.
+
+        Times are relative to the root span's start and printed with
+        fixed precision; attributes are sorted by key.
+        """
+        root = self.root
+        header = f"trace {self.trace_id} · {self.name}"
+        if root is None:
+            return header + " (empty)\n"
+        base = root.start
+        lines = [f"{header} · {self.duration:.6f}s"]
+
+        def describe(span: Span) -> str:
+            end = span.end if span.end is not None else span.start
+            parts = [
+                span.name,
+                f"[{span.start - base:+.6f}s → {end - base:+.6f}s]",
+            ]
+            if span.status != "ok":
+                parts.append(f"!{span.status}")
+            if not span.closed:
+                parts.append("!open")
+            for key in sorted(span.attrs):
+                parts.append(f"{key}={self._fmt_value(span.attrs[key])}")
+            if span.error:
+                parts.append(f"error={span.error}")
+            return " ".join(parts)
+
+        def walk(span: Span, prefix: str) -> None:
+            for i, child in enumerate(span.children):
+                last = i == len(span.children) - 1
+                branch = "└─ " if last else "├─ "
+                lines.append(prefix + branch + describe(child))
+                walk(child, prefix + ("   " if last else "│  "))
+
+        lines.append(describe(root))
+        walk(root, "")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"Trace({self.trace_id!r}, {self.name!r}, spans={len(self.spans)})"
+
+
+class _Frame:
+    """One active trace plus its open-span stack."""
+
+    __slots__ = ("trace", "stack")
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.stack: list[Span] = []
+
+
+class Tracer:
+    """Mints traces and spans for one gateway.
+
+    A stack of frames supports nested traces: ``query_batch`` members
+    and alert polls fired by scheduled callbacks each start their own
+    trace while an outer one is still open.
+    """
+
+    def __init__(
+        self,
+        clock: "VirtualClock | None" = None,
+        *,
+        enabled: bool = True,
+        max_traces: int = 256,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self._frames: list[_Frame] = []
+        self._finished: deque[Trace] = deque(maxlen=max_traces)
+        self._next_trace = 1
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.enabled and bool(self._frames)
+
+    def current_span(self) -> "Span | _NullSpan":
+        if not self._frames or not self._frames[-1].stack:
+            return NULL_SPAN
+        return self._frames[-1].stack[-1]
+
+    def current_trace(self) -> "Trace | None":
+        return self._frames[-1].trace if self._frames else None
+
+    def context(self) -> "dict[str, Any] | None":
+        """Wire-portable span context for the GMA message envelope."""
+        if not self._frames or not self._frames[-1].stack:
+            return None
+        frame = self._frames[-1]
+        return {"trace": frame.trace.trace_id, "span": frame.stack[-1].span_id}
+
+    @contextmanager
+    def start_trace(
+        self,
+        name: str,
+        *,
+        remote_parent: "dict[str, Any] | None" = None,
+        **attrs: Any,
+    ) -> Iterator["Span | _NullSpan"]:
+        """Open a new trace whose root span covers the ``with`` body."""
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        trace = Trace(f"q{self._next_trace}", name)
+        self._next_trace += 1
+        trace.remote_parent = remote_parent
+        frame = _Frame(trace)
+        root = Span(1, name, None, self._now())
+        root.attrs.update(attrs)
+        if remote_parent:
+            root.attrs.setdefault("remote_trace", remote_parent.get("trace"))
+            root.attrs.setdefault("remote_span", remote_parent.get("span"))
+        trace.spans.append(root)
+        frame.stack.append(root)
+        self._frames.append(frame)
+        try:
+            yield root
+        except Exception as exc:
+            if root.status == "ok":
+                status = "deadline_exceeded" if _is_deadline_error(exc) else "error"
+                root.fail(exc, status=status)
+            raise
+        finally:
+            self._close_frame(frame)
+
+    def _close_frame(self, frame: _Frame) -> None:
+        now = self._now()
+        # Close any spans left open by a non-local exit, root last.
+        while frame.stack:
+            span = frame.stack.pop()
+            if span.end is None:
+                span.end = now
+        if self._frames and self._frames[-1] is frame:
+            self._frames.pop()
+        else:  # pragma: no cover - defensive; frames unwind LIFO
+            self._frames = [f for f in self._frames if f is not frame]
+        self._finished.append(frame.trace)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator["Span | _NullSpan"]:
+        """Open a child span of the innermost open span."""
+        if not self.enabled or not self._frames:
+            yield NULL_SPAN
+            return
+        frame = self._frames[-1]
+        parent = frame.stack[-1] if frame.stack else None
+        span = Span(
+            len(frame.trace.spans) + 1,
+            name,
+            parent.span_id if parent is not None else None,
+            self._now(),
+        )
+        span.attrs.update(attrs)
+        frame.trace.spans.append(span)
+        if parent is not None:
+            parent.children.append(span)
+        frame.stack.append(span)
+        try:
+            yield span
+        except Exception as exc:
+            if span.status == "ok":
+                status = "deadline_exceeded" if _is_deadline_error(exc) else "error"
+                span.fail(exc, status=status)
+            raise
+        finally:
+            if span.end is None:
+                span.end = self._now()
+            if frame.stack and frame.stack[-1] is span:
+                frame.stack.pop()
+            elif span in frame.stack:  # pragma: no cover - defensive
+                frame.stack.remove(span)
+
+    # -- finished-trace access -------------------------------------------
+
+    def traces(self) -> list[Trace]:
+        return list(self._finished)
+
+    def last(self) -> "Trace | None":
+        return self._finished[-1] if self._finished else None
+
+    def get(self, trace_id: str) -> "Trace | None":
+        for trace in self._finished:
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+
+#: Shared disabled tracer for components constructed standalone.
+NO_TRACER = Tracer(enabled=False)

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.clock import VirtualClock
 from repro.simnet.errors import (
     HostUnreachableError,
@@ -78,20 +79,50 @@ class _Host:
     ports: dict[int, Endpoint] = field(default_factory=dict)
 
 
-@dataclass
 class NetworkStats:
-    """Aggregate traffic counters (reset-able; consumed by benchmarks)."""
+    """Aggregate traffic counters (reset-able; consumed by benchmarks).
 
-    requests: int = 0
-    datagrams: int = 0
-    drops: int = 0
-    bytes_sent: int = 0
+    The counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    under ``net.<name>``, so a gateway's self-monitoring driver can
+    serve them; attribute reads and writes keep the historical
+    dataclass interface (``net.stats.requests``, ``stats.reset()``).
+    """
+
+    FIELDS = ("requests", "datagrams", "drops", "bytes_sent")
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        object.__setattr__(self, "_registry", registry)
+        for name in self.FIELDS:
+            registry.counter(f"net.{name}")
+
+    def __getattr__(self, name: str):
+        if name in type(self).FIELDS:
+            return self._registry.counter(f"net.{name}").value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in type(self).FIELDS:
+            counter = self._registry.counter(f"net.{name}")
+            delta = value - counter.value
+            if delta < 0:  # rewind: allowed only through an explicit reset
+                counter.reset()
+                counter.add(value)
+            else:
+                counter.add(delta)
+            return
+        object.__setattr__(self, name, value)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
 
     def reset(self) -> None:
-        self.requests = 0
-        self.datagrams = 0
-        self.drops = 0
-        self.bytes_sent = 0
+        for name in self.FIELDS:
+            self._registry.counter(f"net.{name}").reset()
+
+    def __repr__(self) -> str:
+        return f"NetworkStats({self.as_dict()!r})"
 
 
 def _payload_size(payload: Any) -> int:
@@ -192,7 +223,10 @@ class Network:
         self._wan = wan
         self._hosts: dict[str, _Host] = {}
         self._partitions: Optional[list[set[str]]] = None
-        self.stats = NetworkStats()
+        #: Fabric-wide instruments (``net.*``); gateways merge these into
+        #: their self-monitoring view alongside their own registries.
+        self.metrics = MetricsRegistry(clock)
+        self.stats = NetworkStats(self.metrics)
         #: Optional chaos plane consulted per request (see simnet.faults).
         self.fault_plane: "FaultPlane | None" = None
         self._outstanding_futures = 0

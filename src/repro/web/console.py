@@ -319,6 +319,57 @@ class Console:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Trace / metrics views
+    # ------------------------------------------------------------------
+    def trace_panel(self, trace_id: str | None = None) -> str:
+        """One query's span tree, or a digest of the recent traces.
+
+        Without an id: one line per retained trace (newest last) so the
+        operator can pick one.  With an id: the full rendered tree, as
+        produced by :meth:`repro.obs.trace.Trace.render`.
+        """
+        tracer = self.gateway.tracer
+        if trace_id is not None:
+            trace = tracer.get(trace_id)
+            if trace is None:
+                return f"trace {trace_id!r}: not found (retention {tracer.max_traces})"
+            return trace.render().rstrip("\n")
+        traces = tracer.traces()
+        lines = [
+            f"Query traces ({len(traces)} retained, "
+            f"tracing {'enabled' if tracer.enabled else 'DISABLED'}):"
+        ]
+        if not traces:
+            lines.append("  (none recorded)")
+        for trace in traces:
+            root = trace.root
+            status = root.status if root is not None else "?"
+            spans = len(trace.spans)
+            sql = root.attrs.get("sql", "") if root is not None else ""
+            lines.append(
+                f"  - {trace.trace_id}: {trace.name} "
+                f"{trace.duration:.6f}s spans={spans} status={status}"
+                + (f"  {sql[:48]}" if sql else "")
+            )
+        return "\n".join(lines)
+
+    def metrics_panel(self) -> str:
+        """Every registry instrument, one line each (the text analogue
+        of ``SELECT * FROM GatewayMetrics``)."""
+        gw = self.gateway
+        lines = [f"Gateway metrics ({len(gw.metrics)} instruments):"]
+        for row in gw.metrics.as_rows():
+            if row["kind"] == "histogram":
+                lines.append(
+                    f"  {row['name']} (histogram): n={row['count']} "
+                    f"mean={row['value']:.6f} p50={row['p50']:.6f} "
+                    f"p95={row['p95']:.6f} p99={row['p99']:.6f}"
+                )
+            else:
+                lines.append(f"  {row['name']} ({row['kind']}): {row['value']:g}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Static analysis view
     # ------------------------------------------------------------------
     def analysis_panel(self) -> str:

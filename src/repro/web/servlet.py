@@ -15,7 +15,10 @@ HTTP-style request handler bound to the gateway host that serves
 * ``GET /health``       — per-source circuit-breaker scoreboard;
 * ``GET /analyze``      — static-analysis findings (driver conformance,
   unloadable persisted specs, invalid alert SQL);
-* ``GET /stats``        — gateway statistics.
+* ``GET /stats``        — gateway statistics;
+* ``GET /metrics``      — the metrics registry, one instrument per line;
+* ``GET /trace``        — digest of retained query traces;
+* ``GET /trace/<qid>``  — one query's full span tree.
 
 Requests and responses are simple strings ("GET /path?query"), which is
 all the simulated transport needs while exercising the same parsing,
@@ -90,6 +93,15 @@ class GatewayServlet:
             return _status(200, self.console.health_panel())
         if path == "/analyze":
             return _status(200, self.console.analysis_panel())
+        if path == "/metrics":
+            return _status(200, self.console.metrics_panel())
+        if path == "/trace":
+            return _status(200, self.console.trace_panel())
+        if path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            if self.gateway.tracer.get(trace_id) is None:
+                return _status(404, f"no such trace: {trace_id}")
+            return _status(200, self.console.trace_panel(trace_id))
         if path == "/report":
             return self._report()
         if path == "/query":

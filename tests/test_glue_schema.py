@@ -69,6 +69,7 @@ class TestStandardSchema:
         "NetworkForecast",
         "LogEvent",
         "Job",
+        "GatewayMetrics",
     }
 
     def test_all_expected_groups_present(self):

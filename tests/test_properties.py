@@ -429,3 +429,92 @@ def test_scheduled_callbacks_fire_in_order(delays):
     clock.advance(101.0)
     assert fired == sorted(fired)
     assert len(fired) == len(delays)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry (obs)
+# ----------------------------------------------------------------------
+from repro.obs.metrics import Counter, Histogram  # noqa: E402
+
+hist_samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _hist(samples):
+    h = Histogram("h")
+    for v in samples:
+        h.record(v)
+    return h
+
+
+@given(samples=hist_samples)
+def test_histogram_quantiles_bounded_and_ordered(samples):
+    """min <= p50 <= p95 <= p99 <= max, and quantile(100) is exact."""
+    h = _hist(samples)
+    assert min(samples) <= h.p50 <= h.p95 <= h.p99 <= max(samples)
+    assert h.quantile(100) == max(samples)
+    assert h.count == len(samples)
+    assert math.isclose(h.mean, sum(samples) / len(samples), rel_tol=1e-9)
+
+
+@given(samples=hist_samples)
+def test_histogram_quantile_relative_error_bound(samples):
+    """A reported quantile sits within one bucket (growth factor) of a
+    true sample value, so the overestimate is bounded by the geometry."""
+    h = _hist(samples)
+    true_sorted = sorted(samples)
+    for q in (50, 95, 99):
+        rank = max(1, math.ceil(len(samples) * q / 100))
+        true = true_sorted[rank - 1]
+        estimate = h.quantile(q)
+        if true > 0:
+            assert estimate <= true * (2.0 ** 0.25) + 1e-9
+        assert estimate >= 0.0
+
+
+@given(a=hist_samples, b=hist_samples, c=hist_samples)
+def test_histogram_merge_associative(a, b, c):
+    """(a | b) | c == a | (b | c) on every statistic — merging is exact
+    bucket-wise addition."""
+    left = _hist(a).merge(_hist(b)).merge(_hist(c))
+    right = _hist(a).merge(_hist(b).merge(_hist(c)))
+    assert left.count == right.count
+    assert math.isclose(left.total, right.total, rel_tol=1e-9)
+    assert left.min == right.min
+    assert left.max == right.max
+    for q in (1, 25, 50, 75, 90, 95, 99, 100):
+        assert left.quantile(q) == right.quantile(q)
+
+
+@given(a=hist_samples, b=hist_samples)
+def test_histogram_merge_matches_union(a, b):
+    """Merging equals recording the concatenated sample stream."""
+    merged = _hist(a).merge(_hist(b))
+    union = _hist(a + b)
+    assert merged.count == union.count
+    assert math.isclose(merged.total, union.total, rel_tol=1e-9)
+    for q in (50, 95, 99):
+        assert merged.quantile(q) == union.quantile(q)
+
+
+@given(deltas=st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=50))
+def test_counter_monotone_under_any_adds(deltas):
+    c = Counter("c")
+    last = c.value
+    for d in deltas:
+        c.add(d)
+        assert c.value >= last
+        last = c.value
+    assert math.isclose(c.value, sum(deltas) or 0.0, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(delta=st.floats(max_value=-1e-9, min_value=-1e6, allow_nan=False))
+def test_counter_refuses_negative_deltas(delta):
+    c = Counter("c")
+    c.inc()
+    with pytest.raises(ValueError):
+        c.add(delta)
+    assert c.value == 1

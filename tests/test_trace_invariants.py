@@ -1,0 +1,365 @@
+"""Trace-invariant harness: every query trace must be structurally sound.
+
+The tracer threads one span per hop through the same path the deadline
+already travels (gateway → request manager → dispatcher → connection
+pool → driver selection → native round-trip → GMA wire).  Whatever the
+scenario — clean fan-out, retries against a dead agent, hedged requests,
+deadline expiry, cross-site routing — the resulting span trees must
+satisfy the invariants in :mod:`repro.obs.invariants`:
+
+* every span is closed, with ``end >= start``;
+* child intervals nest within their parent's (cancelled hedge losers
+  exempt: their branch timeline legitimately outlives the winner's);
+* of N hedge spans under one attempt, exactly N-1 are cancelled;
+* a source span's ``attempts`` attribute equals its attempt-span count;
+* a deadline-exceeded span names the spending hop in its error.
+
+The same checker runs inside the chaos soak (``ChaosReport.
+trace_violations``), so the invariants hold under injected faults too,
+and the golden-trace test pins the rendering: one seeded scenario must
+render byte-identical across runs.
+"""
+
+import pytest
+
+from repro.core.dispatch import FanoutDispatcher
+from repro.core.policy import GatewayPolicy
+from repro.core.request_manager import QueryMode
+from repro.obs import Tracer, check_trace, check_tracer
+from repro.obs.trace import Span
+from repro.simnet.clock import VirtualClock
+from repro.testbed import build_site, build_testbed
+
+SQL = "SELECT HostName FROM Host"
+
+
+def make_site(policy=None, *, n_hosts=2, agents=("snmp",), seed=3):
+    network, (site,) = build_testbed(
+        n_hosts=n_hosts, agents=agents, seed=seed, policy=policy
+    )
+    network.clock.advance(5.0)
+    return site
+
+
+def assert_clean(tracer):
+    violations = check_tracer(tracer)
+    assert violations == [], "\n".join(violations)
+
+
+# ----------------------------------------------------------------------
+# The invariant checker itself (unit level)
+# ----------------------------------------------------------------------
+class TestChecker:
+    def _trace(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.start_trace("query"):
+            with tracer.span("execute"):
+                pass
+        return tracer.last()
+
+    def test_clean_trace_passes(self):
+        assert check_trace(self._trace()) == []
+
+    def test_unclosed_span_flagged(self):
+        trace = self._trace()
+        trace.spans[1].end = None
+        assert any("never closed" in v for v in check_trace(trace))
+
+    def test_reversed_interval_flagged(self):
+        trace = self._trace()
+        trace.spans[1].end = trace.spans[1].start - 1.0
+        assert any("ends before" in v for v in check_trace(trace))
+
+    def test_child_escaping_parent_flagged(self):
+        trace = self._trace()
+        root = trace.root
+        child = trace.spans[1]
+        child.end = root.end + 5.0
+        assert any("outlives parent" in v for v in check_trace(trace))
+
+    def test_cancelled_child_may_outlive_parent(self):
+        trace = self._trace()
+        child = trace.spans[1]
+        child.end = trace.root.end + 5.0
+        child.cancel()
+        assert check_trace(trace) == []
+
+    def test_hedge_accounting_flagged(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.start_trace("query"):
+            with tracer.span("attempt", index=1):
+                with tracer.span("hedge", index=0):
+                    pass
+                with tracer.span("hedge", index=1):
+                    pass
+        # Neither hedge cancelled: exactly-one-loser violated.
+        assert any("hedge" in v for v in check_tracer(tracer))
+
+    def test_attempt_count_mismatch_flagged(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.start_trace("query"):
+            with tracer.span("source", url="u") as span:
+                with tracer.span("attempt", index=1):
+                    pass
+                span.annotate(attempts=3)
+        assert any("attempts" in v for v in check_tracer(tracer))
+
+    def test_deadline_span_must_name_spender(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.start_trace("query"):
+            with tracer.span("source", url="u") as span:
+                span.status = "deadline_exceeded"
+                span.error = ""
+        assert any("deadline" in v for v in check_tracer(tracer))
+
+
+# ----------------------------------------------------------------------
+# Live-gateway scenarios
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_clean_fanout_query(self):
+        site = make_site(n_hosts=3)
+        gw = site.gateway
+        result = gw.query(site.source_urls, SQL, mode=QueryMode.REALTIME)
+        assert result.trace_id
+        trace = gw.tracer.get(result.trace_id)
+        assert trace is not None
+        assert trace.root.name == "query"
+        names = {s.name for s in trace.spans}
+        assert {"query", "execute", "source", "attempt", "native"} <= names
+        assert_clean(gw.tracer)
+
+    def test_every_span_closed_even_after_failure(self):
+        site = make_site(GatewayPolicy(breaker_failure_threshold=10))
+        gw = site.gateway
+        url = site.url_for("snmp")
+        gw.query(url, SQL, mode=QueryMode.REALTIME)  # warm driver cache
+        site.network.close(site.agents["snmp"][0].address)
+        result = gw.query(url, SQL, mode=QueryMode.REALTIME)
+        assert result.failed_sources == 1
+        for trace in gw.tracer.traces():
+            assert all(s.closed for s in trace.spans)
+        assert_clean(gw.tracer)
+
+    def test_span_count_equals_retry_attempts(self):
+        site = make_site(
+            GatewayPolicy(
+                retry_attempts=3, retry_budget=10, breaker_failure_threshold=10
+            )
+        )
+        gw = site.gateway
+        url = site.url_for("snmp")
+        gw.query(url, SQL, mode=QueryMode.REALTIME)
+        site.network.close(site.agents["snmp"][0].address)
+        gw.query(url, SQL, mode=QueryMode.REALTIME)
+        trace = gw.tracer.last()
+        source = trace.find_span("source")
+        attempts = [s for s in trace.spans if s.name == "attempt"]
+        assert source.attrs["attempts"] == 3
+        assert len(attempts) == 3
+        assert [s.attrs["index"] for s in attempts] == [1, 2, 3]
+        assert_clean(gw.tracer)
+
+    def test_cache_hit_annotated(self):
+        site = make_site()
+        gw = site.gateway
+        url = site.url_for("snmp")
+        gw.query(url, SQL, mode=QueryMode.REALTIME)
+        gw.query(url, SQL, mode=QueryMode.CACHED_OK)
+        trace = gw.tracer.last()
+        assert trace.find_span("source").attrs["cache"] == "hit"
+        assert_clean(gw.tracer)
+
+    def test_deadline_exceeded_names_spending_span(self):
+        site = make_site(n_hosts=3)
+        gw = site.gateway
+        # A budget big enough to dispatch the first source but not the
+        # rest (serial dispatch: fan-out disabled).
+        policy = GatewayPolicy(fanout_enabled=False)
+        site2 = make_site(policy, n_hosts=3)
+        gw = site2.gateway
+        result = gw.query(
+            site2.source_urls, SQL, mode=QueryMode.REALTIME, timeout=0.0011
+        )
+        assert any("deadline" in (s.error or "") for s in result.statuses)
+        trace = gw.tracer.last()
+        blamed = [s for s in trace.spans if s.status == "deadline_exceeded"]
+        assert blamed, "no span blamed for the blown deadline"
+        assert all(s.error for s in blamed)
+        assert_clean(gw.tracer)
+
+    def test_trace_disabled_by_policy(self):
+        site = make_site(GatewayPolicy(tracing_enabled=False))
+        gw = site.gateway
+        result = gw.query(site.url_for("snmp"), SQL, mode=QueryMode.REALTIME)
+        assert result.trace_id == ""
+        assert gw.tracer.traces() == []
+
+    def test_trace_retention_bounded(self):
+        site = make_site(GatewayPolicy(trace_max_traces=4))
+        gw = site.gateway
+        url = site.url_for("snmp")
+        for _ in range(7):
+            gw.query(url, SQL, mode=QueryMode.CACHED_OK)
+        assert len(gw.tracer.traces()) == 4
+        assert gw.tracer.get("q1") is None  # evicted
+        assert gw.tracer.get("q7") is not None
+
+
+# ----------------------------------------------------------------------
+# Hedged losers
+# ----------------------------------------------------------------------
+class TestHedgeSpans:
+    def _dispatcher(self):
+        clock = VirtualClock()
+        policy = GatewayPolicy(
+            hedge_enabled=True,
+            hedge_min_samples=1,
+            hedge_min_delay=0.0,
+            hedge_percentile=95.0,
+        )
+        tracer = Tracer(clock)
+        return clock, tracer, FanoutDispatcher(clock, policy, tracer=tracer)
+
+    def test_losing_hedge_marked_cancelled(self):
+        clock, tracer, dispatcher = self._dispatcher()
+        dispatcher._note_latency("src", 0.1)
+
+        def fetch():
+            clock.advance(1.0)
+            return "slow-primary"
+
+        with tracer.start_trace("query"):
+            with tracer.span("attempt", index=1):
+                dispatcher.run_flight("src", SQL, fetch)
+        assert dispatcher.stats.hedges_fired == 1
+        trace = tracer.last()
+        hedges = [s for s in trace.spans if s.name == "hedge"]
+        assert len(hedges) == 2
+        assert sum(1 for h in hedges if h.status == "cancelled") == 1
+        assert_clean(tracer)
+
+    def test_no_hedge_no_hedge_spans(self):
+        clock, tracer, dispatcher = self._dispatcher()
+        dispatcher._note_latency("src", 0.1)
+        with tracer.start_trace("query"):
+            dispatcher.run_flight("src", SQL, lambda: "fast")
+        assert dispatcher.stats.hedges_fired == 0
+        assert all(s.name != "hedge" for s in tracer.last().spans)
+        assert_clean(tracer)
+
+
+# ----------------------------------------------------------------------
+# Cross-site (GMA) traces
+# ----------------------------------------------------------------------
+class TestRemoteTraces:
+    def _fabric(self):
+        from repro.gma.directory import GMADirectory
+        from repro.gma.global_layer import GlobalLayer
+        from repro.simnet.network import Network
+
+        clock = VirtualClock()
+        network = Network(clock, seed=41)
+        a = build_site(network, name="site-a", n_hosts=2, agents=("snmp",), seed=1)
+        b = build_site(network, name="site-b", n_hosts=2, agents=("snmp",), seed=2)
+        clock.advance(20.0)
+        directory = GMADirectory(network)
+        GlobalLayer(a.gateway, directory)
+        GlobalLayer(b.gateway, directory)
+        return a, b
+
+    def test_remote_query_reparents_at_remote_site(self):
+        a, b = self._fabric()
+        remote_url = str(b.gateway.sources()[0].url)
+        result = a.gateway.query(remote_url, SQL, mode=QueryMode.REALTIME)
+        assert result.ok_sources >= 1
+        local = a.gateway.tracer.get(result.trace_id)
+        wire = local.find_span("wire")
+        assert wire is not None and wire.attrs["remote_trace"]
+        remote = b.gateway.tracer.get(wire.attrs["remote_trace"])
+        assert remote is not None
+        # The remote trace records where in the caller's trace it hangs.
+        assert remote.root.attrs["remote_trace"] == local.trace_id
+        assert remote.root.attrs["remote_span"] == wire.parent_id
+        assert_clean(a.gateway.tracer)
+        assert_clean(b.gateway.tracer)
+
+
+# ----------------------------------------------------------------------
+# Chaos soak: the invariants hold under injected faults
+# ----------------------------------------------------------------------
+class TestChaosSoak:
+    def test_invariants_under_standard_chaos(self):
+        from repro.chaos import run_chaos
+
+        report = run_chaos(seed=5, rounds=8, warmup_rounds=4, period=10.0)
+        assert report.traces_checked == 12
+        assert report.trace_violations == [], "\n".join(report.trace_violations)
+
+    def test_invariants_with_hedging_off(self):
+        from repro.chaos import run_chaos
+
+        report = run_chaos(
+            seed=5, rounds=8, warmup_rounds=4, period=10.0, hedging=False
+        )
+        assert report.trace_violations == []
+
+
+# ----------------------------------------------------------------------
+# Golden trace: the rendering is deterministic
+# ----------------------------------------------------------------------
+class TestGoldenTrace:
+    def _render(self):
+        site = make_site(n_hosts=2, seed=42)
+        gw = site.gateway
+        result = gw.query(site.source_urls, SQL, mode=QueryMode.REALTIME)
+        return gw.tracer.get(result.trace_id).render()
+
+    def test_byte_identical_across_runs(self):
+        first = self._render()
+        second = self._render()
+        assert first == second
+        assert first.startswith("trace q1 · query ·")
+
+    def test_handbuilt_trace_renders_exactly(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.start_trace("query", sql=SQL) as root:
+            with tracer.span("execute", sources=1):
+                with tracer.span("source", url="jdbc:snmp://h0/system"):
+                    clock.advance(0.25)
+            root.annotate(rows=1)
+        assert tracer.last().render() == (
+            "trace q1 · query · 0.250000s\n"
+            "query [+0.000000s → +0.250000s] rows=1 sql=SELECT HostName FROM Host\n"
+            "└─ execute [+0.000000s → +0.250000s] sources=1\n"
+            "   └─ source [+0.000000s → +0.250000s] url=jdbc:snmp://h0/system\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# Span basics
+# ----------------------------------------------------------------------
+class TestSpan:
+    def test_setitem_and_annotate(self):
+        span = Span(1, "s", None, 0.0)
+        span["a"] = 1
+        span.annotate(b=2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_fail_records_error_and_status(self):
+        span = Span(1, "s", None, 0.0)
+        span.fail(ValueError("boom"))
+        assert span.status == "error" and "boom" in span.error
+
+    def test_exception_inside_span_recorded_and_closed(self):
+        tracer = Tracer(VirtualClock())
+        with pytest.raises(RuntimeError):
+            with tracer.start_trace("query"):
+                with tracer.span("source"):
+                    raise RuntimeError("agent exploded")
+        trace = tracer.last()
+        source = trace.find_span("source")
+        assert source.closed and source.status == "error"
+        assert trace.root.status == "error"
+        assert check_trace(trace) == []
