@@ -10,6 +10,9 @@ everything is simulated) and exercises it:
 * ``health``    — poll all sources and print the breaker scoreboard;
 * ``chaos``     — run the standard fault-plane scenario and report tail
   latency, hedging/retry/deadline counters and the replay signature;
+* ``crashtest`` — seeded kill/recover/verify loops over the durable
+  history store: crash the disk (torn writes, bit rot), rebuild the
+  gateway, and hold recovery to the acked-prefix equality;
 * ``trace``     — run a query, print its hop-by-hop span tree, verify the
   trace invariants, and dump the metrics registry;
 * ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
@@ -148,6 +151,27 @@ def cmd_chaos(args) -> int:
             f"# {report.pending_futures} network future(s) never resolved",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def cmd_crashtest(args) -> int:
+    from repro.crashtest import run_crashtest
+
+    report = run_crashtest(
+        seed=args.seed,
+        cycles=args.cycles,
+        rounds=args.rounds,
+        hosts=args.hosts,
+        agents=tuple(args.agents.split(",")) if args.agents else ("snmp", "ganglia"),
+        fsync_interval=args.fsync_interval,
+        checkpoint_every=args.checkpoint_every,
+        period=args.period,
+    )
+    print(report.format())
+    if report.violations:
+        for violation in report.violations:
+            print(f"# durability invariant violated: {violation}", file=sys.stderr)
         return 1
     return 0
 
@@ -316,6 +340,33 @@ def main(argv: list[str] | None = None) -> int:
         "--no-fanout", action="store_true", help="disable concurrent fan-out"
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "crashtest", help="kill/recover/verify loops over durable history"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--cycles", type=int, default=3, help="kill/recover cycles to run"
+    )
+    p.add_argument(
+        "--rounds", type=int, default=5, help="query rounds per cycle"
+    )
+    p.add_argument(
+        "--period", type=float, default=30.0, help="virtual seconds between rounds"
+    )
+    p.add_argument(
+        "--fsync-interval",
+        type=int,
+        default=3,
+        help="WAL group-commit interval (records per fsync)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=2,
+        help="checkpoint every N rounds (0 = only at recovery)",
+    )
+    p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser(
         "trace", help="run a query and print its hop-by-hop trace"

@@ -55,6 +55,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.simnet.network import Address, Network
 from repro.sql.parser import parse_select
+from repro.storage.engine import HistoryEngine
+from repro.storage.recovery import RecoveryReport
+from repro.storage.simdisk import SimDisk
 
 
 @dataclass
@@ -112,6 +115,7 @@ class Gateway:
         register_default_drivers: bool = True,
         install_event_drivers: bool = True,
         persistent_store: MutableMapping[str, str] | None = None,
+        disk: SimDisk | None = None,
     ) -> None:
         if not network.has_host(host):
             network.add_host(host, site=site or "default")
@@ -164,10 +168,40 @@ class Gateway:
             max_entries=self.policy.query_cache_max_entries,
             registry=self.metrics,
         )
+        # Durable history (policy.history_durable): the storage engine
+        # recovers from the shared disk *before* the serving store is
+        # built, so the HistoryStore's tables start populated with every
+        # acknowledged pre-crash row.  Without the flag the store is the
+        # original in-memory ring and the disk is untouched.
+        self.history_engine: HistoryEngine | None = None
+        self.recovery_report: RecoveryReport | None = None
+        if self.policy.history_durable:
+            if disk is None:
+                disk = SimDisk(clock=network.clock)
+            self.history_engine = HistoryEngine(
+                disk,
+                clock=network.clock,
+                sync_interval=self.policy.history_fsync_interval,
+                max_rows_per_group=self.policy.history_max_rows_per_group,
+                retention_age=self.policy.history_retention_age,
+                registry=self.metrics,
+                tracer=self.tracer,
+            )
+            self.recovery_report = self.history_engine.recovery_report
+        self.disk = disk
         self.history = HistoryStore(
             self.schema_manager.schema,
             max_rows_per_group=self.policy.history_max_rows_per_group,
+            engine=self.history_engine,
         )
+        self._checkpoint_task = None
+        if (
+            self.history_engine is not None
+            and self.policy.history_checkpoint_interval > 0
+        ):
+            self._checkpoint_task = network.clock.call_every(
+                self.policy.history_checkpoint_interval, self.history.checkpoint
+            )
         self.events = EventManager(
             network, host, self.policy, history=self.history
         )
@@ -242,6 +276,11 @@ class Gateway:
         ]
         for restored in report.restored:
             self.startup_findings.extend(check_driver(restored))
+        # Recovery damage reports (quarantined segments, truncated WAL
+        # tails, skipped manifests) surface the same way skipped driver
+        # specs do: visible findings, never a start-up failure.
+        if self.recovery_report is not None:
+            self.startup_findings.extend(self.recovery_report.findings)
         if install_event_drivers:
             self.events.install_driver(SnmpTrapEventDriver())
 
@@ -629,11 +668,35 @@ class Gateway:
         (stats, history) but performs no further background activity and
         accepts no further native events.
         """
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            self._checkpoint_task = None
+        # Final checkpoint: seal the memtable so a successor recovers
+        # from segments alone, with an empty WAL (no-op when not durable).
+        self.history.checkpoint()
         for rule in [r.name for r in self.alerts.rules()]:
             self.alerts.remove_rule(rule)
         self.events.stop()
         self.connection_manager.close_all()
         self.cache.invalidate()
+
+    def crash(self) -> None:
+        """Abrupt process death — the crashtest harness's kill switch.
+
+        Unlike :meth:`shutdown`, nothing is flushed: no WAL sync, no
+        checkpoint.  Periodic work is cancelled and ports are unbound so
+        a successor gateway can be built on the same host and disk; what
+        that successor recovers is decided entirely by the disk's state
+        (the harness crashes the :class:`SimDisk` itself, dropping
+        un-fsynced writes).
+        """
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            self._checkpoint_task = None
+        for rule in [r.name for r in self.alerts.rules()]:
+            self.alerts.remove_rule(rule)
+        self.events.stop()
+        self.connection_manager.close_all()
 
     # ------------------------------------------------------------------
     # Static analysis of the live configuration
@@ -691,6 +754,11 @@ class Gateway:
                 "scoreboard": self.health.scoreboard(),
             },
             "history_rows": self.history.row_count(),
+            "durability": (
+                self.history_engine.stats()
+                if self.history_engine is not None
+                else {"enabled": False}
+            ),
             "metrics": {
                 "instruments": len(self.metrics),
                 "traces": len(self.tracer.traces()),

@@ -9,17 +9,29 @@ executed against the same group name — only the mode flag differs.
 
 Tables are ring-bounded per group to keep long-running gateways at a
 fixed memory footprint.
+
+Durability is optional and delegated: when constructed with a
+:class:`~repro.storage.engine.HistoryEngine`, every recorded row is
+WAL-appended before it is served and every ``trim_older_than`` is
+durably logged, so the store's contents survive a gateway crash.  The
+engine holds *references to the same row dicts* the serving tables
+hold — the durable and serving copies cannot drift between checkpoints.
+Without an engine the store is the original pure in-memory ring.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.glue.schema import GlueSchema
 from repro.sql.ast_nodes import ColumnDef
 from repro.sql.database import Database
 from repro.sql.executor import SelectResult
 from repro.sql.parser import parse_select
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import HistoryEngine
 
 #: Provenance columns appended to every history table.
 PROVENANCE = (
@@ -36,6 +48,7 @@ class HistoryStore:
         schema: GlueSchema,
         *,
         max_rows_per_group: int = 100_000,
+        engine: "HistoryEngine | None" = None,
     ) -> None:
         if max_rows_per_group < 1:
             raise ValueError(
@@ -43,11 +56,30 @@ class HistoryStore:
             )
         self.schema = schema
         self.max_rows_per_group = max_rows_per_group
+        self.engine = engine
         self.db = Database()
         self.rows_recorded = 0
         self.rows_evicted = 0
+        self.rows_recovered = 0
+        if engine is not None:
+            self._load_recovered()
 
     # ------------------------------------------------------------------
+    def _load_recovered(self) -> None:
+        """Populate serving tables from the engine's recovered rows."""
+        assert self.engine is not None
+        for group_name in self.engine.groups():
+            if not self.schema.has_group(group_name):
+                # A durable row for a group this schema no longer knows:
+                # keep it durable (it stays in the engine's segments),
+                # just don't serve it.
+                continue
+            table = self._ensure_table(group_name)
+            columns = table.column_names
+            for row in self.engine.serving_rows(group_name):
+                table.rows.append({name: row.get(name) for name in columns})
+                self.rows_recovered += 1
+
     def _ensure_table(self, group_name: str):
         group = self.schema.group(group_name)
         if group.name not in self.db.tables:
@@ -66,17 +98,24 @@ class HistoryStore:
     ) -> int:
         """Record GLUE rows for a group; returns the number stored."""
         table = self._ensure_table(group_name)
+        known = set(table.column_names)
+        engine = self.engine
         n = 0
         for row in rows:
-            stored = {k: v for k, v in row.items() if k in set(table.column_names)}
+            stored = {k: v for k, v in row.items() if k in known}
             stored["SourceUrl"] = source_url
             stored["RecordedAt"] = recorded_at
             table.insert_row(stored)
             n += 1
+        if engine is not None and n:
+            # One WAL record for the whole batch, referencing the coerced
+            # dicts the table holds (atomic ack, one frame per call).
+            engine.append_rows(table.name, table.rows[-n:])
         self.rows_recorded += n
         overflow = len(table.rows) - self.max_rows_per_group
         if overflow > 0:
-            # Rows are appended in time order, so the oldest are first.
+            # Rows are appended in time order, so the oldest are first;
+            # one slice-delete trims the whole batch's overflow at once.
             del table.rows[:overflow]
             self.rows_evicted += overflow
         return n
@@ -100,6 +139,23 @@ class HistoryStore:
 
         return execute_select(select, table.column_names, rows)
 
+    @staticmethod
+    def _since_slice(rows: list[dict[str, Any]], since: float) -> list[dict[str, Any]]:
+        """Rows recorded at or after ``since``, found by bisection.
+
+        Rows are appended in ``RecordedAt`` order, so instead of scanning
+        every row we bisect to the cutoff.  ``RecordedAt is None`` rows
+        sort as -inf: they sit at the front and a time-filtered read
+        skips them (same semantics as the old linear filter).
+        """
+        lo = bisect_left(
+            rows,
+            since,
+            key=lambda r: r["RecordedAt"] if r.get("RecordedAt") is not None
+            else float("-inf"),
+        )
+        return rows[lo:]
+
     def series(
         self,
         group_name: str,
@@ -112,14 +168,17 @@ class HistoryStore:
         """(RecordedAt, value) pairs for one field — the console's plots."""
         if group_name not in self.db.tables:
             return []
+        rows = self.db.table(group_name).rows
+        if since is not None:
+            rows = self._since_slice(rows, since)
         out: list[tuple[float, Any]] = []
-        for row in self.db.table(group_name).rows:
+        for row in rows:
             if source_url is not None and row.get("SourceUrl") != source_url:
                 continue
             if host is not None and row.get("HostName") != host:
                 continue
             t = row.get("RecordedAt")
-            if since is not None and (t is None or t < since):
+            if since is not None and t is None:
                 continue
             out.append((t, row.get(field)))
         return out
@@ -171,8 +230,12 @@ class HistoryStore:
 
         Complements the per-group ring bound: a site with bursty polling
         can cap history by age instead of (or as well as) by count.
-        Returns the number of rows dropped.
+        Returns the number of rows dropped.  With a durable engine the
+        trim is WAL-logged (and fsynced) *before* the serving tables
+        change, so a crash cannot resurrect trimmed rows.
         """
+        if self.engine is not None:
+            self.engine.append_trim(cutoff)
         dropped = 0
         for table in self.db.tables.values():
             before = len(table.rows)
@@ -184,6 +247,41 @@ class HistoryStore:
             dropped += before - len(table.rows)
         self.rows_evicted += dropped
         return dropped
+
+    # ------------------------------------------------------------------
+    # Durability passthroughs (no-ops without an engine)
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush the WAL group-commit buffer (advance the ack boundary)."""
+        if self.engine is not None:
+            self.engine.sync()
+
+    def checkpoint(self) -> None:
+        """Seal the memtable and truncate the WAL; re-sync dirty groups."""
+        if self.engine is None:
+            return
+        result = self.engine.checkpoint()
+        for group_name in result.serving_dirty:
+            self._resync_group(group_name)
+
+    def _resync_group(self, group_name: str) -> None:
+        """Rebuild one group's serving rows from the engine.
+
+        Needed when checkpoint retention (``history_retention_age``)
+        drops sealed segments whose rows the serving table still held.
+        """
+        assert self.engine is not None
+        if not self.schema.has_group(group_name):
+            return
+        table = self._ensure_table(group_name)
+        before = len(table.rows)
+        columns = table.column_names
+        table.rows = [
+            {name: row.get(name) for name in columns}
+            for row in self.engine.serving_rows(group_name)
+        ]
+        if len(table.rows) < before:
+            self.rows_evicted += before - len(table.rows)
 
     def row_count(self, group_name: str | None = None) -> int:
         if group_name is not None:

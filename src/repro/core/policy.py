@@ -105,6 +105,22 @@ class GatewayPolicy:
             ``trace_panel``, ``GET /trace/<qid>``, ``repro trace``).
         trace_max_traces: finished traces retained in the tracer's ring
             buffer before the oldest are dropped.
+        history_durable: persist history through a write-ahead log and
+            checkpointed segments (:mod:`repro.storage`) so recorded
+            rows survive a gateway crash.  Requires a disk to be passed
+            to the gateway; off by default (the original in-memory
+            ring).
+        history_fsync_interval: group-commit interval — WAL appends per
+            fsync.  1 fsyncs every record (safest, slowest); larger
+            values amortise the fsync at the cost of a longer
+            unacknowledged tail lost on crash.
+        history_checkpoint_interval: seconds (virtual) between periodic
+            checkpoints that seal the memtable into segments and
+            truncate the WAL; 0 disables the periodic task (checkpoints
+            then happen only at shutdown or on demand).
+        history_retention_age: drop sealed history segments whose newest
+            row is older than this many virtual seconds at checkpoint
+            time; 0 disables age-based retention (ring bound only).
     """
 
     query_cache_ttl: float = 30.0
@@ -143,6 +159,10 @@ class GatewayPolicy:
     hedge_min_delay: float = 0.005
     tracing_enabled: bool = True
     trace_max_traces: int = 256
+    history_durable: bool = False
+    history_fsync_interval: int = 8
+    history_checkpoint_interval: float = 600.0
+    history_retention_age: float = 0.0
 
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
@@ -229,4 +249,17 @@ class GatewayPolicy:
         if self.trace_max_traces < 1:
             raise PolicyError(
                 f"trace_max_traces must be >= 1: {self.trace_max_traces!r}"
+            )
+        if self.history_fsync_interval < 1:
+            raise PolicyError(
+                f"history_fsync_interval must be >= 1: {self.history_fsync_interval!r}"
+            )
+        if self.history_checkpoint_interval < 0:
+            raise PolicyError(
+                "history_checkpoint_interval < 0: "
+                f"{self.history_checkpoint_interval!r}"
+            )
+        if self.history_retention_age < 0:
+            raise PolicyError(
+                f"history_retention_age < 0: {self.history_retention_age!r}"
             )

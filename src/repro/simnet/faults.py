@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.network import Network
+    from repro.storage.simdisk import SimDisk
 
 
 @dataclass
@@ -72,6 +73,9 @@ class FaultPlaneStats:
     slowdowns: int = 0
     partitions: int = 0
     heals: int = 0
+    disk_crashes: int = 0
+    torn_writes: int = 0
+    bit_flips: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -83,6 +87,9 @@ class FaultPlaneStats:
             "slowdowns": self.slowdowns,
             "partitions": self.partitions,
             "heals": self.heals,
+            "disk_crashes": self.disk_crashes,
+            "torn_writes": self.torn_writes,
+            "bit_flips": self.bit_flips,
         }
 
 
@@ -284,6 +291,60 @@ class FaultPlane:
         self._schedule_log.append(
             f"partition {'|'.join(','.join(sorted(g)) for g in frozen)} "
             f"[{start:g}s..{start + duration:g}s)"
+        )
+
+    # ------------------------------------------------------------------
+    # Storage faults (durable-history chaos)
+    # ------------------------------------------------------------------
+    def crash_disk(
+        self, disk: "SimDisk", *, at: float = 0.0, torn: bool = True
+    ) -> None:
+        """Power-fail ``disk`` ``at`` seconds from now.
+
+        Every un-fsynced write is lost; with ``torn`` (the default) the
+        plane's seeded RNG may leave a strictly partial fragment of the
+        first in-flight append per file — the torn-write case recovery's
+        CRC framing exists to catch.  Scheduled crashes fire at clock-
+        callback granularity: they land between callbacks, never midway
+        through one (a checkpoint runs to completion or not at all).
+        """
+
+        def crash() -> None:
+            outcome = disk.crash(self._rng if torn else None)
+            self.stats.disk_crashes += 1
+            if outcome["torn_bytes"]:
+                self.stats.torn_writes += 1
+
+        self._at(at, crash)
+        self._schedule_log.append(
+            f"crash_disk at {at:g}s torn={'yes' if torn else 'no'}"
+        )
+
+    def flip_segment_bit(
+        self, disk: "SimDisk", *, at: float = 0.0, path: str | None = None
+    ) -> None:
+        """Flip one durable bit of a sealed segment (bit rot).
+
+        ``path`` picks the victim file; when None the plane's RNG picks
+        uniformly among the disk's ``seg/`` files at fire time (a no-op
+        if none exist yet).  Recovery must quarantine the damaged
+        segment and keep serving, never crash.
+        """
+
+        def flip() -> None:
+            target = path
+            if target is None:
+                candidates = disk.list("seg/")
+                if not candidates:
+                    return
+                target = candidates[self._rng.randrange(len(candidates))]
+            if disk.exists(target) and disk.size(target):
+                disk.flip_bit(target, rng=self._rng)
+                self.stats.bit_flips += 1
+
+        self._at(at, flip)
+        self._schedule_log.append(
+            f"flip_segment_bit at {at:g}s path={path or '(random)'}"
         )
 
     # ------------------------------------------------------------------

@@ -79,6 +79,8 @@ def build_site(
     policy: GatewayPolicy | None = None,
     gateway_host: str | None = None,
     snmp_trap_threshold: float | None = None,
+    disk: Any | None = None,
+    persistent_store: dict[str, str] | None = None,
 ) -> Site:
     """Build one site: hosts + agents + gateway, all registered.
 
@@ -93,6 +95,11 @@ def build_site(
         gateway_host: override the gateway's host name.
         snmp_trap_threshold: when set, SNMP agents send load-high traps
             above this 1-minute load, sunk at the gateway's EventManager.
+        disk: a :class:`~repro.storage.simdisk.SimDisk` for durable
+            history — pass the same disk to successive gateway builds to
+            model restart/recovery (see ``python -m repro crashtest``).
+        persistent_store: driver-spec persistence shared across gateway
+            incarnations, as for the Gateway constructor.
     """
     unknown = set(agents) - set(AGENT_KINDS)
     if unknown:
@@ -108,7 +115,14 @@ def build_site(
         for h in host_names
     ]
     gw_host = gateway_host or f"{name}-gw"
-    gateway = Gateway(network, gw_host, site=name, policy=policy)
+    gateway = Gateway(
+        network,
+        gw_host,
+        site=name,
+        policy=policy,
+        disk=disk,
+        persistent_store=persistent_store,
+    )
 
     site = Site(name=name, network=network, hosts=hosts, gateway=gateway)
 

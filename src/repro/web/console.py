@@ -319,6 +319,54 @@ class Console:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Durability view
+    # ------------------------------------------------------------------
+    def durability_panel(self) -> str:
+        """WAL / checkpoint / recovery state of the durable history
+        engine, or a one-liner when ``history_durable`` is off."""
+        gw = self.gateway
+        engine = gw.history_engine
+        if engine is None:
+            return "Durable history: DISABLED (policy.history_durable=False)"
+        s = engine.stats()
+        wal, seg, disk = s["wal"], s["segments"], s["disk"]
+        lines = [
+            f"Durable history (fsync every {wal['sync_interval']} records, "
+            f"ring {engine.max_rows_per_group} rows/group"
+            + (
+                f", retention {engine.retention_age:g}s"
+                if engine.retention_age
+                else ""
+            )
+            + ")",
+            f"  WAL: gen {wal['gen']}, next_lsn {wal['next_lsn']}, "
+            f"synced {wal['synced_lsn']} "
+            f"({wal['unsynced_records']} records unsynced)",
+            f"  segments: {seg['count']} sealed holding {seg['rows']} rows; "
+            f"memtable {s['memtable_rows']} rows; "
+            f"trim cutoff {s['trim_cutoff'] if s['trim_cutoff'] is not None else '(none)'}",
+            f"  checkpoints: {s['checkpoints_run']} run "
+            + (
+                f"(last at t={s['last_checkpoint_at']:g}s)"
+                if s["last_checkpoint_at"] is not None
+                else "(none yet)"
+            ),
+            f"  disk: {disk['writes']} writes ({disk['bytes_written']} B), "
+            f"{disk['fsyncs']} fsyncs, {disk['crashes']} crashes survived",
+        ]
+        for group in sorted(seg["per_group"]):
+            per = seg["per_group"][group]
+            lines.append(
+                f"    - {group}: {per['segments']} segments, {per['rows']} rows"
+            )
+        report = gw.recovery_report
+        if report is not None:
+            lines.append("Last recovery:")
+            for line in report.format().splitlines():
+                lines.append(f"  {line}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Trace / metrics views
     # ------------------------------------------------------------------
     def trace_panel(self, trace_id: str | None = None) -> str:

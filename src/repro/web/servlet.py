@@ -18,7 +18,9 @@ HTTP-style request handler bound to the gateway host that serves
 * ``GET /stats``        — gateway statistics;
 * ``GET /metrics``      — the metrics registry, one instrument per line;
 * ``GET /trace``        — digest of retained query traces;
-* ``GET /trace/<qid>``  — one query's full span tree.
+* ``GET /trace/<qid>``  — one query's full span tree;
+* ``GET /durability``   — WAL / checkpoint / recovery state of the
+  durable history engine.
 
 Requests and responses are simple strings ("GET /path?query"), which is
 all the simulated transport needs while exercising the same parsing,
@@ -97,6 +99,8 @@ class GatewayServlet:
             return _status(200, self.console.metrics_panel())
         if path == "/trace":
             return _status(200, self.console.trace_panel())
+        if path == "/durability":
+            return _status(200, self.console.durability_panel())
         if path.startswith("/trace/"):
             trace_id = path[len("/trace/"):]
             if self.gateway.tracer.get(trace_id) is None:

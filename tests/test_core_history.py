@@ -168,3 +168,153 @@ class TestSeries:
 
     def test_series_unknown_group_empty(self, store):
         assert store.series("Job", "CPUSeconds") == []
+
+
+class TestRetentionEdgeCases:
+    def test_ring_and_trim_interact(self, store):
+        # Fill past the ring bound, then trim by age: the two retention
+        # mechanisms must compose (no double counting, no resurrection).
+        for i in range(150):
+            store.record(
+                "Processor",
+                [proc_row(load=float(i))],
+                source_url="u",
+                recorded_at=float(i),
+            )
+        assert store.row_count("Processor") == 100  # ring kept 50..149
+        dropped = store.trim_older_than(120.0)
+        assert dropped == 70
+        assert store.row_count("Processor") == 30
+        assert store.rows_evicted == 50 + 70
+        oldest = store.query("SELECT MIN(RecordedAt) FROM Processor").rows[0][0]
+        assert oldest == 120.0
+        # New records land on the trimmed table and the ring re-fills.
+        store.record(
+            "Processor", [proc_row(load=999.0)], source_url="u", recorded_at=200.0
+        )
+        assert store.row_count("Processor") == 31
+
+    def test_recorded_at_none_rows_survive_trim(self, store):
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=None)
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=1.0)
+        assert store.trim_older_than(10.0) == 1
+        assert store.row_count("Processor") == 1  # the None row is exempt
+
+    def test_series_since_skips_recorded_at_none(self, store):
+        store.record("Processor", [proc_row(load=1.0)], source_url="u", recorded_at=None)
+        store.record("Processor", [proc_row(load=2.0)], source_url="u", recorded_at=5.0)
+        assert store.series("Processor", "LoadAverage1Min") == [
+            (None, 1.0),
+            (5.0, 2.0),
+        ]
+        assert store.series("Processor", "LoadAverage1Min", since=0.0) == [(5.0, 2.0)]
+
+    def test_since_bisection_matches_linear_filter(self, store):
+        for i in range(20):
+            store.record(
+                "Processor",
+                [proc_row(load=float(i))],
+                source_url="u",
+                recorded_at=float(i),
+            )
+        for since in (-1.0, 0.0, 7.5, 19.0, 25.0):
+            got = store.series("Processor", "LoadAverage1Min", since=since)
+            want = [
+                (float(i), float(i)) for i in range(20) if float(i) >= since
+            ]
+            assert got == want, f"since={since}"
+
+    def test_bool_values_excluded_from_rollup(self, store):
+        store.record(
+            "Host",
+            [{"HostName": "n0", "SiteName": "s", "Reachable": True}],
+            source_url="u",
+            recorded_at=1.0,
+        )
+        assert store.rollup("Host", "Reachable", bucket=10.0) == []
+        # Sanity: the same row does roll up on a numeric field.
+        store.record(
+            "Processor", [proc_row(load=3.0)], source_url="u", recorded_at=1.0
+        )
+        assert store.rollup("Processor", "LoadAverage1Min", bucket=10.0)[0]["n"] == 1
+
+
+class TestDurableRoundTrip:
+    def _durable_store(self, disk, **kwargs):
+        from repro.storage.engine import HistoryEngine
+
+        engine = HistoryEngine(disk, sync_interval=4, max_rows_per_group=100)
+        return HistoryStore(
+            standard_schema(), max_rows_per_group=100, engine=engine, **kwargs
+        )
+
+    def test_record_crash_recover_serves_identical_answers(self):
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk()
+        store = self._durable_store(disk)
+        for i in range(12):
+            store.record(
+                "Processor",
+                [proc_row(load=float(i))],
+                source_url="u",
+                recorded_at=float(i),
+            )
+        store.sync()  # everything acked
+        sql = "SELECT HostName, LoadAverage1Min, RecordedAt FROM Processor"
+        want_query = store.query(sql).rows
+        want_series = store.series("Processor", "LoadAverage1Min", since=3.0)
+        want_rollup = store.rollup("Processor", "LoadAverage1Min", bucket=5.0)
+
+        disk.crash(None)
+        recovered = self._durable_store(disk)
+        assert recovered.rows_recovered == 12
+        assert recovered.query(sql).rows == want_query
+        assert recovered.series("Processor", "LoadAverage1Min", since=3.0) == want_series
+        assert recovered.rollup("Processor", "LoadAverage1Min", bucket=5.0) == want_rollup
+
+    def test_unacked_suffix_lost_on_crash(self):
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk()
+        store = self._durable_store(disk)
+        for i in range(6):  # interval 4: rows 4 and 5 unacked
+            store.record(
+                "Processor",
+                [proc_row(load=float(i))],
+                source_url="u",
+                recorded_at=float(i),
+            )
+        disk.crash(None)
+        recovered = self._durable_store(disk)
+        assert recovered.row_count("Processor") == 4
+
+    def test_trim_not_resurrected_by_crash(self):
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk()
+        store = self._durable_store(disk)
+        for i in range(8):
+            store.record(
+                "Processor",
+                [proc_row(load=float(i))],
+                source_url="u",
+                recorded_at=float(i),
+            )
+        store.trim_older_than(4.0)
+        disk.crash(None)
+        recovered = self._durable_store(disk)
+        oldest = recovered.query("SELECT MIN(RecordedAt) FROM Processor").rows[0][0]
+        assert oldest == 4.0
+
+    def test_checkpoint_then_recover_without_wal(self):
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk()
+        store = self._durable_store(disk)
+        store.record("Processor", [proc_row()], source_url="u", recorded_at=1.0)
+        store.checkpoint()  # seals the row; WAL is empty again
+        disk.crash(None)
+        recovered = self._durable_store(disk)
+        assert recovered.row_count("Processor") == 1
+        assert recovered.engine.recovery_report.wal_records_replayed == 0

@@ -264,4 +264,88 @@ class TestValidationAndObservability:
             "slowdowns",
             "partitions",
             "heals",
+            "disk_crashes",
+            "torn_writes",
+            "bit_flips",
         }
+
+
+class TestDiskFaults:
+    def test_crash_disk_drops_unsynced_writes(self, rig):
+        from repro.storage.simdisk import SimDisk
+
+        net, plane = rig
+        disk = SimDisk(clock=net.clock)
+        disk.create("f")
+        disk.append("f", b"durable")
+        disk.fsync("f")
+        disk.append("f", b"lost")
+        plane.crash_disk(disk, torn=False)
+        net.clock.advance(0.0)
+        assert disk.read("f") == b"durable"
+        assert plane.stats.disk_crashes == 1
+        assert plane.stats.torn_writes == 0
+
+    def test_torn_crash_keeps_strict_partial_fragment(self, rig):
+        net, plane = rig
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk(clock=net.clock)
+        torn = 0
+        for i in range(20):
+            disk.create(f"f{i}")
+            disk.append(f"f{i}", b"0123456789" * 4)
+            plane.crash_disk(disk)
+            net.clock.advance(0.0)
+            kept = len(disk.read(f"f{i}"))
+            assert 0 <= kept < 40  # never the full chunk
+            torn += kept > 0
+        assert plane.stats.disk_crashes == 20
+        assert plane.stats.torn_writes == torn
+        assert torn > 0  # seeded RNG tears at least once in 20
+
+    def test_scheduled_crash_fires_on_clock(self, rig):
+        net, plane = rig
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk(clock=net.clock)
+        disk.create("f")
+        disk.append("f", b"x")
+        plane.crash_disk(disk, at=5.0, torn=False)
+        net.clock.advance(4.0)
+        assert plane.stats.disk_crashes == 0
+        net.clock.advance(2.0)
+        assert plane.stats.disk_crashes == 1
+
+    def test_flip_segment_bit_targets_named_path(self, rig):
+        net, plane = rig
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk(clock=net.clock)
+        disk.create("seg/g/00000001.seg")
+        disk.append("seg/g/00000001.seg", b"\x00\x00")
+        disk.fsync("seg/g/00000001.seg")
+        plane.flip_segment_bit(disk, path="seg/g/00000001.seg")
+        net.clock.advance(0.0)
+        assert disk.read("seg/g/00000001.seg") != b"\x00\x00"
+        assert plane.stats.bit_flips == 1
+
+    def test_flip_segment_bit_noop_without_segments(self, rig):
+        net, plane = rig
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk(clock=net.clock)
+        plane.flip_segment_bit(disk)
+        net.clock.advance(0.0)
+        assert plane.stats.bit_flips == 0
+
+    def test_disk_faults_logged(self, rig):
+        net, plane = rig
+        from repro.storage.simdisk import SimDisk
+
+        disk = SimDisk(clock=net.clock)
+        plane.crash_disk(disk, at=1.0)
+        plane.flip_segment_bit(disk, at=2.0)
+        log = plane.schedule_log()
+        assert any(line.startswith("crash_disk") for line in log)
+        assert any(line.startswith("flip_segment_bit") for line in log)

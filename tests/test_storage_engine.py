@@ -1,0 +1,270 @@
+"""Unit tests for segments, checkpoints, recovery and the engine
+(repro.storage.segments / checkpoint / recovery / engine)."""
+
+import random
+
+import pytest
+
+from repro.simnet.clock import VirtualClock
+from repro.storage.checkpoint import CURRENT_PATH, current_manifest
+from repro.storage.engine import HistoryEngine
+from repro.storage.recovery import (
+    RULE_SEGMENT_QUARANTINED,
+    RULE_WAL_TAIL_TRUNCATED,
+    recover_state,
+)
+from repro.storage.segments import load_segment, seal_segment, segment_path
+from repro.storage.simdisk import SimDisk
+
+
+def row(i, at=None, **extra):
+    r = {"HostName": f"h{i % 3}", "RecordedAt": at, "Load": float(i)}
+    r.update(extra)
+    return r
+
+
+class TestSegments:
+    def test_seal_and_load_round_trip(self):
+        disk = SimDisk()
+        rows = [row(i, at=10.0 + i) for i in range(5)]
+        seg = seal_segment(disk, "Processor", 1, rows)
+        assert seg.path == segment_path("Processor", 1)
+        assert seg.min_at == 10.0
+        assert seg.max_at == 14.0
+        loaded = load_segment(disk, seg.path)
+        assert loaded.rows == rows
+        assert loaded.group == "Processor"
+        assert loaded.seq == 1
+
+    def test_seal_is_durable_without_explicit_fsync(self):
+        disk = SimDisk()
+        seal_segment(disk, "G", 1, [row(0)])
+        disk.crash(None)
+        assert load_segment(disk, segment_path("G", 1)).row_count == 1
+
+    def test_none_recorded_at_excluded_from_bounds(self):
+        disk = SimDisk()
+        seg = seal_segment(disk, "G", 1, [row(0, at=None), row(1, at=5.0)])
+        assert seg.min_at == 5.0
+        assert seg.max_at == 5.0
+        seg2 = seal_segment(disk, "G", 2, [row(0, at=None)])
+        assert seg2.min_at is None
+        assert seg2.max_at is None
+
+
+class TestEngineBasics:
+    def test_fresh_disk_boots_clean(self):
+        engine = HistoryEngine(SimDisk(), sync_interval=2)
+        assert engine.recovery_report.clean
+        assert engine.groups() == []
+
+    def test_append_checkpoint_recover_round_trip(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=2)
+        rows = [row(i, at=float(i)) for i in range(6)]
+        for r in rows:
+            engine.append_row("Processor", r)
+        engine.checkpoint()
+        successor = HistoryEngine(disk, sync_interval=2)
+        assert successor.recovery_report.clean
+        assert successor.serving_rows("Processor") == rows
+
+    def test_crash_keeps_exactly_the_acked_prefix(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=4)
+        for i in range(10):  # synced through lsn 8, rows 8..9 unacked
+            engine.append_row("G", row(i, at=float(i)))
+        expected = [dict(r) for r in engine.acked_rows("G")]
+        assert len(expected) == 8
+        disk.crash(None)
+        successor = HistoryEngine(disk, sync_interval=4)
+        assert successor.serving_rows("G") == expected
+
+    def test_torn_tail_truncated_with_finding(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=2)
+        for i in range(5):
+            engine.append_row("G", row(i, at=float(i)))
+        acked = [dict(r) for r in engine.acked_rows("G")]
+        disk.crash(random.Random(3))  # may tear the in-flight record
+        successor = HistoryEngine(disk, sync_interval=2)
+        assert successor.serving_rows("G") == acked
+        if successor.recovery_report.wal_tail != "clean":
+            assert any(
+                f.rule_id == RULE_WAL_TAIL_TRUNCATED
+                for f in successor.recovery_report.findings
+            )
+
+    def test_bit_flip_quarantines_segment_and_keeps_serving(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1)
+        engine.append_row("G", row(0, at=1.0))
+        engine.checkpoint()
+        engine.append_row("G", row(1, at=2.0))
+        engine.checkpoint()
+        victim = engine.segments["G"][0].path
+        disk.flip_bit(victim, rng=random.Random(0))
+        successor = HistoryEngine(disk, sync_interval=1)
+        report = successor.recovery_report
+        assert report.segments_quarantined == 1
+        assert any(
+            f.rule_id == RULE_SEGMENT_QUARANTINED for f in report.findings
+        )
+        # Degraded serving: the undamaged segment's row survives.
+        assert [r["Load"] for r in successor.serving_rows("G")] == [1.0]
+        # The damaged file moved into quarantine/, out of seg/.
+        assert not disk.exists(victim)
+        assert any(p.startswith("quarantine/") for p in disk.list())
+
+    def test_recovery_is_deterministic(self):
+        def build():
+            disk = SimDisk()
+            engine = HistoryEngine(disk, sync_interval=3)
+            for i in range(7):
+                engine.append_row("G", row(i, at=float(i)))
+            engine.checkpoint()
+            for i in range(7, 11):
+                engine.append_row("G", row(i, at=float(i)))
+            disk.crash(random.Random(42))
+            return HistoryEngine(disk, sync_interval=3).serving_rows("G")
+
+        assert build() == build()
+
+
+class TestManifestProtocol:
+    def test_current_points_at_latest_manifest(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1)
+        engine.append_row("G", row(0))
+        engine.checkpoint()
+        assert current_manifest(disk) is not None
+        assert disk.exists(CURRENT_PATH)
+
+    def test_stale_manifests_collected(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1)
+        for i in range(3):
+            engine.append_row("G", row(i))
+            engine.checkpoint()
+        manifests = [p for p in disk.list() if p.startswith("MANIFEST-")]
+        assert len(manifests) == 1
+
+    def test_unreadable_current_falls_back_to_manifest_scan(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1)
+        engine.append_row("G", row(0, at=1.0))
+        engine.checkpoint()
+        disk.flip_bit(CURRENT_PATH, rng=random.Random(1))
+        state = recover_state(disk)
+        assert state.segments  # found via the manifest scan
+        assert state.report.manifests_skipped >= 0  # never raises
+
+    def test_wal_truncated_after_checkpoint(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1)
+        for i in range(5):
+            engine.append_row("G", row(i))
+        engine.checkpoint()
+        wals = disk.list("wal/")
+        assert wals == [engine.wal.path]
+        assert disk.size(engine.wal.path) == 0
+
+
+class TestRetention:
+    def test_ring_drops_whole_head_segments(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1, max_rows_per_group=4)
+        for batch in range(3):  # three sealed segments of 2 rows each
+            for i in range(2):
+                engine.append_row("G", row(batch * 2 + i, at=float(batch * 2 + i)))
+            engine.checkpoint()
+        # 6 rows, ring 4: the head segment (rows 0-1) is droppable.
+        assert sum(s.row_count for s in engine.segments["G"]) == 4
+        assert [r["Load"] for r in engine.serving_rows("G")] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_ring_never_drops_below_capacity(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1, max_rows_per_group=4)
+        for i in range(3):
+            engine.append_row("G", row(i, at=float(i)))
+        engine.checkpoint()
+        engine.checkpoint()
+        assert len(engine.serving_rows("G")) == 3  # under capacity: kept
+
+    def test_trim_cutoff_survives_crash(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=100)
+        for i in range(4):
+            engine.append_row("G", row(i, at=float(i)))
+        engine.sync()
+        engine.append_trim(2.0)
+        disk.crash(None)
+        successor = HistoryEngine(disk, sync_interval=100)
+        assert [r["Load"] for r in successor.serving_rows("G")] == [2.0, 3.0]
+
+    def test_trim_persisted_in_manifest_not_resurrected(self):
+        disk = SimDisk()
+        engine = HistoryEngine(disk, sync_interval=1)
+        for i in range(4):
+            engine.append_row("G", row(i, at=float(i)))
+        engine.append_trim(2.0)
+        engine.checkpoint()  # trim record truncated with the WAL here
+        disk.crash(None)
+        successor = HistoryEngine(disk, sync_interval=1)
+        assert successor.trim_cutoff == 2.0
+        assert [r["Load"] for r in successor.serving_rows("G")] == [2.0, 3.0]
+
+    def test_age_retention_drops_old_segments_and_flags_serving(self):
+        clock = VirtualClock()
+        disk = SimDisk(clock=clock)
+        engine = HistoryEngine(
+            disk, clock=clock, sync_interval=1, retention_age=100.0
+        )
+        engine.append_row("G", row(0, at=clock.now()))
+        engine.checkpoint()
+        clock.advance(500.0)
+        engine.append_row("G", row(1, at=clock.now()))
+        result = engine.checkpoint()
+        assert result.segments_dropped == 1
+        assert "G" in result.serving_dirty
+        assert [r["Load"] for r in engine.serving_rows("G")] == [1.0]
+
+    def test_none_recorded_at_segment_exempt_from_age_drop(self):
+        clock = VirtualClock()
+        disk = SimDisk(clock=clock)
+        engine = HistoryEngine(
+            disk, clock=clock, sync_interval=1, retention_age=100.0
+        )
+        engine.append_row("G", row(0, at=None))
+        engine.append_row("G", row(1, at=clock.now()))
+        engine.checkpoint()
+        clock.advance(500.0)
+        result = engine.checkpoint()
+        assert result.segments_dropped == 0
+        assert len(engine.serving_rows("G")) == 2
+
+
+class TestAckedRows:
+    def test_unsynced_suffix_not_acked(self):
+        engine = HistoryEngine(SimDisk(), sync_interval=10)
+        for i in range(3):
+            engine.append_row("G", row(i))
+        assert engine.acked_rows("G") == []
+        assert len(engine.serving_rows("G")) == 3
+        engine.sync()
+        assert len(engine.acked_rows("G")) == 3
+
+    def test_exclude_segments_subtracts_their_rows(self):
+        engine = HistoryEngine(SimDisk(), sync_interval=1)
+        engine.append_row("G", row(0))
+        engine.checkpoint()
+        engine.append_row("G", row(1))
+        path = engine.segments["G"][0].path
+        acked = engine.acked_rows("G", exclude_segments=frozenset([path]))
+        assert [r["Load"] for r in acked] == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoryEngine(SimDisk(), max_rows_per_group=0)
+        with pytest.raises(ValueError):
+            HistoryEngine(SimDisk(), retention_age=-1.0)

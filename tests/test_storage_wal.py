@@ -1,0 +1,225 @@
+"""Unit tests for the simulated disk and the write-ahead log
+(repro.storage.simdisk, repro.storage.wal)."""
+
+import random
+
+import pytest
+
+from repro.simnet.clock import VirtualClock
+from repro.storage.simdisk import SimDisk
+from repro.storage.wal import (
+    TAIL_CLEAN,
+    TAIL_CORRUPT,
+    TAIL_TORN,
+    WriteAheadLog,
+    encode_record,
+    frame,
+    read_frames,
+    wal_path,
+)
+
+
+class TestSimDisk:
+    def test_append_is_not_durable_until_fsync(self):
+        disk = SimDisk()
+        disk.create("f")
+        disk.append("f", b"abc")
+        assert disk.read("f") == b"abc"  # visible to readers
+        disk.crash(None)
+        assert disk.read("f") == b""  # but gone after power loss
+
+    def test_fsync_makes_appends_durable(self):
+        disk = SimDisk()
+        disk.create("f")
+        disk.append("f", b"abc")
+        disk.fsync("f")
+        disk.append("f", b"def")
+        disk.crash(None)
+        assert disk.read("f") == b"abc"
+
+    def test_torn_crash_keeps_strict_partial_prefix_of_first_chunk(self):
+        rng = random.Random(7)
+        saw_partial = False
+        for _ in range(50):
+            disk = SimDisk()
+            disk.create("f")
+            disk.append("f", b"0123456789")
+            disk.append("f", b"NEVER")  # later chunks always lost whole
+            disk.crash(rng)
+            kept = disk.read("f")
+            assert b"NEVER" not in kept
+            assert 0 <= len(kept) < 10
+            assert b"0123456789".startswith(kept)
+            saw_partial = saw_partial or 0 < len(kept)
+        assert saw_partial
+
+    def test_replace_buffers_until_fsync(self):
+        disk = SimDisk()
+        disk.create("f")
+        disk.append("f", b"old")
+        disk.fsync("f")
+        disk.replace("f", b"new")
+        assert disk.read("f") == b"new"
+        disk.crash(None)
+        assert disk.read("f") == b"old"  # replace was never synced
+
+    def test_rename_and_delete(self):
+        disk = SimDisk()
+        disk.create("a")
+        disk.append("a", b"x")
+        disk.fsync("a")
+        disk.rename("a", "b")
+        assert not disk.exists("a")
+        assert disk.read("b") == b"x"
+        disk.delete("b")
+        assert not disk.exists("b")
+        disk.delete("b")  # idempotent
+
+    def test_list_by_prefix(self):
+        disk = SimDisk()
+        for p in ("seg/a/1", "seg/b/1", "wal/1"):
+            disk.create(p)
+        assert disk.list("seg/") == ["seg/a/1", "seg/b/1"]
+
+    def test_latencies_charge_the_virtual_clock(self):
+        clock = VirtualClock()
+        disk = SimDisk(clock=clock, write_latency=0.001, fsync_latency=0.01)
+        disk.create("f")
+        disk.append("f", b"x")
+        assert clock.now() == pytest.approx(0.001)
+        disk.fsync("f")
+        assert clock.now() == pytest.approx(0.011)
+
+    def test_flip_bit_corrupts_exactly_one_bit(self):
+        disk = SimDisk()
+        disk.create("f")
+        disk.append("f", b"\x00\x00")
+        disk.fsync("f")
+        flipped = disk.flip_bit("f", bit=3)
+        assert flipped == 3
+        data = disk.read("f")
+        assert bin(int.from_bytes(data, "big")).count("1") == 1
+
+    def test_flip_bit_on_empty_file_raises(self):
+        disk = SimDisk()
+        disk.create("f")
+        with pytest.raises(ValueError):
+            disk.flip_bit("f", rng=random.Random(0))
+
+    def test_append_to_missing_file_raises(self):
+        disk = SimDisk()
+        with pytest.raises(FileNotFoundError):
+            disk.append("missing", b"x")
+
+    def test_stats_track_operations(self):
+        disk = SimDisk()
+        disk.create("f")
+        disk.append("f", b"abcd")
+        disk.fsync("f")
+        disk.read("f")
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_written == 4
+        assert disk.stats.fsyncs == 1
+        assert disk.stats.reads == 1
+
+
+class TestFraming:
+    def test_round_trip_clean(self):
+        data = frame(b"one") + frame(b"two")
+        payloads, tail, _ = read_frames(data)
+        assert payloads == [b"one", b"two"]
+        assert tail == TAIL_CLEAN
+
+    def test_torn_tail_stops_cleanly(self):
+        data = frame(b"one") + frame(b"two")[:-3]
+        payloads, tail, detail = read_frames(data)
+        assert payloads == [b"one"]
+        assert tail == TAIL_TORN
+        assert detail
+
+    def test_corrupt_crc_stops_with_corrupt(self):
+        good = frame(b"one")
+        bad = bytearray(frame(b"two"))
+        bad[-1] ^= 0xFF  # payload byte no longer matches the CRC
+        payloads, tail, _ = read_frames(good + bytes(bad))
+        assert payloads == [b"one"]
+        assert tail == TAIL_CORRUPT
+
+    def test_corruption_in_middle_hides_later_frames(self):
+        data = bytearray(frame(b"one") + frame(b"two") + frame(b"three"))
+        data[len(frame(b"one")) + 8] ^= 0x01  # inside frame two's payload
+        payloads, tail, _ = read_frames(bytes(data))
+        assert payloads == [b"one"]
+        assert tail == TAIL_CORRUPT
+
+
+class TestWriteAheadLog:
+    def _wal(self, sync_interval=3):
+        disk = SimDisk()
+        return disk, WriteAheadLog(disk, sync_interval=sync_interval)
+
+    def test_append_stamps_monotonic_lsns(self):
+        _, wal = self._wal()
+        lsns = [wal.append({"kind": "row", "group": "G", "row": {}}) for _ in range(4)]
+        assert lsns == [1, 2, 3, 4]
+
+    def test_group_commit_syncs_every_interval(self):
+        disk, wal = self._wal(sync_interval=3)
+        for _ in range(2):
+            wal.append({"kind": "row", "group": "G", "row": {}})
+        assert wal.synced_lsn == 0
+        assert wal.unsynced_records == 2
+        wal.append({"kind": "row", "group": "G", "row": {}})
+        assert wal.synced_lsn == 3  # the third append triggered fsync
+        assert wal.unsynced_records == 0
+        assert disk.stats.fsyncs == 1
+
+    def test_explicit_sync_advances_ack_boundary(self):
+        _, wal = self._wal(sync_interval=100)
+        wal.append({"kind": "row", "group": "G", "row": {}})
+        assert wal.synced_lsn == 0
+        wal.sync()
+        assert wal.synced_lsn == 1
+
+    def test_sync_with_nothing_pending_is_a_noop(self):
+        disk, wal = self._wal()
+        wal.sync()
+        assert disk.stats.fsyncs == 0
+
+    def test_crash_loses_only_unsynced_suffix(self):
+        disk, wal = self._wal(sync_interval=2)
+        for i in range(5):  # syncs after 2 and 4
+            wal.append({"kind": "row", "group": "G", "row": {"i": i}})
+        disk.crash(None)
+        records, tail, _ = WriteAheadLog.read_records(disk, wal.path)
+        assert tail == TAIL_CLEAN
+        assert [r["row"]["i"] for r in records] == [0, 1, 2, 3]
+
+    def test_read_records_missing_file_is_empty_clean(self):
+        disk = SimDisk()
+        records, tail, _ = WriteAheadLog.read_records(disk, wal_path(9))
+        assert records == []
+        assert tail == TAIL_CLEAN
+
+    def test_read_records_reports_torn_tail(self):
+        disk, wal = self._wal(sync_interval=1)
+        wal.append({"kind": "row", "group": "G", "row": {"i": 0}})
+        # Hand-tear a half-written frame onto the synced prefix.
+        disk.append(wal.path, encode_record({"kind": "row"})[:-2])
+        disk.fsync(wal.path)
+        records, tail, _ = WriteAheadLog.read_records(disk, wal.path)
+        assert len(records) == 1
+        assert tail == TAIL_TORN
+
+    def test_rotate_starts_fresh_generation(self):
+        disk, wal = self._wal(sync_interval=1)
+        wal.append({"kind": "row", "group": "G", "row": {}})
+        old = wal.rotate()
+        assert old == wal_path(1)
+        assert wal.gen == 2
+        assert wal.path == wal_path(2)
+        assert disk.exists(wal.path)
+        wal.append({"kind": "row", "group": "G", "row": {}})
+        records, tail, _ = WriteAheadLog.read_records(disk, wal.path)
+        assert tail == TAIL_CLEAN
+        assert len(records) == 1
