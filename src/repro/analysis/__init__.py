@@ -15,8 +15,18 @@ Three passes over one shared finding/severity/reporting model
 * **project-invariant lint** (:mod:`repro.analysis.rules` +
   :mod:`repro.analysis.linter`) — a pluggable rule registry with
   baseline suppression, exposed as ``python -m repro lint`` and the
-  gateway ``analyze`` API.
+  gateway ``analyze`` API;
+* **determinism sanitizer** (:mod:`repro.analysis.determinism` — the
+  GRM50x static rule family guarding replay identity — and
+  :mod:`repro.analysis.races` — the virtual-lane race detector
+  reporting GRM55x findings from unordered ``ConcurrentScope``
+  branches touching shared mutable state).
 """
+
+# Imported for the side effect of registering their lint rules.
+from repro.analysis import determinism as determinism  # noqa: F401
+from repro.analysis import races as races  # noqa: F401
+from repro.analysis.races import RaceDetector
 
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.conformance import (
@@ -51,6 +61,7 @@ __all__ = [
     "Finding",
     "Severity",
     "LintRule",
+    "RaceDetector",
     "all_rules",
     "check_driver",
     "check_driver_class",

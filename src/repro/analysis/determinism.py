@@ -1,0 +1,585 @@
+"""Determinism sanitizer: the GRM50x static rule family.
+
+GridRM's whole benchmark methodology (the MDS/R-GMA/Hawkeye comparison
+of Zhang, Freschl & Schopf) rests on *replayable* simulation: the chaos
+replays (PR 4) and crashtest signatures (PR 6) are byte-identical only
+while every input to the simulation is a pure function of the seed and
+the virtual clock.  One stray wall-clock read, one unseeded ``random``
+draw or one set-ordered merge silently breaks replay identity — and the
+breakage shows up as an unreproducible benchmark, not as a test failure.
+
+These rules make the determinism contract a *checked* property:
+
+* **GRM501** — wall-clock sources beyond GRM101's canonical set
+  (``time.monotonic_ns``, ``time.process_time``, ``time.localtime`` /
+  ``gmtime`` / ``ctime`` / ``asctime``, ``os.times``, ``date.today``);
+* **GRM502** — module-level ``random`` use (the shared global generator
+  is seeded from OS entropy) and unseeded ``random.Random()``;
+* **GRM503** — iteration over ``set`` / ``frozenset`` expressions
+  feeding ordered outputs (merges, renders, wire encoding) without a
+  ``sorted(...)`` wrapper;
+* **GRM504** — ``id()`` / ``hash()``-dependent ordering: ``id(...)``
+  calls, and ``id`` / ``hash`` used as a sort key;
+* **GRM505** — entropy sources: ``os.urandom``, ``uuid.uuid1`` /
+  ``uuid4``, the ``secrets`` module, ``random.SystemRandom``.
+
+Deliberate escapes are annotated in place::
+
+    stamp = time.time()  # grm: allow-wallclock
+
+The tag may also sit on a comment-only line directly above.  Each rule
+has its own tag (``allow-wallclock``, ``allow-random``,
+``allow-set-order``, ``allow-id-order``, ``allow-entropy``) so the
+residual allowlist documents exactly which hazard was accepted and why.
+
+Note on ``dict``: iteration over dicts (including ``.keys()`` /
+``.values()`` / ``.items()``) is insertion-ordered in Python >= 3.7 and
+therefore deterministic whenever insertion order is — so it is *not*
+flagged here.  The hazard the family guards is genuinely unordered
+collections; a dict populated from a set iteration is caught at the set.
+
+The runtime half of the sanitizer — the virtual-lane race detector
+reporting GRM55x findings — lives in :mod:`repro.analysis.races`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    LintRule,
+    ModuleContext,
+    Severity,
+    register_rule,
+)
+
+#: Wall-clock reads GRM101 does not already cover.  GRM501 extends the
+#: virtual-clock discipline to the long tail of stdlib clock accessors;
+#: both rules honour the same ``allow-wallclock`` escape.
+_EXTENDED_WALL_CLOCK = {
+    "time": {
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+    },
+    "os": {"times"},
+    "date": {"today"},
+}
+
+#: ``random`` module members that are *not* the module-level generator:
+#: constructing an explicitly seeded instance is the sanctioned idiom.
+_RANDOM_FACTORY = "Random"
+
+#: Entropy sources: reads of OS randomness that can never replay.
+_ENTROPY_CALLS = {
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "random": {"SystemRandom"},
+}
+
+#: Aggregating sinks for which iteration order genuinely does not
+#: matter: consuming a set through these is deterministic.
+_ORDER_INSENSITIVE_SINKS = frozenset(
+    {
+        "sorted",
+        "len",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+    }
+)
+
+#: Sort-shaped calls whose ``key=`` argument orders the output.
+_SORT_CALLS = frozenset({"sorted", "sort", "min", "max"})
+
+
+def _owner_name(func: ast.expr) -> str:
+    """The textual owner of an attribute access (``time`` in
+    ``time.monotonic_ns``; ``date`` in ``datetime.date.today``)."""
+    if isinstance(func, ast.Attribute):
+        owner = func.value
+        if isinstance(owner, ast.Name):
+            return owner.id
+        if isinstance(owner, ast.Attribute):
+            return owner.attr
+    return ""
+
+
+@register_rule
+class ExtendedWallClockRule(LintRule):
+    """Replay identity: the stdlib's long tail of clock accessors."""
+
+    rule_id = "GRM501"
+    severity = Severity.ERROR
+    title = "extended wall-clock read (breaks replay identity)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if module.allowed(node, "wallclock"):
+                continue
+            owner = _owner_name(node.func)
+            bad = _EXTENDED_WALL_CLOCK.get(owner)
+            if bad and node.func.attr in bad:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{owner}.{node.func.attr}() reads the wall clock; all "
+                    "timing must come from the virtual clock "
+                    "(# grm: allow-wallclock to escape)",
+                    symbol=f"{owner}.{node.func.attr}",
+                )
+
+
+@register_rule
+class UnseededRandomRule(LintRule):
+    """Replay identity: no module-level or unseeded random generators.
+
+    The module-level functions (``random.random()``, ``random.choice``,
+    ``random.seed`` ...) all share one hidden global generator seeded
+    from OS entropy at import; ``random.Random()`` with no arguments
+    seeds the same way.  The sanctioned idiom is an explicitly seeded
+    ``random.Random(seed)`` owned by the component that draws from it.
+    """
+
+    rule_id = "GRM502"
+    severity = Severity.ERROR
+    title = "module-level or unseeded random (pass an explicit seed)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        random_names = self._random_aliases(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = sorted(
+                    a.name
+                    for a in node.names
+                    if a.name not in (_RANDOM_FACTORY, "SystemRandom")
+                )
+                if bad and not module.allowed(node, "random"):
+                    yield self.finding(
+                        module,
+                        node,
+                        "imports module-level random function(s) "
+                        f"{', '.join(bad)}; use a seeded random.Random "
+                        "instance (# grm: allow-random to escape)",
+                        symbol=f"import-random-{'-'.join(bad)}",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            if module.allowed(node, "random"):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and _owner_name(func) in random_names:
+                if func.attr == "SystemRandom":
+                    continue  # entropy: GRM505's finding, not ours
+                if func.attr == _RANDOM_FACTORY:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module,
+                            node,
+                            "random.Random() without a seed draws its seed "
+                            "from OS entropy; pass an explicit seed",
+                            symbol="random.Random",
+                        )
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{func.attr}() uses the shared module-level "
+                    "generator; draw from a seeded random.Random instead "
+                    "(# grm: allow-random to escape)",
+                    symbol=f"random.{func.attr}",
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == _RANDOM_FACTORY
+                and _RANDOM_FACTORY in self._from_imports(module)
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "Random() without a seed draws its seed from OS "
+                    "entropy; pass an explicit seed",
+                    symbol="random.Random",
+                )
+
+    @staticmethod
+    def _random_aliases(module: ModuleContext) -> set[str]:
+        """Names the ``random`` module is bound to (import aliases)."""
+        names = {"random"}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" and alias.asname:
+                        names.add(alias.asname)
+        return names
+
+    @staticmethod
+    def _from_imports(module: ModuleContext) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                out.update(a.asname or a.name for a in node.names)
+        return out
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Shallow, conservative set-ness inference over one scope.
+
+    A name counts as set-typed only while *every* assignment to it in
+    the enclosing function body is a syntactic set expression — the
+    moment anything else is assigned, the name is forgotten.  This keeps
+    the rule quiet on genuinely ambiguous code at the cost of missing
+    sets that arrive through calls; the dynamic lane detector covers the
+    rest at run time.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.poisoned: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_set_expr(node.value, self.set_names)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set and target.id not in self.poisoned:
+                    self.set_names.add(target.id)
+                else:
+                    self.set_names.discard(target.id)
+                    self.poisoned.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            annotated_set = isinstance(
+                node.annotation, (ast.Name, ast.Subscript)
+            ) and _annotation_is_set(node.annotation)
+            value_set = node.value is not None and _is_set_expr(
+                node.value, self.set_names
+            )
+            if (annotated_set or value_set) and node.target.id not in self.poisoned:
+                self.set_names.add(node.target.id)
+            else:
+                self.set_names.discard(node.target.id)
+                self.poisoned.add(node.target.id)
+        self.generic_visit(node)
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        return node.value.id in ("set", "frozenset")
+    return False
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Syntactic set-ness: literals, comprehensions, constructors, set
+    algebra over sets, and names already known to hold sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function bodies —
+    those are visited as scopes of their own, with their own tracker."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield from _walk_scope(child)
+
+
+@register_rule
+class SetIterationOrderRule(LintRule):
+    """Replay identity: unordered iteration must not feed ordered output.
+
+    Set iteration order is a function of element hashes and insertion
+    history — with ``PYTHONHASHSEED`` randomisation it changes *between
+    processes*, so any merge, render or wire encoding built by iterating
+    a set is different on every run.  Wrap the iteration in ``sorted()``
+    (or keep the data in a list/dict, which preserve order).
+    """
+
+    rule_id = "GRM503"
+    severity = Severity.ERROR
+    title = "unordered set iteration feeding ordered output (use sorted())"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(self, module: ModuleContext, scope: ast.AST) -> Iterator[Finding]:
+        tracker = _SetTracker()
+        body = scope.body if hasattr(scope, "body") else []
+        # Comprehensions consumed directly by an order-insensitive sink
+        # (``sorted(x for x in some_set)``) are fine; _walk_scope yields
+        # the enclosing Call before its children, so bless them first.
+        blessed: set[ast.AST] = set()
+        # Statement-ordered walk: track assignments, then test uses; a
+        # single pass in source order approximates def-before-use.
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # visited as a scope of its own
+            for node in _walk_scope(stmt):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    tracker.visit(node)
+                if isinstance(node, ast.Call):
+                    callee = ""
+                    if isinstance(node.func, ast.Name):
+                        callee = node.func.id
+                    elif isinstance(node.func, ast.Attribute):
+                        callee = node.func.attr
+                    if callee in _ORDER_INSENSITIVE_SINKS:
+                        blessed.update(
+                            arg
+                            for arg in node.args
+                            if isinstance(
+                                arg,
+                                (ast.ListComp, ast.GeneratorExp, ast.SetComp),
+                            )
+                        )
+                yield from self._check_node(
+                    module, node, tracker.set_names, blessed
+                )
+
+    def _check_node(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        set_names: set[str],
+        blessed: set[ast.AST],
+    ) -> Iterator[Finding]:
+        # for x in <set>: ...
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, set_names):
+            if not module.allowed(node, "set-order"):
+                yield self._order_finding(module, node.iter, "for-loop")
+            return
+        # Comprehension generators drawing from a set.
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if node in blessed:
+                return
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, set_names) and not module.allowed(
+                    node, "set-order"
+                ):
+                    yield self._order_finding(module, gen.iter, "comprehension")
+            return
+        # Order-sensitive sinks: list(<set>), tuple(<set>), sep.join(<set>).
+        if isinstance(node, ast.Call):
+            func = node.func
+            callee = ""
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            if callee in ("list", "tuple", "join", "extend") and node.args:
+                arg = node.args[0]
+                if _is_set_expr(arg, set_names) and not module.allowed(
+                    node, "set-order"
+                ):
+                    yield self._order_finding(module, arg, f"{callee}()")
+            # <set>.pop() returns an arbitrary element.
+            if (
+                callee == "pop"
+                and isinstance(func, ast.Attribute)
+                and _is_set_expr(func.value, set_names)
+                and not node.args
+                and not module.allowed(node, "set-order")
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "set.pop() removes an arbitrary (hash-ordered) element; "
+                    "pick deterministically (# grm: allow-set-order to escape)",
+                    symbol="set.pop",
+                )
+
+    def _order_finding(
+        self, module: ModuleContext, iter_node: ast.expr, context: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            iter_node,
+            f"{context} iterates a set in hash order; wrap in sorted() so "
+            "downstream merges/renders replay identically "
+            "(# grm: allow-set-order to escape)",
+            symbol=f"set-iteration-{context}",
+        )
+
+
+@register_rule
+class IdentityOrderRule(LintRule):
+    """Replay identity: no ordering by memory address or string hash.
+
+    ``id()`` is a CPython heap address — different on every run — and
+    ``hash(str)`` is randomised per process by ``PYTHONHASHSEED``.
+    Either one used as (or inside) a sort key makes the output order an
+    accident of the allocator.
+    """
+
+    rule_id = "GRM504"
+    severity = Severity.ERROR
+    title = "id()/hash()-dependent ordering (order by a stable key)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.allowed(node, "id-order"):
+                continue
+            func = node.func
+            # Plain id(...) anywhere: its value is a per-run address.
+            if isinstance(func, ast.Name) and func.id == "id" and node.args:
+                yield self.finding(
+                    module,
+                    node,
+                    "id() is a per-run memory address; derive identity from "
+                    "stable data (# grm: allow-id-order to escape)",
+                    symbol="id",
+                )
+                continue
+            callee = ""
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            if callee not in _SORT_CALLS:
+                continue
+            for kw in node.keywords:
+                if kw.arg != "key":
+                    continue
+                bad = self._unstable_key(kw.value)
+                if bad:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{callee}(key={bad}) orders by a per-run value; "
+                        "use a stable key (# grm: allow-id-order to escape)",
+                        symbol=f"{callee}-key-{bad}",
+                    )
+
+    @staticmethod
+    def _unstable_key(key: ast.expr) -> str:
+        if isinstance(key, ast.Name) and key.id in ("id", "hash"):
+            return key.id
+        if isinstance(key, ast.Lambda):
+            for inner in ast.walk(key.body):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id in ("id", "hash")
+                ):
+                    return inner.func.id
+        return ""
+
+
+@register_rule
+class EntropySourceRule(LintRule):
+    """Replay identity: no OS entropy in the simulation substrate."""
+
+    rule_id = "GRM505"
+    severity = Severity.ERROR
+    title = "entropy source (os.urandom/uuid4/secrets cannot replay)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (
+                        alias.name == "secrets"
+                        or alias.name.startswith("secrets.")
+                    ) and not module.allowed(node, "entropy"):
+                        yield self.finding(
+                            module,
+                            node,
+                            "imports the secrets module; OS entropy can "
+                            "never replay (# grm: allow-entropy to escape)",
+                            symbol="import-secrets",
+                        )
+                continue
+            if isinstance(node, ast.ImportFrom):
+                bad_from = {
+                    "os": {"urandom", "getrandom"},
+                    "uuid": {"uuid1", "uuid4"},
+                    "random": {"SystemRandom"},
+                }.get(node.module or "")
+                if bad_from:
+                    names = sorted(
+                        a.name for a in node.names if a.name in bad_from
+                    )
+                    if names and not module.allowed(node, "entropy"):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"imports entropy source(s) {', '.join(names)} "
+                            f"from {node.module} "
+                            "(# grm: allow-entropy to escape)",
+                            symbol=f"import-{node.module}-{'-'.join(names)}",
+                        )
+                if (node.module or "") == "secrets" and not module.allowed(
+                    node, "entropy"
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "imports from the secrets module; OS entropy can "
+                        "never replay (# grm: allow-entropy to escape)",
+                        symbol="import-secrets",
+                    )
+                continue
+            if not (
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if module.allowed(node, "entropy"):
+                continue
+            owner = _owner_name(node.func)
+            bad = _ENTROPY_CALLS.get(owner)
+            if bad and node.func.attr in bad:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{owner}.{node.func.attr}() draws OS entropy and can "
+                    "never replay; derive values from the seed "
+                    "(# grm: allow-entropy to escape)",
+                    symbol=f"{owner}.{node.func.attr}",
+                )
+
+
+#: The family's ids, in rule order — used by the CLI's racecheck gate
+#: and the registry coverage tests.
+DETERMINISM_RULE_IDS = ("GRM501", "GRM502", "GRM503", "GRM504", "GRM505")

@@ -9,6 +9,7 @@ fingerprints, and later runs suppress exactly those.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
@@ -131,6 +132,35 @@ def render_tree(report: AnalysisReport, *, title: str = "Static analysis") -> st
     if not by_path:
         lines.append("+- (clean)")
     return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable rendering for CI annotation.
+
+    Stable by construction: findings in the report's canonical sort
+    order, object keys in a fixed order, no timestamps or absolute
+    paths beyond what the findings themselves carry.  Two runs over the
+    same tree produce byte-identical output.
+    """
+    payload = {
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "errors": len(report.errors),
+        "findings": [
+            {
+                "rule_id": f.rule_id,
+                "severity": f.severity.value,
+                "path": f.path,
+                "line": f.line,
+                "symbol": f.symbol,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in report.sorted()
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
 
 
 def summary_line(report: AnalysisReport) -> str:

@@ -15,13 +15,24 @@ Rule-id ranges:
 * ``GRM2xx`` — compile-time GLUE query validation
   (:mod:`repro.analysis.query_check`);
 * ``GRM3xx`` — gateway start-up findings
-  (:mod:`repro.analysis.conformance`).
+  (:mod:`repro.analysis.conformance`);
+* ``GRM4xx`` — storage recovery findings (quarantined segments, torn
+  WAL tails — :mod:`repro.storage.recovery`);
+* ``GRM50x`` — determinism sanitizer
+  (:mod:`repro.analysis.determinism`): replay-identity hazards beyond
+  GRM101's wall-clock set (unseeded random, unordered set iteration,
+  id()/hash() ordering, entropy sources);
+* ``GRM55x`` — virtual-lane race findings
+  (:mod:`repro.analysis.races`): unordered-branch access conflicts and
+  dual-run divergence, reported by the runtime detector rather than an
+  AST pass.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from typing import Iterator, Type
 
 from repro.analysis.findings import Finding, Severity
@@ -62,6 +73,13 @@ _WALL_CLOCK_IMPORTS = {
 }
 
 
+#: ``# grm: allow-<tag>`` trailing (or immediately preceding, on a
+#: comment-only line) a flagged statement suppresses the matching rule.
+#: Tags are per-rule (``allow-wallclock``, ``allow-random``, ...) so an
+#: escape documents exactly which hazard was judged acceptable.
+_ALLOW_COMMENT = re.compile(r"#\s*grm:\s*allow-([a-z][a-z0-9-]*)")
+
+
 @dataclass
 class ModuleContext:
     """One parsed source file handed to every rule."""
@@ -69,6 +87,40 @@ class ModuleContext:
     path: str
     source: str
     tree: ast.Module
+    #: Lazily built 1-based line -> allow tags map (see :meth:`allowed`).
+    _allow_lines: "dict[int, set[str]] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def allowed(self, node: ast.AST, tag: str) -> bool:
+        """True when ``node``'s line carries ``# grm: allow-<tag>``.
+
+        A tag on the line itself or on a standalone comment line directly
+        above it both count, so escapes survive black-style wrapping.
+        """
+        if self._allow_lines is None:
+            lines: dict[int, set[str]] = {}
+            for lineno, text in enumerate(self.source.splitlines(), start=1):
+                tags = set(_ALLOW_COMMENT.findall(text))
+                if tags:
+                    lines[lineno] = tags
+            self._allow_lines = lines
+        lineno = getattr(node, "lineno", 0)
+        if not lineno:
+            return False
+        for candidate in (lineno, lineno - 1):
+            tags = self._allow_lines.get(candidate)
+            if tags and tag in tags:
+                # A preceding line only counts if it is comment-only.
+                if candidate == lineno or self._comment_only(candidate):
+                    return True
+        return False
+
+    def _comment_only(self, lineno: int) -> bool:
+        lines = self.source.splitlines()
+        if not 1 <= lineno <= len(lines):
+            return False
+        return lines[lineno - 1].lstrip().startswith("#")
 
     def driver_classes(self) -> dict[str, ast.ClassDef]:
         """Classes in this module that (transitively, within the module)
@@ -177,8 +229,12 @@ class WallClockRule(LintRule):
     severity = Severity.ERROR
     title = "wall-clock call (use repro.simnet.clock, not time/datetime)"
 
+    # The ``# grm: allow-wallclock`` escape (shared with the determinism
+    # family's GRM501) silences this rule on annotated lines.
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
+            if module.allowed(node, "wallclock"):
+                continue
             if isinstance(node, ast.ImportFrom) and node.module == "time":
                 names = {a.name for a in node.names}
                 bad = sorted(

@@ -21,6 +21,7 @@ futures and no inconsistent breaker entries once the dust settles.
 from __future__ import annotations
 
 import hashlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -61,6 +62,11 @@ class ChaosReport:
     #: Unresolved NetFutures after the run (must be 0).
     pending_futures: int = 0
     elapsed_virtual: float = 0.0
+    #: GRM55x lane-race findings (``race_detect=True`` runs only; must
+    #: be empty — an entry means two unordered branches shared state).
+    race_findings: list[str] = field(default_factory=list)
+    #: State accesses the race detector inspected (0 = detection off).
+    race_accesses: int = 0
 
     # ------------------------------------------------------------------
     def latency(self, q: float) -> float:
@@ -89,6 +95,8 @@ class ChaosReport:
             "traces_checked": self.traces_checked,
             "pending_futures": self.pending_futures,
             "elapsed_virtual": self.elapsed_virtual,
+            "race_findings": list(self.race_findings),
+            "race_accesses": self.race_accesses,
         }
 
     def format(self) -> str:
@@ -127,6 +135,13 @@ class ChaosReport:
             f"breaker violations={len(self.breaker_violations)}, "
             f"trace violations={len(self.trace_violations)} "
             f"({self.traces_checked} traces checked)",
+        ]
+        if self.race_accesses:
+            lines.append(
+                f"  lane races: {len(self.race_findings)} finding(s) over "
+                f"{self.race_accesses} shared-state accesses"
+            )
+        lines += [
             f"  replay signature: {self.signature[:16]}…",
         ]
         return "\n".join(lines)
@@ -178,6 +193,15 @@ def _breaker_violations(board: dict[str, dict[str, Any]]) -> list[str]:
     return out
 
 
+def _maybe_detect(detector: "Any | None"):
+    """races.activate(detector), or a no-op context when detection is off."""
+    if detector is None:
+        return nullcontext()
+    from repro.analysis import races
+
+    return races.activate(detector)
+
+
 def run_chaos(
     *,
     seed: int = 0,
@@ -190,6 +214,7 @@ def run_chaos(
     period: float = 30.0,
     warmup_rounds: int = 10,
     sql: str = "SELECT * FROM Processor",
+    race_detect: bool = False,
 ) -> ChaosReport:
     """Build a site, inject the standard fault scenario, measure.
 
@@ -198,6 +223,12 @@ def run_chaos(
     so two runs differing only in knobs see the identical schedule.
     Returns a :class:`ChaosReport`; raises nothing on per-source
     failures (they are part of the measurement).
+
+    ``race_detect=True`` runs the whole scenario under the virtual-lane
+    race detector (:mod:`repro.analysis.races`): any unordered-branch
+    shared-state access lands in ``report.race_findings`` as a GRM55x
+    line, and the detector stays attached to the gateway so a later
+    ``gw.analyze()`` reports the same findings.
     """
     policy = GatewayPolicy(
         fanout_enabled=fanout,
@@ -213,40 +244,51 @@ def run_chaos(
     clock.advance(60.0)
     urls = list(site.source_urls)
 
-    for _ in range(max(0, warmup_rounds)):
-        gw.query(urls, sql, mode=QueryMode.REALTIME)
-        clock.advance(period)
+    detector = None
+    if race_detect:
+        from repro.analysis import races
 
-    plane = FaultPlane(network, seed=seed)
-    install_standard_faults(plane, site, period=period, rounds=rounds)
+        detector = races.RaceDetector.standard(clock)
+        gw.race_detector = detector
+    with _maybe_detect(detector):
+        for _ in range(max(0, warmup_rounds)):
+            gw.query(urls, sql, mode=QueryMode.REALTIME)
+            clock.advance(period)
 
-    report = ChaosReport(
-        seed=seed, rounds=rounds, hedging=hedging, fanout=fanout, deadline=deadline
-    )
-    digest = hashlib.sha256()
-    started = clock.now()
-    for i in range(rounds):
-        result = gw.query(urls, sql, mode=QueryMode.REALTIME)
-        report.latencies.append(result.elapsed)
-        if all(s.ok for s in result.statuses):
-            report.ok_rounds += 1
-        digest.update(
-            repr(
-                (
-                    i,
-                    result.columns,
-                    result.rows,
-                    [
-                        (s.url, s.ok, s.rows, s.from_cache, s.degraded, s.error)
-                        for s in result.statuses
-                    ],
-                )
-            ).encode()
+        plane = FaultPlane(network, seed=seed)
+        install_standard_faults(plane, site, period=period, rounds=rounds)
+
+        report = ChaosReport(
+            seed=seed, rounds=rounds, hedging=hedging, fanout=fanout, deadline=deadline
         )
-        clock.advance(period)
-    # Drain anything still scheduled (fault heals, breaker re-probes) so
-    # the invariant checks see the settled end state.
-    clock.advance(10 * period)
+        digest = hashlib.sha256()
+        started = clock.now()
+        for i in range(rounds):
+            result = gw.query(urls, sql, mode=QueryMode.REALTIME)
+            report.latencies.append(result.elapsed)
+            if all(s.ok for s in result.statuses):
+                report.ok_rounds += 1
+            digest.update(
+                repr(
+                    (
+                        i,
+                        result.columns,
+                        result.rows,
+                        [
+                            (s.url, s.ok, s.rows, s.from_cache, s.degraded, s.error)
+                            for s in result.statuses
+                        ],
+                    )
+                ).encode()
+            )
+            clock.advance(period)
+        # Drain anything still scheduled (fault heals, breaker re-probes) so
+        # the invariant checks see the settled end state.
+        clock.advance(10 * period)
+
+    if detector is not None:
+        report.race_findings = [f.format() for f in detector.report()]
+        report.race_accesses = detector.accesses_noted
 
     report.signature = digest.hexdigest()
     report.elapsed_virtual = clock.now() - started

@@ -13,6 +13,10 @@ everything is simulated) and exercises it:
 * ``crashtest`` — seeded kill/recover/verify loops over the durable
   history store: crash the disk (torn writes, bit rot), rebuild the
   gateway, and hold recovery to the acked-prefix equality;
+* ``racecheck`` — determinism sanitizer, dynamic side: run the standard
+  chaos scenario twice in lockstep (race detector on, then off), report
+  GRM55x lane races, and bisect the first diverging round / trace span /
+  WAL frame if replay identity breaks;
 * ``trace``     — run a query, print its hop-by-hop span tree, verify the
   trace invariants, and dump the metrics registry;
 * ``schema``    — print the GLUE schema (``--xml`` for the XML rendering);
@@ -136,8 +140,13 @@ def cmd_chaos(args) -> int:
         fanout=not args.no_fanout,
         deadline=args.deadline,
         period=args.period,
+        race_detect=args.race_detect,
     )
     print(report.format())
+    if report.race_findings:
+        for finding in report.race_findings:
+            print(f"# lane race: {finding}", file=sys.stderr)
+        return 1
     if report.breaker_violations:
         for violation in report.breaker_violations:
             print(f"# breaker invariant violated: {violation}", file=sys.stderr)
@@ -167,11 +176,45 @@ def cmd_crashtest(args) -> int:
         fsync_interval=args.fsync_interval,
         checkpoint_every=args.checkpoint_every,
         period=args.period,
+        race_detect=args.race_detect,
     )
     print(report.format())
+    if report.race_findings:
+        for finding in report.race_findings:
+            print(f"# lane race: {finding}", file=sys.stderr)
+        return 1
     if report.violations:
         for violation in report.violations:
             print(f"# durability invariant violated: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_racecheck(args) -> int:
+    from repro.racecheck import run_racecheck
+
+    agents = tuple(args.agents.split(",")) if args.agents else ("snmp", "ganglia")
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    failed = 0
+    for i, seed in enumerate(seeds):
+        report = run_racecheck(
+            seed=seed,
+            rounds=args.rounds,
+            hosts=args.hosts,
+            agents=agents,
+            period=args.period,
+        )
+        if i:
+            print()
+        print(report.format())
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"# {failed}/{len(seeds)} seed(s) failed", file=sys.stderr)
         return 1
     return 0
 
@@ -243,6 +286,7 @@ def cmd_lint(args) -> int:
         lint_paths,
         load_baseline,
         render_flat,
+        render_json,
         render_tree,
         write_baseline,
     )
@@ -261,7 +305,9 @@ def cmd_lint(args) -> int:
         n = write_baseline(args.write_baseline, report)
         print(f"# wrote {n} fingerprint(s) to {args.write_baseline}")
         return 0
-    render = render_tree if args.format == "tree" else render_flat
+    render = {"tree": render_tree, "flat": render_flat, "json": render_json}[
+        args.format
+    ]
     print(render(report))
     return 1 if report.findings else 0
 
@@ -339,6 +385,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--no-fanout", action="store_true", help="disable concurrent fan-out"
     )
+    p.add_argument(
+        "--race-detect",
+        action="store_true",
+        help="run under the virtual-lane race detector (GRM55x findings fail)",
+    )
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -366,7 +417,31 @@ def main(argv: list[str] | None = None) -> int:
         default=2,
         help="checkpoint every N rounds (0 = only at recovery)",
     )
+    p.add_argument(
+        "--race-detect",
+        action="store_true",
+        help="run under the virtual-lane race detector (GRM55x findings fail)",
+    )
     p.set_defaults(func=cmd_crashtest)
+
+    p = sub.add_parser(
+        "racecheck",
+        help="dual-run divergence check + virtual-lane race detection",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated seed list (overrides --seed)",
+    )
+    p.add_argument(
+        "--rounds", type=int, default=15, help="measured query rounds per run"
+    )
+    p.add_argument(
+        "--period", type=float, default=30.0, help="virtual seconds between rounds"
+    )
+    p.set_defaults(func=cmd_racecheck)
 
     p = sub.add_parser(
         "trace", help="run a query and print its hop-by-hop trace"
@@ -435,8 +510,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--format",
         default="tree",
-        choices=["tree", "flat"],
-        help="tree (console idiom) or flat (grep-friendly)",
+        choices=["tree", "flat", "json"],
+        help="tree (console idiom), flat (grep-friendly) or json (stable, "
+        "machine-readable)",
     )
     p.set_defaults(func=cmd_lint)
 

@@ -17,9 +17,11 @@ capacity evicts the least recently used entry and counts it in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.analysis import races
 from repro.obs.metrics import MetricsRegistry
 from repro.simnet.clock import VirtualClock
 
@@ -116,6 +118,10 @@ class CacheController:
         """A live cached result, or None.  ``max_age`` tightens the TTL
         per-request (a client may insist on fresher data)."""
         key = self.key(source_url, sql)
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "cache", f"{key[0]}|{key[1]}", "r", site="CacheController.lookup"
+            )
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -162,6 +168,17 @@ class CacheController:
             sql=sql,
         )
         key = self.key(source_url, sql)
+        if races.ACTIVE is not None:
+            digest = hashlib.sha256(
+                repr((entry.columns, entry.rows)).encode()
+            ).hexdigest()[:16]
+            races.ACTIVE.note(
+                "cache",
+                f"{key[0]}|{key[1]}",
+                "w",
+                digest=digest,
+                site="CacheController.store",
+            )
         self._entries.pop(key, None)
         self._entries[key] = entry
         if self.max_entries:

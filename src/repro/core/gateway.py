@@ -138,6 +138,10 @@ class Gateway:
             enabled=self.policy.tracing_enabled,
             max_traces=self.policy.trace_max_traces,
         )
+        # Harnesses that run this gateway under the virtual-lane race
+        # detector (chaos --race-detect, racecheck) attach it here so
+        # analyze() folds GRM55x findings into the admin report.
+        self.race_detector: Any | None = None
         # One health tracker shared by every manager: local sources are
         # keyed by their full JDBC URL, remote gateways by gma://<site>.
         self.health = HealthTracker(
@@ -711,7 +715,9 @@ class Gateway:
         * every persisted driver spec the start-up restore had to skip
           (GRM301 — the plug-in will silently be missing until fixed);
         * every installed alert rule's probe SQL, against the gateway's
-          GLUE schema (the compile-time query validator).
+          GLUE schema (the compile-time query validator);
+        * any GRM55x lane races from an attached race detector (set by
+          the chaos/racecheck harnesses when run with detection on).
 
         An admin-facing report, not a gate: registration stays permissive
         so operators can stage a driver and read its findings here.
@@ -731,6 +737,8 @@ class Gateway:
                     path=f"<alert:{rule.name}>",
                 )
             )
+        if self.race_detector is not None:
+            report.extend(self.race_detector.report())
         report.findings = report.sorted()
         return report
 

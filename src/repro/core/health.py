@@ -44,9 +44,11 @@ from __future__ import annotations
 
 import enum
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
+from repro.analysis import races
 from repro.core.policy import GatewayPolicy
 from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.simnet.clock import VirtualClock
@@ -136,6 +138,11 @@ class HealthTracker:
         self.on_transition = on_transition
         self._rng = random.Random(jitter_seed)
         self._sources: dict[str, SourceHealth] = {}
+        # Admission decisions pinned for the duration of one dispatched
+        # operation (see :meth:`pin`): key -> stack of frozen decisions,
+        # plus the observations buffered until the outermost pin exits.
+        self._pins: dict[str, list[bool]] = {}
+        self._deferred: dict[str, list[tuple[str, str]]] = {}
         self.stats = StatsView(
             registry if registry is not None else MetricsRegistry(),
             "health",
@@ -176,6 +183,19 @@ class HealthTracker:
         """
         if not self.policy.breaker_enabled:
             return True
+        pinned = self._pins.get(key)
+        if pinned:
+            # Admission for the enclosing operation was decided before
+            # its concurrent scope opened; re-checks inside the scope
+            # (retry attempts, hedge siblings) read that frozen decision
+            # rather than breaker state a sibling branch may be mutating
+            # — a pinned read is not a shared-state access, so no race
+            # note either.
+            return pinned[-1]
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "health", key, "r", site="HealthTracker.allow_request"
+            )
         entry = self._sources.get(key)
         if entry is None or entry.state is BreakerState.CLOSED:
             return True
@@ -189,10 +209,54 @@ class HealthTracker:
             return False
         return True  # HALF_OPEN: probes flow
 
+    @contextmanager
+    def pin(self, key: str, decision: bool) -> "Iterator[None]":
+        """Freeze ``allow_request(key)`` to ``decision`` for the block.
+
+        The request manager decides admission once, sequentially, before
+        handing the fetch to the (possibly hedged, possibly retried)
+        dispatch path; every breaker consult inside that operation then
+        sees the decision as it stood at launch.  Without this, a hedge
+        attempt's ``allow_request`` would read breaker state its
+        virtually-simultaneous sibling just wrote — admission would
+        depend on branch launch order (a GRM552 lane race).
+
+        Observations made while pinned (connect failures from hedge
+        siblings, retry attempts) are *deferred*: buffered, then applied
+        when the outermost pin exits, failures before successes.  Two
+        virtually-simultaneous attempts therefore contribute the same
+        end state whatever order the dispatcher happened to launch them
+        in — the write side of the same lane-race hazard.  Pins nest;
+        the innermost decision wins and deferral lasts until the
+        outermost exit.
+        """
+        stack = self._pins.setdefault(key, [])
+        stack.append(decision)
+        try:
+            yield
+        finally:
+            stack.pop()
+            if not stack:
+                del self._pins[key]
+                for kind, error in sorted(
+                    self._deferred.pop(key, ()), key=lambda o: o[0] == "s"
+                ):
+                    if kind == "s":
+                        self.record_success(key)
+                    else:
+                        self.record_failure(key, error)
+
     # ------------------------------------------------------------------
     # Outcome recording
     # ------------------------------------------------------------------
     def record_success(self, key: str) -> None:
+        if self._pins.get(key):
+            self._deferred.setdefault(key, []).append(("s", ""))
+            return
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "health", key, "w", site="HealthTracker.record_success"
+            )
         entry = self._entry(key)
         entry.total_successes += 1
         entry.consecutive_failures = 0
@@ -207,6 +271,13 @@ class HealthTracker:
                 self._transition(entry, BreakerState.CLOSED)
 
     def record_failure(self, key: str, error: str = "") -> None:
+        if self._pins.get(key):
+            self._deferred.setdefault(key, []).append(("f", error))
+            return
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "health", key, "w", site="HealthTracker.record_failure"
+            )
         entry = self._entry(key)
         entry.total_failures += 1
         entry.consecutive_failures += 1

@@ -24,6 +24,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
+from repro.analysis import races
 from repro.glue.schema import GlueSchema
 from repro.sql.ast_nodes import ColumnDef
 from repro.sql.database import Database
@@ -97,6 +98,16 @@ class HistoryStore:
         recorded_at: float,
     ) -> int:
         """Record GLUE rows for a group; returns the number stored."""
+        if races.ACTIVE is not None:
+            # Registered COMMUTATIVE: sibling-branch appends to one group
+            # interleave by launch order, but every row carries its own
+            # SourceUrl/RecordedAt provenance, so time-windowed readers
+            # (series, rollup, RecordedAt predicates) are insensitive to
+            # the interleaving.  A read racing the appends is still
+            # flagged (GRM552) — it would see a launch-order prefix.
+            races.ACTIVE.note(
+                "history", group_name, "w", site="HistoryStore.record"
+            )
         table = self._ensure_table(group_name)
         known = set(table.column_names)
         engine = self.engine
@@ -130,6 +141,10 @@ class HistoryStore:
         time ranges.
         """
         select = parse_select(sql)
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "history", select.table, "r", site="HistoryStore.query"
+            )
         self._ensure_table(select.table)
         table = self.db.table(self.schema.group(select.table).name)
         rows = table.rows
@@ -166,6 +181,10 @@ class HistoryStore:
         since: float | None = None,
     ) -> list[tuple[float, Any]]:
         """(RecordedAt, value) pairs for one field — the console's plots."""
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "history", group_name, "r", site="HistoryStore.series"
+            )
         if group_name not in self.db.tables:
             return []
         rows = self.db.table(group_name).rows

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import enum
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -521,59 +522,69 @@ class RequestManager:
         retry = RetryPolicy.from_gateway_policy(self.policy)
         fetch_started = self.clock.now()
         attempt = 0
-        while True:
-            attempt += 1
-            try:
-                with self.tracer.span("attempt", index=attempt):
-                    columns, rows = self.dispatcher.run_flight(
-                        url_text,
-                        sql,
-                        lambda: self._fetch(url, sql, info, deadline),
-                        hedge=reissuable,
+        # Admission was decided by the allow_request above; pin it for
+        # the whole operation so hedge siblings and retry attempts see
+        # the decision as of launch, not breaker state mid-mutation.
+        admission = (
+            self.health.pin(url_text, True)
+            if self.health is not None
+            else nullcontext()
+        )
+        with admission:
+            while True:
+                attempt += 1
+                try:
+                    with self.tracer.span("attempt", index=attempt):
+                        columns, rows = self.dispatcher.run_flight(
+                            url_text,
+                            sql,
+                            lambda: self._fetch(url, sql, info, deadline),
+                            hedge=reissuable,
+                        )
+                    break
+                except DeadlineExceededError as exc:
+                    # The end-to-end budget ran out mid-fetch: report it as
+                    # this source's outcome.  No health penalty (the source
+                    # was not proven unhealthy) and never a retry.
+                    self.stats["deadline_exceeded"] += 1
+                    self.stats["source_failures"] += 1
+                    span.annotate(attempts=attempt)
+                    span.fail(exc, status="deadline_exceeded")
+                    result.statuses.append(
+                        SourceStatus(url=url_text, ok=False, error=str(exc))
                     )
-                break
-            except DeadlineExceededError as exc:
-                # The end-to-end budget ran out mid-fetch: report it as
-                # this source's outcome.  No health penalty (the source
-                # was not proven unhealthy) and never a retry.
-                self.stats["deadline_exceeded"] += 1
-                self.stats["source_failures"] += 1
-                span.annotate(attempts=attempt)
-                span.fail(exc, status="deadline_exceeded")
-                result.statuses.append(
-                    SourceStatus(url=url_text, ok=False, error=str(exc))
-                )
-                return
-            except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
-                # Connect-stage failures (DataSourceError) were already
-                # recorded into the health tracker by the driver manager;
-                # post-connect transport failures are recorded here.  Syntax
-                # or mapping errors say nothing about source health.
-                if self.health is not None and isinstance(
-                    exc, (SQLConnectionException, SQLTimeoutException)
-                ):
-                    self.health.record_failure(url_text, str(exc))
-                transient = isinstance(
-                    exc, (SQLConnectionException, SQLTimeoutException, DataSourceError)
-                ) and not isinstance(exc, SourceQuarantinedError)
-                if transient and reissuable and attempt < retry.attempts:
-                    pause = retry.backoff(attempt, self._retry_rng)
-                    if deadline is not None and deadline.remaining() <= pause:
-                        # No budget left to back off and try again.
-                        self.stats["retry_giveups"] += 1
-                    elif retry_budget is not None and retry_budget.take():
-                        self.stats["retries"] += 1
-                        self.clock.advance(pause)
-                        continue
-                    elif retry_budget is not None:
-                        self.stats["retry_giveups"] += 1
-                self.stats["source_failures"] += 1
-                span.annotate(attempts=attempt)
-                span.fail(exc)
-                result.statuses.append(
-                    SourceStatus(url=url_text, ok=False, error=str(exc))
-                )
-                return
+                    return
+                except (DataSourceError, NoSuitableDriverError, SQLException) as exc:
+                    # Connect-stage failures (DataSourceError) were already
+                    # recorded into the health tracker by the driver manager;
+                    # post-connect transport failures are recorded here.  Syntax
+                    # or mapping errors say nothing about source health.
+                    if self.health is not None and isinstance(
+                        exc, (SQLConnectionException, SQLTimeoutException)
+                    ):
+                        self.health.record_failure(url_text, str(exc))
+                    transient = isinstance(
+                        exc,
+                        (SQLConnectionException, SQLTimeoutException, DataSourceError),
+                    ) and not isinstance(exc, SourceQuarantinedError)
+                    if transient and reissuable and attempt < retry.attempts:
+                        pause = retry.backoff(attempt, self._retry_rng)
+                        if deadline is not None and deadline.remaining() <= pause:
+                            # No budget left to back off and try again.
+                            self.stats["retry_giveups"] += 1
+                        elif retry_budget is not None and retry_budget.take():
+                            self.stats["retries"] += 1
+                            self.clock.advance(pause)
+                            continue
+                        elif retry_budget is not None:
+                            self.stats["retry_giveups"] += 1
+                    self.stats["source_failures"] += 1
+                    span.annotate(attempts=attempt)
+                    span.fail(exc)
+                    result.statuses.append(
+                        SourceStatus(url=url_text, ok=False, error=str(exc))
+                    )
+                    return
         if self.health is not None:
             self.health.record_success(url_text)
         self.stats["realtime_fetches"] += 1

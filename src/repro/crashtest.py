@@ -66,6 +66,11 @@ class CrashtestReport:
     signature: str = ""
     elapsed_virtual: float = 0.0
     faults: dict[str, Any] = field(default_factory=dict)
+    #: GRM55x lane-race findings (``race_detect=True`` runs only; must
+    #: be empty — recovery paths must not share state across branches).
+    race_findings: list[str] = field(default_factory=list)
+    #: State accesses the race detector inspected (0 = detection off).
+    race_accesses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -88,6 +93,8 @@ class CrashtestReport:
             "signature": self.signature,
             "elapsed_virtual": self.elapsed_virtual,
             "faults": dict(self.faults),
+            "race_findings": list(self.race_findings),
+            "race_accesses": self.race_accesses,
         }
 
     def format(self) -> str:
@@ -103,6 +110,11 @@ class CrashtestReport:
             f"  elapsed (virtual): {self.elapsed_virtual:.3f}s",
             f"  replay signature: {self.signature[:16]}…",
         ]
+        if self.race_accesses:
+            lines.append(
+                f"  lane races: {len(self.race_findings)} finding(s) over "
+                f"{self.race_accesses} shared-state accesses"
+            )
         if self.violations:
             lines.append(f"  VIOLATIONS ({len(self.violations)}):")
             for v in self.violations:
@@ -145,6 +157,7 @@ def run_crashtest(
     checkpoint_every: int = 2,
     period: float = 30.0,
     sql: str = "SELECT * FROM Processor",
+    race_detect: bool = False,
 ) -> CrashtestReport:
     """Run seeded kill/recover/verify cycles; returns the report.
 
@@ -155,6 +168,11 @@ def run_crashtest(
     RNG), the gateway is killed, and a successor is built on the same
     disk.  Violations are collected, never raised — the caller (CLI,
     CI's crash-smoke job) decides what a non-empty list means.
+
+    ``race_detect=True`` runs every cycle (query rounds *and* the
+    crash/recover machinery) under the virtual-lane race detector; any
+    unordered-branch shared-state access lands in
+    ``report.race_findings`` as a GRM55x line.
     """
     if cycles < 1 or rounds < 1:
         raise ValueError("cycles and rounds must be >= 1")
@@ -196,6 +214,69 @@ def run_crashtest(
     digest = hashlib.sha256()
     started = clock.now()
 
+    detector = None
+    if race_detect:
+        from repro.analysis import races
+
+        detector = races.RaceDetector.standard(clock)
+        gw.race_detector = detector
+        ambient = races.activate(detector)
+        ambient.__enter__()
+    try:
+        _run_cycles(
+            report,
+            digest,
+            cycles=cycles,
+            rounds=rounds,
+            checkpoint_every=checkpoint_every,
+            period=period,
+            sql=sql,
+            clock=clock,
+            network=network,
+            disk=disk,
+            policy=policy,
+            persistent_store=persistent_store,
+            site=site,
+            plane=plane,
+            rng=rng,
+            gw=gw,
+            urls=urls,
+            detector=detector,
+        )
+    finally:
+        if race_detect:
+            ambient.__exit__(None, None, None)
+    if detector is not None:
+        report.race_findings = [f.format() for f in detector.findings]
+        report.race_accesses = detector.accesses_noted
+
+    report.signature = digest.hexdigest()
+    report.elapsed_virtual = clock.now() - started
+    report.faults = plane.stats.as_dict()
+    return report
+
+
+def _run_cycles(
+    report: CrashtestReport,
+    digest: Any,
+    *,
+    cycles: int,
+    rounds: int,
+    checkpoint_every: int,
+    period: float,
+    sql: str,
+    clock: VirtualClock,
+    network: Network,
+    disk: SimDisk,
+    policy: GatewayPolicy,
+    persistent_store: dict[str, str],
+    site: Any,
+    plane: FaultPlane,
+    rng: random.Random,
+    gw: Gateway,
+    urls: list[str],
+    detector: Any,
+) -> None:
     for cycle in range(cycles):
         for r in range(rounds):
             gw.query(urls, sql, mode=QueryMode.REALTIME)
@@ -233,6 +314,8 @@ def run_crashtest(
             disk=disk,
             persistent_store=persistent_store,
         )
+        if detector is not None:
+            gw.race_detector = detector
         new_engine = gw.history_engine
         assert new_engine is not None
         recovery = new_engine.recovery_report
@@ -293,8 +376,3 @@ def run_crashtest(
                 )
             ).encode()
         )
-
-    report.signature = digest.hexdigest()
-    report.elapsed_virtual = clock.now() - started
-    report.faults = plane.stats.as_dict()
-    return report

@@ -442,7 +442,7 @@ class GridRmDriver(Driver):
         # Normalise case against the group's canonical field names.
         canonical = {f.lower(): f for f in group_fields}
         out = []
-        for n in needed:
+        for n in sorted(needed):
             hit = canonical.get(n.lower())
             if hit is not None:
                 out.append(hit)

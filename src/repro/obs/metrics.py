@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Any, Iterator, MutableMapping
 
+from repro.analysis import races
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.clock import VirtualClock
 
@@ -51,11 +53,15 @@ class Counter:
 
     def inc(self) -> None:
         self._value += 1
+        if races.ACTIVE is not None:
+            races.ACTIVE.note("metrics.counter", self.name, "w", site="Counter.inc")
 
     def add(self, delta: float) -> None:
         if delta < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease: {delta!r}")
         self._value += delta
+        if races.ACTIVE is not None:
+            races.ACTIVE.note("metrics.counter", self.name, "w", site="Counter.add")
 
     def reset(self) -> None:
         self._value = 0
@@ -79,9 +85,20 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self._value = value
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "metrics.gauge", self.name, "w",
+                digest=repr(value), site="Gauge.set",
+            )
 
     def add(self, delta: float) -> None:
         self._value += delta
+        if races.ACTIVE is not None:
+            # Deltas commute (in-flight up/down ticks from sibling
+            # branches are fine); only absolute set() is last-write-wins.
+            races.ACTIVE.note(
+                "metrics.gauge.delta", self.name, "w", site="Gauge.add"
+            )
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self._value!r})"
@@ -113,6 +130,10 @@ class Histogram:
             raise ValueError(f"histogram {self.name!r} takes values >= 0: {value!r}")
         self.count += 1
         self.total += value
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "metrics.histogram", self.name, "w", site="Histogram.record"
+            )
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -134,6 +155,10 @@ class Histogram:
         """The ``q``-th percentile estimate (``0 < q <= 100``)."""
         if not 0 < q <= 100:
             raise ValueError(f"quantile out of range (0, 100]: {q!r}")
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "metrics.histogram", self.name, "r", site="Histogram.quantile"
+            )
         if not self.count:
             return 0.0
         rank = max(1, math.ceil(self.count * (q / 100.0)))

@@ -1,0 +1,308 @@
+"""Lockstep dual-run divergence harness: ``python -m repro racecheck``.
+
+The dynamic half of the determinism sanitizer.  The virtual-lane race
+detector (:mod:`repro.analysis.races`) catches unordered-branch sharing
+*as it happens*; this harness proves the end-to-end property the whole
+system claims — that a seeded scenario is a pure function of its seed —
+by running the standard chaos scenario **twice in lockstep** and
+comparing three independent evidence streams:
+
+* **per-round result digests** — columns, rows and per-source statuses
+  of every query round (the client-visible surface);
+* **trace renders** — the retained query traces' deterministic ASCII
+  renders (the observability surface, byte-identical by design);
+* **WAL frame digests** — the durable history's write-ahead-log frames
+  (the storage surface).
+
+Run 1 executes under the race detector; run 2 does not.  Matching
+streams therefore also prove the detector's hooks are pure observers.
+On mismatch the harness *bisects*: it names the first diverging round,
+the first diverging trace (and the first differing line inside it), or
+the first diverging WAL frame — the instant replay identity broke, not
+just the fact that it did.
+
+Chaos runs get the same check per-seed via ``repro chaos
+--verify-replay``; CI's ``racecheck-smoke`` job runs this harness over a
+seed matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis import races
+from repro.core.policy import GatewayPolicy
+from repro.core.request_manager import QueryMode
+from repro.simnet.clock import VirtualClock
+from repro.simnet.faults import FaultPlane
+from repro.simnet.network import Network
+from repro.storage.simdisk import SimDisk
+from repro.storage.wal import read_frames
+from repro.testbed import build_site
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
+@dataclass
+class _Capture:
+    """Everything one scenario run leaves behind for comparison."""
+
+    round_digests: list[str] = field(default_factory=list)
+    trace_renders: list[str] = field(default_factory=list)
+    wal_frames: list[str] = field(default_factory=list)
+    wal_tail: str = ""
+    race_findings: list[str] = field(default_factory=list)
+    race_accesses: int = 0
+
+
+@dataclass
+class RacecheckReport:
+    """Outcome of one dual-run divergence check."""
+
+    seed: int
+    rounds: int
+    #: GRM55x findings from the detector (run 1) — must be empty.
+    race_findings: list[str] = field(default_factory=list)
+    #: Shared-state accesses the detector inspected in run 1.
+    race_accesses: int = 0
+    #: Bisected divergence descriptions — must be empty.
+    divergence: list[str] = field(default_factory=list)
+    rounds_compared: int = 0
+    traces_compared: int = 0
+    wal_frames_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.race_findings and not self.divergence
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "race_findings": list(self.race_findings),
+            "race_accesses": self.race_accesses,
+            "divergence": list(self.divergence),
+            "rounds_compared": self.rounds_compared,
+            "traces_compared": self.traces_compared,
+            "wal_frames_compared": self.wal_frames_compared,
+            "ok": self.ok,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"Racecheck: seed={self.seed}, {self.rounds} rounds, dual run",
+            f"  lane races: {len(self.race_findings)} finding(s) over "
+            f"{self.race_accesses} shared-state accesses",
+            f"  lockstep compare: {self.rounds_compared} rounds, "
+            f"{self.traces_compared} traces, "
+            f"{self.wal_frames_compared} WAL frames",
+        ]
+        for finding in self.race_findings:
+            lines.append(f"    {finding}")
+        if self.divergence:
+            lines.append(f"  DIVERGENCE ({len(self.divergence)}):")
+            for d in self.divergence:
+                lines.append(f"    - {d}")
+        else:
+            lines.append("  replay identity: OK (all three streams identical)")
+        return "\n".join(lines)
+
+
+def _run_once(
+    *,
+    seed: int,
+    rounds: int,
+    hosts: int,
+    agents: Sequence[str],
+    period: float,
+    deadline: float,
+    warmup_rounds: int,
+    sql: str,
+    race_detect: bool,
+) -> _Capture:
+    """One full scenario run; returns its evidence streams."""
+    from repro.chaos import install_standard_faults
+
+    clock = VirtualClock()
+    network = Network(clock, seed=seed)
+    disk = SimDisk(
+        clock=clock, write_latency=0.0002, fsync_latency=0.002, read_latency=0.0005
+    )
+    policy = GatewayPolicy(
+        hedge_enabled=True,
+        fanout_enabled=True,
+        retry_attempts=2,
+        default_deadline=deadline,
+        history_durable=True,
+        # One WAL generation for the whole run: every frame stays
+        # comparable by index (rotation would reshuffle file names).
+        history_checkpoint_interval=0.0,
+    )
+    site = build_site(
+        network,
+        name="racecheck",
+        n_hosts=hosts,
+        agents=tuple(agents),
+        seed=seed,
+        policy=policy,
+        disk=disk,
+    )
+    gw = site.gateway
+    clock.advance(60.0)
+    urls = list(site.source_urls)
+
+    capture = _Capture()
+    detector = races.RaceDetector.standard(clock) if race_detect else None
+    if detector is not None:
+        gw.race_detector = detector
+    ambient = races.activate(detector) if detector is not None else None
+    if ambient is not None:
+        ambient.__enter__()
+    try:
+        for _ in range(max(0, warmup_rounds)):
+            gw.query(urls, sql, mode=QueryMode.REALTIME)
+            clock.advance(period)
+
+        plane = FaultPlane(network, seed=seed)
+        install_standard_faults(plane, site, period=period, rounds=rounds)
+
+        for i in range(rounds):
+            result = gw.query(urls, sql, mode=QueryMode.REALTIME)
+            capture.round_digests.append(
+                _digest(
+                    (
+                        i,
+                        result.columns,
+                        result.rows,
+                        [
+                            (s.url, s.ok, s.rows, s.from_cache, s.degraded, s.error)
+                            for s in result.statuses
+                        ],
+                    )
+                )
+            )
+            clock.advance(period)
+        clock.advance(10 * period)
+    finally:
+        if ambient is not None:
+            ambient.__exit__(None, None, None)
+
+    if detector is not None:
+        capture.race_findings = [f.format() for f in detector.report()]
+        capture.race_accesses = detector.accesses_noted
+
+    capture.trace_renders = [t.render() for t in gw.tracer.traces()]
+
+    engine = gw.history_engine
+    if engine is not None:
+        engine.sync()
+        frames, tail, _ = read_frames(disk.read(engine.wal.path))
+        capture.wal_frames = [
+            hashlib.sha256(f).hexdigest()[:16] for f in frames
+        ]
+        capture.wal_tail = tail
+    return capture
+
+
+def _first_diff_line(a: str, b: str) -> tuple[int, str, str]:
+    """(1-based line number, line from a, line from b) of the first
+    differing line between two renders."""
+    lines_a = a.splitlines()
+    lines_b = b.splitlines()
+    for i, (la, lb) in enumerate(zip(lines_a, lines_b)):
+        if la != lb:
+            return i + 1, la, lb
+    n = min(len(lines_a), len(lines_b))
+    return (
+        n + 1,
+        lines_a[n] if n < len(lines_a) else "<absent>",
+        lines_b[n] if n < len(lines_b) else "<absent>",
+    )
+
+
+def _bisect_streams(run1: _Capture, run2: _Capture, report: RacecheckReport) -> None:
+    """Compare the three evidence streams; name the first divergence."""
+    report.rounds_compared = min(len(run1.round_digests), len(run2.round_digests))
+    for i, (d1, d2) in enumerate(zip(run1.round_digests, run2.round_digests)):
+        if d1 != d2:
+            report.divergence.append(
+                f"round {i}: result digest {d1} != {d2} — first diverging "
+                "query round (rows/statuses differ between runs)"
+            )
+            break
+
+    report.traces_compared = min(len(run1.trace_renders), len(run2.trace_renders))
+    if len(run1.trace_renders) != len(run2.trace_renders):
+        report.divergence.append(
+            f"trace count differs: {len(run1.trace_renders)} != "
+            f"{len(run2.trace_renders)}"
+        )
+    for i, (t1, t2) in enumerate(zip(run1.trace_renders, run2.trace_renders)):
+        if t1 != t2:
+            line, la, lb = _first_diff_line(t1, t2)
+            report.divergence.append(
+                f"trace {i} line {line}: first diverging span line: "
+                f"{la!r} != {lb!r}"
+            )
+            break
+
+    report.wal_frames_compared = min(len(run1.wal_frames), len(run2.wal_frames))
+    if len(run1.wal_frames) != len(run2.wal_frames):
+        report.divergence.append(
+            f"WAL frame count differs: {len(run1.wal_frames)} != "
+            f"{len(run2.wal_frames)}"
+        )
+    for i, (f1, f2) in enumerate(zip(run1.wal_frames, run2.wal_frames)):
+        if f1 != f2:
+            report.divergence.append(
+                f"WAL frame {i}: digest {f1} != {f2} — first diverging "
+                "durable history frame"
+            )
+            break
+    if run1.wal_tail != run2.wal_tail:
+        report.divergence.append(
+            f"WAL tail classification differs: {run1.wal_tail!r} != "
+            f"{run2.wal_tail!r}"
+        )
+
+
+def run_racecheck(
+    *,
+    seed: int = 0,
+    rounds: int = 15,
+    hosts: int = 4,
+    agents: Sequence[str] = ("snmp", "ganglia"),
+    period: float = 30.0,
+    deadline: float = 10.0,
+    warmup_rounds: int = 10,
+    sql: str = "SELECT * FROM Processor",
+) -> RacecheckReport:
+    """Run the scenario twice (detector on, then off) and compare.
+
+    Returns a :class:`RacecheckReport`; ``report.ok`` is True iff the
+    detector saw no lane races *and* the two runs were byte-identical
+    across rounds, traces and WAL frames.  Never raises on divergence —
+    the caller (CLI, CI) decides what a red report means.
+    """
+    kwargs = dict(
+        seed=seed,
+        rounds=rounds,
+        hosts=hosts,
+        agents=agents,
+        period=period,
+        deadline=deadline,
+        warmup_rounds=warmup_rounds,
+        sql=sql,
+    )
+    run1 = _run_once(race_detect=True, **kwargs)
+    run2 = _run_once(race_detect=False, **kwargs)
+
+    report = RacecheckReport(seed=seed, rounds=rounds)
+    report.race_findings = run1.race_findings
+    report.race_accesses = run1.race_accesses
+    _bisect_streams(run1, run2, report)
+    return report

@@ -66,6 +66,25 @@ class VirtualClock:
         # moves on a branch-private timeline and scheduled callbacks stay
         # queued (they fire exactly once, when the outermost scope joins).
         self._branch_depth = 0
+        # Lane stack: one (scope_id, branch_index) frame per active
+        # nested branch.  The tuple snapshot (``lane``) names the branch
+        # currently executing; the race detector's happens-before
+        # relation is defined over these vectors (see
+        # repro.analysis.races).  Empty tuple = sequential context.
+        self._scope_seq = itertools.count(1)
+        self._lane: list[tuple[int, int]] = []
+
+    @property
+    def lane(self) -> tuple[tuple[int, int], ...]:
+        """The executing branch's lane vector (empty when sequential).
+
+        Each frame is ``(scope_id, branch_index)`` for one level of
+        :class:`ConcurrentScope` nesting, outermost first.  Two lane
+        vectors are *unordered* (virtually simultaneous) iff at the
+        first frame where they differ the scope ids are equal but the
+        branch indices are not — sibling branches of one scope.
+        """
+        return tuple(self._lane)
 
     def now(self) -> float:
         """Current virtual time in seconds."""
@@ -196,18 +215,28 @@ class ConcurrentScope:
         self.started_at = clock.now()
         self._ends: list[float] = []
         self._joined = False
+        self.scope_id = next(clock._scope_seq)
+        self._branch_seq = itertools.count()
 
     @contextmanager
     def branch(self) -> Iterator[None]:
-        """Run the ``with`` body as one concurrent branch of this scope."""
+        """Run the ``with`` body as one concurrent branch of this scope.
+
+        Each branch gets a ``(scope_id, branch_index)`` lane frame pushed
+        onto the clock's lane stack for its duration; the race detector
+        uses the resulting lane vectors to decide which state accesses
+        were virtually simultaneous.
+        """
         if self._joined:
             raise RuntimeError("ConcurrentScope already joined")
         clock = self._clock
         clock._branch_depth += 1
         clock._now = self.started_at
+        clock._lane.append((self.scope_id, next(self._branch_seq)))
         try:
             yield
         finally:
+            clock._lane.pop()
             self._ends.append(clock._now)
             clock._branch_depth -= 1
             clock._now = self.started_at

@@ -1,5 +1,7 @@
 """The lint driver: path walking, baselines, rendering, CLI."""
 
+import json
+
 import pytest
 
 from repro.analysis.findings import AnalysisReport, Finding, Severity
@@ -8,6 +10,7 @@ from repro.analysis.linter import (
     lint_paths,
     load_baseline,
     render_flat,
+    render_json,
     render_tree,
     summary_line,
     write_baseline,
@@ -58,6 +61,15 @@ class TestLintPaths:
 
     def test_repo_src_is_clean(self):
         report = lint_paths(["src"])
+        assert report.findings == [], render_flat(report)
+
+    def test_walk_covers_storage_and_harnesses(self):
+        """The determinism sanitizer's blast radius includes the
+        durability layer and the chaos/crash/race harnesses."""
+        report = lint_paths(
+            ["src/repro/storage", "src/repro/crashtest.py", "src/repro/racecheck.py"]
+        )
+        assert report.files_scanned >= 5
         assert report.findings == [], render_flat(report)
 
     def test_unreadable_file_is_grm100(self, tmp_path):
@@ -122,6 +134,47 @@ class TestRendering:
         assert "2 baselined" in summary_line(report)
 
 
+class TestJsonRendering:
+    def test_json_is_stable_and_sorted(self, tree):
+        report = lint_paths([str(tree)])
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 2
+        # Canonical finding order: (path, line, rule_id, message).
+        assert [f["rule_id"] for f in payload["findings"]] == ["GRM102", "GRM101"]
+        keys = [(f["path"], f["line"], f["rule_id"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+    def test_json_round_trips_every_finding_field(self, tree):
+        report = lint_paths([str(tree)])
+        payload = json.loads(render_json(report))
+        first = payload["findings"][0]
+        assert set(first) == {
+            "rule_id",
+            "severity",
+            "path",
+            "line",
+            "symbol",
+            "message",
+            "fingerprint",
+        }
+        assert first["severity"] in ("error", "warning", "info")
+
+    def test_json_rendering_is_byte_deterministic(self, tree):
+        report = lint_paths([str(tree)])
+        assert render_json(report) == render_json(lint_paths([str(tree)]))
+
+    def test_tree_and_flat_renders_unchanged_by_json_addition(self, tree):
+        # The human formats must stay byte-identical whether or not
+        # anyone ever calls render_json on the same report.
+        report = lint_paths([str(tree)])
+        before_tree = render_tree(report)
+        before_flat = render_flat(report)
+        render_json(report)
+        assert render_tree(report) == before_tree
+        assert render_flat(report) == before_flat
+
+
 class TestCli:
     def test_lint_dirty_exits_1(self, tree, capsys):
         rc = cli_main(["lint", str(tree)])
@@ -156,3 +209,14 @@ class TestCli:
         cli_main(["lint", str(tree), "--format", "flat"])
         out = capsys.readouterr().out
         assert "[error] GRM101" in out
+
+    def test_json_format(self, tree, capsys):
+        rc = cli_main(["lint", str(tree), "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rule_id"] for f in payload["findings"]] == ["GRM102", "GRM101"]
+
+    def test_json_format_clean_exits_0(self, tree, capsys):
+        rc = cli_main(["lint", str(tree / "pkg" / "clean.py"), "--format", "json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["findings"] == []
