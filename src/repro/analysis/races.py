@@ -151,6 +151,9 @@ class RaceDetector:
         det.register("metrics.gauge", Discipline.EXCLUSIVE)
         det.register("metrics.gauge.delta", Discipline.COMMUTATIVE)
         det.register("cache", Discipline.VALUE)
+        # Plan-cache puts are idempotent by construction: one normalised
+        # SQL key always compiles to the same plan.
+        det.register("plans", Discipline.VALUE)
         det.register("history", Discipline.COMMUTATIVE)
         det.register("health", Discipline.EXCLUSIVE)
         return det

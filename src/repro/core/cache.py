@@ -41,16 +41,56 @@ class CachedResult:
 
 
 def normalise_sql(sql: str) -> str:
-    """Collapse whitespace and case-fold keywords-ish for cache keying.
+    """Collapse whitespace and case-fold keywords/identifiers for cache keying.
 
     Deliberately cheap: semantically equal but textually different
-    queries may miss, which only costs a refetch.
+    queries may miss, which only costs a refetch.  Quoted string
+    literals are preserved **verbatim** (case and internal whitespace):
+    ``WHERE Name = 'A'`` and ``WHERE Name = 'a'`` select different rows,
+    so they must not collide on one cache/single-flight key.  Doubled
+    quotes inside a literal (``'it''s'``) stay inside it; an
+    unterminated literal is kept verbatim to the end of the string.
     """
-    text = " ".join(sql.split())
+    out: list[str] = []
+    i, n = 0, len(sql)
+    while i < n:
+        quote = sql[i]
+        if quote in ("'", '"'):
+            # Quoted literal: copy through the closing quote unchanged.
+            j = i + 1
+            while j < n:
+                if sql[j] == quote:
+                    if j + 1 < n and sql[j + 1] == quote:
+                        j += 2  # escaped quote, still inside the literal
+                        continue
+                    j += 1
+                    break
+                j += 1
+            out.append(sql[i:j])
+            i = j
+            continue
+        j = i
+        while j < n and sql[j] not in ("'", '"'):
+            j += 1
+        segment = sql[i:j]
+        collapsed = " ".join(segment.split()).lower()
+        if collapsed:
+            # Keep a single space where the raw text separated this
+            # segment from an adjacent literal.
+            if segment[0].isspace() and out:
+                collapsed = " " + collapsed
+            if segment[-1].isspace() and j < n:
+                collapsed = collapsed + " "
+        elif out and j < n:
+            # Whitespace-only gap between two literals.
+            collapsed = " "
+        out.append(collapsed)
+        i = j
+    text = "".join(out)
     # Strip any run of trailing semicolons/whitespace (idempotently).
     while text and text[-1] in "; \t":
         text = text[:-1]
-    return text.lower()
+    return text
 
 
 class CacheController:

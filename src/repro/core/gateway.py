@@ -30,6 +30,7 @@ from repro.core.errors import DeadlineExceededError, GridRmError
 from repro.core.events import Event, EventManager, SnmpTrapEventDriver
 from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.history import HistoryStore
+from repro.core.plans import PlanCache
 from repro.core.policy import GatewayPolicy
 from repro.core.request_manager import (
     QueryMode,
@@ -216,6 +217,16 @@ class Gateway:
         self.dispatcher = FanoutDispatcher(
             network.clock, self.policy, registry=self.metrics, tracer=self.tracer
         )
+        # One plan cache for the whole gateway, invalidated whenever the
+        # SchemaManager's version moves (every mapping change bumps it):
+        # parse + GLUE validation + compilation happen once per distinct
+        # query text, not once per request.
+        self.plans = PlanCache(
+            self.schema_manager.schema,
+            version_fn=lambda: self.schema_manager.version,
+            registry=self.metrics,
+            tracer=self.tracer,
+        )
         self.request_manager = RequestManager(
             self.connection_manager,
             self.cache,
@@ -225,6 +236,7 @@ class Gateway:
             dispatcher=self.dispatcher,
             registry=self.metrics,
             tracer=self.tracer,
+            plans=self.plans,
         )
         self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
         self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)

@@ -32,6 +32,7 @@ from repro.sql.executor import SelectResult
 from repro.sql.parser import parse_select
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.plan import CompiledPlan
     from repro.storage.engine import HistoryEngine
 
 #: Provenance columns appended to every history table.
@@ -132,15 +133,27 @@ class HistoryStore:
         return n
 
     # ------------------------------------------------------------------
-    def query(self, sql: str, *, source_url: str | None = None) -> SelectResult:
+    def query(
+        self,
+        sql: str,
+        *,
+        source_url: str | None = None,
+        plan: "CompiledPlan | None" = None,
+    ) -> SelectResult:
         """Run a client SELECT against a group's history.
 
         ``source_url`` optionally narrows to one data source's records —
         the RequestManager passes the URL of the source the client
         addressed.  The WHERE clause may reference ``RecordedAt`` for
-        time ranges.
+        time ranges.  ``plan`` (a compiled plan for this exact ``sql``,
+        from the gateway's plan cache) skips the parse and evaluates the
+        scan with precompiled closures — column names resolved against
+        the table layout once instead of once per row.
         """
-        select = parse_select(sql)
+        if plan is not None:
+            select = plan.select
+        else:
+            select = parse_select(sql)
         if races.ACTIVE is not None:
             races.ACTIVE.note(
                 "history", select.table, "r", site="HistoryStore.query"
@@ -150,6 +163,8 @@ class HistoryStore:
         rows = table.rows
         if source_url is not None:
             rows = [r for r in rows if r.get("SourceUrl") == source_url]
+        if plan is not None:
+            return plan.bind_mapping(tuple(table.column_names)).execute(rows)
         from repro.sql.executor import execute_select
 
         return execute_select(select, table.column_names, rows)

@@ -38,7 +38,6 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.analysis.query_check import validate_select
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
 from repro.core.deadline import Deadline
@@ -54,6 +53,7 @@ from repro.core.errors import (
 from repro.core.health import HealthTracker
 from repro.core.retry import RetryBudget, RetryPolicy
 from repro.core.history import HistoryStore
+from repro.core.plans import PlanCache
 from repro.core.policy import GatewayPolicy
 from repro.dbapi.exceptions import (
     SQLConnectionException,
@@ -65,7 +65,7 @@ from repro.dbapi.url import JdbcUrl
 from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.obs.trace import NO_TRACER, Tracer
 from repro.sql.errors import SqlError
-from repro.sql.parser import parse_select
+from repro.sql.plan import CompiledPlan, join_rows
 
 
 class QueryMode(enum.Enum):
@@ -171,6 +171,7 @@ class RequestManager:
         dispatcher: FanoutDispatcher | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        plans: "PlanCache | None" = None,
     ) -> None:
         self.connection_manager = connection_manager
         self.cache = cache
@@ -191,6 +192,17 @@ class RequestManager:
             dispatcher
             if dispatcher is not None
             else FanoutDispatcher(self.clock, policy)
+        )
+        #: Parse + validate + compile each distinct query exactly once.
+        #: The Gateway injects a shared, schema-versioned cache; a
+        #: standalone manager gets a private one (no version polling —
+        #: its schema object never changes under it).
+        self.plans = (
+            plans
+            if plans is not None
+            else PlanCache(
+                history.schema, registry=self.registry, tracer=self.tracer
+            )
         )
         #: Seeded jitter source for retry backoffs — deterministic under
         #: replay (draws happen in deterministic branch order).
@@ -252,27 +264,29 @@ class RequestManager:
         parsed = [JdbcUrl.parse(u) if isinstance(u, str) else u for u in urls]
         if not parsed:
             raise GridRmError("query requires at least one data source URL")
-        # Validate the SQL once up front so a syntax error is reported to
-        # the client, not charged to the first data source.
+        # Parse + compile-time GLUE validation + plan compilation happen
+        # exactly once per distinct query via the plan cache: a syntax
+        # error is reported to the client (not charged to the first data
+        # source), a query naming an unknown group / attribute or
+        # comparing incompatible types is rejected before driver
+        # selection, and a warm query skips all three stages (the trace
+        # shows ``plan.cache_hit`` instead of ``plan.compile``).
+        # Historical queries may additionally reference the store's
+        # provenance columns.
+        extra = ("SourceUrl", "RecordedAt") if mode is QueryMode.HISTORY else ()
         try:
-            select = parse_select(sql)
+            entry = self.plans.get(sql, extra_fields=extra)
         except SqlError as exc:
             raise GridRmError(f"bad query: {exc}") from exc
-        # Compile-time GLUE validation: a query naming an unknown group /
-        # attribute or comparing incompatible types is doomed for every
-        # source, so it is rejected here — before driver selection, the
-        # retry machinery or any agent round-trip.  Historical queries
-        # may additionally reference the store's provenance columns.
-        extra = ("SourceUrl", "RecordedAt") if mode is QueryMode.HISTORY else ()
-        findings = validate_select(
-            select, self.history.schema, extra_fields=extra
-        )
-        if findings:
+        if entry.findings:
             self.stats["validation_rejects"] += 1
             raise QueryValidationError(
-                "invalid query: " + "; ".join(f.message for f in findings),
-                findings=findings,
+                "invalid query: "
+                + "; ".join(f.message for f in entry.findings),
+                findings=entry.findings,
             )
+        select = entry.select
+        plan = entry.plan
 
         started = self.clock.now()
         with self.tracer.span(
@@ -280,7 +294,8 @@ class RequestManager:
         ):
             if select.is_join:
                 result = self._execute_join(
-                    parsed, select, mode, max_age, info, deadline, retry_budget
+                    parsed, select, plan, mode, max_age, info, deadline,
+                    retry_budget,
                 )
                 result.started_at = started
             else:
@@ -291,17 +306,17 @@ class RequestManager:
                     # Historical queries hit the gateway-local store: no
                     # network round-trips, nothing to overlap.
                     for url in parsed:
-                        self._one_history(url, sql, result)
+                        self._one_history(url, sql, result, plan)
                 elif len(parsed) == 1 or not self.policy.fanout_enabled:
                     for url in parsed:
                         self._one_realtime(
                             url, sql, select, result, mode, max_age, info,
-                            deadline, retry_budget,
+                            deadline, retry_budget, plan,
                         )
                 else:
                     self._fan_out(
                         parsed, sql, select, result, mode, max_age, info,
-                        deadline, retry_budget,
+                        deadline, retry_budget, plan,
                     )
         result.elapsed = self.clock.now() - started
         return result
@@ -317,6 +332,7 @@ class RequestManager:
         info: Mapping[str, Any] | None,
         deadline: Deadline | None = None,
         retry_budget: RetryBudget | None = None,
+        plan: "CompiledPlan | None" = None,
     ) -> None:
         """Dispatch one sub-request per source concurrently.
 
@@ -330,7 +346,7 @@ class RequestManager:
         def branch(url: JdbcUrl, partial: QueryResult):
             return lambda: self._one_realtime(
                 url, sql, select, partial, mode, max_age, info,
-                deadline, retry_budget,
+                deadline, retry_budget, plan,
             )
 
         outcomes = self.dispatcher.run(
@@ -351,6 +367,7 @@ class RequestManager:
         self,
         urls: list[JdbcUrl],
         select,
+        plan: "CompiledPlan | None",
         mode: QueryMode,
         max_age: float | None,
         info: Mapping[str, Any] | None,
@@ -394,16 +411,27 @@ class RequestManager:
                 raise outcome.error
             sub = outcome.value
             result.statuses.extend(sub.statuses)
-            relations.append((sub.columns, sub.dicts()))
+            if plan is not None:
+                # Compiled path joins positional rows directly — no
+                # per-row dict round-trip between sub-query and join.
+                relations.append((sub.columns, sub.rows))
+            else:
+                relations.append((sub.columns, sub.dicts()))
         if any(not columns for columns, _ in relations):
             # A group nobody could serve: the inner join is empty, which
             # is a degraded answer, not an error (statuses carry why).
             return result
         try:
-            columns, rows = natural_join(
-                relations, key_columns=("HostName", "SiteName")
-            )
-            sel = execute_select(select, columns, rows)
+            if plan is not None:
+                columns, rows = join_rows(
+                    relations, key_columns=("HostName", "SiteName")
+                )
+                sel = plan.bind(tuple(columns)).execute(rows)
+            else:
+                columns, rows = natural_join(
+                    relations, key_columns=("HostName", "SiteName")
+                )
+                sel = execute_select(select, columns, rows)
         except SqlError as exc:
             raise GridRmError(f"join failed: {exc}") from exc
         result.columns = sel.columns
@@ -432,6 +460,7 @@ class RequestManager:
         info: Mapping[str, Any] | None,
         deadline: Deadline | None = None,
         retry_budget: RetryBudget | None = None,
+        plan: "CompiledPlan | None" = None,
     ) -> None:
         with self.tracer.span("source", url=str(url)) as span:
             if deadline is not None:
@@ -440,7 +469,7 @@ class RequestManager:
                 span["breaker"] = self.health.state(str(url)).value
             self._one_realtime_traced(
                 url, sql, select, result, mode, max_age, info,
-                deadline, retry_budget, span,
+                deadline, retry_budget, span, plan,
             )
 
     def _one_realtime_traced(
@@ -455,6 +484,7 @@ class RequestManager:
         deadline: Deadline | None,
         retry_budget: RetryBudget | None,
         span,
+        plan: "CompiledPlan | None" = None,
     ) -> None:
         url_text = str(url)
         if deadline is not None and deadline.expired():
@@ -538,7 +568,7 @@ class RequestManager:
                         columns, rows = self.dispatcher.run_flight(
                             url_text,
                             sql,
-                            lambda: self._fetch(url, sql, info, deadline),
+                            lambda: self._fetch(url, sql, info, deadline, plan),
                             hedge=reissuable,
                         )
                     break
@@ -656,18 +686,37 @@ class RequestManager:
         sql: str,
         info: Mapping[str, Any] | None,
         deadline: Deadline | None = None,
+        plan: "CompiledPlan | None" = None,
     ) -> tuple[list[str], list[list[Any]]]:
+        from repro.drivers.base import GridRmStatement
+
         with self.connection_manager.connection(url, info, deadline=deadline) as conn:
             statement = conn.create_statement()
-            rs = statement.execute_query(sql)
+            # Hand the statement the compiled plan only when it runs the
+            # stock execute_query — a subclass overriding it may not
+            # accept the keyword (and re-parses on its own authority).
+            if (
+                plan is not None
+                and type(statement).execute_query
+                is GridRmStatement.execute_query
+            ):
+                rs = statement.execute_query(sql, plan=plan)
+            else:
+                rs = statement.execute_query(sql)
             assert isinstance(rs, ListResultSet)
-            return rs.columns, rs.raw_rows()
+            return rs.columns, rs.take_rows()
 
-    def _one_history(self, url: JdbcUrl, sql: str, result: QueryResult) -> None:
+    def _one_history(
+        self,
+        url: JdbcUrl,
+        sql: str,
+        result: QueryResult,
+        plan: "CompiledPlan | None" = None,
+    ) -> None:
         url_text = str(url)
         with self.tracer.span("history", url=url_text) as span:
             try:
-                sel = self.history.query(sql, source_url=url_text)
+                sel = self.history.query(sql, source_url=url_text, plan=plan)
             except SqlError as exc:
                 span.fail(exc)
                 result.statuses.append(

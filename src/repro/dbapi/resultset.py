@@ -86,6 +86,30 @@ class ListResultSet(ResultSet):
         self._closed = False
         self._last_was_null = False
 
+    @classmethod
+    def adopt(
+        cls,
+        columns: Sequence[str],
+        rows: list[list[Any]],
+        types: Sequence[str] | None = None,
+    ) -> "ListResultSet":
+        """Wrap freshly-built rows without the defensive per-row copy.
+
+        The caller transfers ownership of ``rows`` (a list of equal-width
+        lists nothing else will mutate) — the compiled-plan result path
+        uses this so driver results are materialised exactly once.
+        Length validation is skipped: the plan executor constructs every
+        row against a fixed projection, so widths hold by construction.
+        """
+        rs = cls.__new__(cls)
+        rs._meta = ListResultSetMetaData(columns, types)
+        rs._columns = list(columns)
+        rs._rows = rows
+        rs._cursor = -1
+        rs._closed = False
+        rs._last_was_null = False
+        return rs
+
     # ------------------------------------------------------------------
     # Cursor protocol
     # ------------------------------------------------------------------
@@ -179,6 +203,18 @@ class ListResultSet(ResultSet):
     def raw_rows(self) -> list[list[Any]]:
         """All row value lists, ignoring cursor state (does not advance it)."""
         return [list(r) for r in self._rows]
+
+    def take_rows(self) -> list[list[Any]]:
+        """Move the row storage out of this ResultSet (zero-copy).
+
+        The caller takes ownership of the returned lists; the ResultSet
+        is left empty (cursor reset), so subsequent reads see no rows
+        rather than aliased ones.
+        """
+        rows = self._rows
+        self._rows = []
+        self._cursor = -1
+        return rows
 
     @property
     def columns(self) -> list[str]:

@@ -59,6 +59,7 @@ from repro.sql.parser import parse_select
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.deadline import Deadline
+    from repro.sql.plan import CompiledPlan
 
 #: Default TTL for coarse-grained response caches, virtual seconds.
 DEFAULT_CACHE_TTL = 15.0
@@ -119,16 +120,30 @@ class GridRmStatement(Statement):
         self._closed = False
         self._timeout: float | None = None
 
-    def execute_query(self, sql: str) -> ResultSet:
+    def execute_query(
+        self, sql: str, plan: "CompiledPlan | None" = None
+    ) -> ResultSet:
+        """Parse, fetch, translate, filter.
+
+        ``plan`` (a :class:`repro.sql.plan.CompiledPlan` for this exact
+        ``sql``) lets the gateway's hot path skip the parse and run the
+        compiled executor over positional rows straight out of the
+        mapping layer — no per-row dicts, no per-row copies.  Callers
+        that only have raw SQL (standalone JDBC-style use) omit it and
+        get the interpreted path.
+        """
         if self._closed:
             raise SQLException("statement is closed")
         conn = self._connection
         if conn.is_closed():
             raise SQLConnectionException("connection is closed")
-        try:
-            select = parse_select(sql)
-        except SqlError as exc:
-            raise SQLSyntaxErrorException(str(exc), cause=exc) from exc
+        if plan is not None:
+            select = plan.select
+        else:
+            try:
+                select = parse_select(sql)
+            except SqlError as exc:
+                raise SQLSyntaxErrorException(str(exc), cause=exc) from exc
 
         if select.is_join:
             raise SQLException(
@@ -152,11 +167,15 @@ class GridRmStatement(Statement):
         except NetworkError as exc:
             raise SQLConnectionException(str(exc), cause=exc) from exc
 
-        rows = mapping.translate(group.name, records, schema)
-        result = execute_select(select, group.field_names(), rows)
         types: Sequence[str] | None = None
         if select.is_star:
             types = group.column_types()
+        if plan is not None:
+            slot_rows = mapping.translate_rows(group.name, records, schema)
+            result = plan.bind(tuple(group.field_names())).execute(slot_rows)
+            return ListResultSet.adopt(result.columns, result.rows, types)
+        rows = mapping.translate(group.name, records, schema)
+        result = execute_select(select, group.field_names(), rows)
         return ListResultSet(result.columns, result.rows, types)
 
     def set_query_timeout(self, seconds: float) -> None:

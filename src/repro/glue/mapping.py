@@ -111,6 +111,53 @@ class MappingRule:
             # either not possible or currently not implemented"
             return None
 
+    def compile(self, target: "GlueGroup") -> Callable[[Mapping[str, Any]], Any]:
+        """A closure equivalent to :meth:`apply` with ``target`` prebound.
+
+        The field definition lookup (a linear scan in :meth:`apply`) and
+        the type dispatch happen here, once, instead of once per record
+        — the hot translation loop then runs pure closures.
+        """
+        native_key = self.native_key
+        transform = self.transform
+        default = self.default
+        unit = self.unit
+        try:
+            fdef = target.field(self.glue_field)
+        except KeyError:
+            fdef = None
+        ftype = fdef.type if fdef is not None else None
+        funit = fdef.unit if fdef is not None else ""
+        numeric_type = ftype in ("REAL", "INTEGER", "TIMESTAMP")
+
+        def build(record: Mapping[str, Any]) -> Any:
+            if native_key is not None:
+                if native_key not in record:
+                    return default
+                raw: Any = record[native_key]
+            else:
+                raw = record
+            try:
+                if transform is not None:
+                    raw = transform(raw)
+                if raw is None:
+                    return default
+                if fdef is None:
+                    # apply() hits KeyError from target.field here.
+                    return None
+                if numeric_type and not isinstance(raw, bool):
+                    numeric = convert_unit(float(raw), unit, funit)
+                    return int(numeric) if ftype == "INTEGER" else numeric
+                if ftype == "BOOLEAN":
+                    if isinstance(raw, str):
+                        return raw.strip().lower() in ("true", "t", "yes", "1", "on")
+                    return bool(raw)
+                return str(raw) if ftype == "TEXT" else raw
+            except (TypeError, ValueError, KeyError, UnitConversionError):
+                return None
+
+        return build
+
 
 @dataclass
 class GroupMapping:
@@ -140,6 +187,37 @@ class GroupMapping:
             rule = by_field.get(fdef.name)
             row[fdef.name] = rule.apply(record, target) if rule else None
         return row
+
+    def row_builders(
+        self, schema: GlueSchema
+    ) -> list[Callable[[Mapping[str, Any]], Any]]:
+        """One compiled value builder per group field, in field order.
+
+        ``[[b(record) for b in builders] for record in records]`` is the
+        positional-row equivalent of calling :meth:`translate` per
+        record, minus the per-record dict and per-field rule lookups.
+        Builders are cached; the cache is discarded when the target
+        group object or the rule list changes.
+        """
+        target = schema.group(self.group)
+        cached = getattr(self, "_builders_cache", None)
+        if (
+            cached is not None
+            and cached[0] is target
+            and cached[1] == tuple(self.rules)
+        ):
+            builders: list[Callable[[Mapping[str, Any]], Any]] = cached[2]
+            return builders
+        by_field = {r.glue_field: r for r in self.rules}
+        builders = []
+        for fdef in target.fields:
+            rule = by_field.get(fdef.name)
+            if rule is None:
+                builders.append(lambda record: None)
+            else:
+                builders.append(rule.compile(target))
+        self._builders_cache = (target, tuple(self.rules), builders)
+        return builders
 
     def coverage(self, schema: GlueSchema) -> float:
         """Fraction of the group's fields that have a mapping rule."""
@@ -191,3 +269,11 @@ class SchemaMapping:
         """Translate a batch of native records into GLUE rows."""
         mapping = self.group_mapping(group)
         return [mapping.translate(r, schema) for r in records]
+
+    def translate_rows(
+        self, group: str, records: Iterable[Mapping[str, Any]], schema: GlueSchema
+    ) -> list[list[Any]]:
+        """Translate a batch into positional GLUE rows (group field
+        order) — the zero-copy shape compiled plans bind against."""
+        builders = self.group_mapping(group).row_builders(schema)
+        return [[b(r) for b in builders] for r in records]

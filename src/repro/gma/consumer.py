@@ -119,10 +119,21 @@ class GatewayConsumer:
             remote_trace_id = str(response.get("trace_id", ""))
             if remote_trace_id:
                 span["remote_trace"] = remote_trace_id
+            # Batched wire shape (status keys once, statuses positional);
+            # the legacy dict-per-status form is still decoded so mixed
+            # gateway versions interoperate.
+            if "status_rows" in response:
+                keys = list(response.get("status_keys", []))
+                statuses = [
+                    dict(zip(keys, row))
+                    for row in response.get("status_rows", [])
+                ]
+            else:
+                statuses = list(response.get("statuses", []))
             return RemoteResult(
                 columns=list(response.get("columns", [])),
                 rows=[list(r) for r in response.get("rows", [])],
-                statuses=list(response.get("statuses", [])),
+                statuses=statuses,
                 producer=producer,
                 remote_trace_id=remote_trace_id,
             )

@@ -12,7 +12,8 @@ Wire protocol::
 
     {"op": "query", "urls": [...], "sql": "...", "mode": "cached_ok",
      "from_site": "site-b", "max_age": 10.0}
-      -> {"ok": True, "columns": [...], "rows": [...], "statuses": [...]}
+      -> {"ok": True, "columns": [...], "rows": [...],
+          "status_keys": [...], "status_rows": [[...], ...]}
     {"op": "groups"} -> {"ok": True, "groups": [...]}
     {"op": "sources"} -> {"ok": True, "urls": [...]}
 """
@@ -96,19 +97,19 @@ class GatewayProducer:
             deadline=deadline,
             trace_parent=trace_ctx if isinstance(trace_ctx, dict) else None,
         )
+        # Batched wire shape: column labels (result columns AND status
+        # keys) cross the wire once per response; every row and status is
+        # a positional list.  For an N-source status list that saves
+        # N-1 copies of the five key strings — bandwidth-delay charging
+        # sees the honest, smaller payload.
         return {
             "ok": True,
             "trace_id": result.trace_id,
             "columns": result.columns,
             "rows": result.rows,
-            "statuses": [
-                {
-                    "url": s.url,
-                    "ok": s.ok,
-                    "rows": s.rows,
-                    "from_cache": s.from_cache,
-                    "error": s.error,
-                }
+            "status_keys": ["url", "ok", "rows", "from_cache", "error"],
+            "status_rows": [
+                [s.url, s.ok, s.rows, s.from_cache, s.error]
                 for s in result.statuses
             ],
         }

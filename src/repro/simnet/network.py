@@ -125,13 +125,53 @@ class NetworkStats:
         return f"NetworkStats({self.as_dict()!r})"
 
 
+def _repr_len(payload: Any, depth: int = 0) -> int:
+    """``len(repr(payload))`` computed structurally.
+
+    Exactly equal to ``len(repr(payload))`` for plain list/tuple/dict
+    containers (a property test enforces this), but without materialising
+    the repr string — charging bandwidth delay for a large batched result
+    costs a walk, not an O(size) string build.  Subclassed containers and
+    pathological nesting depth fall back to the real repr.
+    """
+    if depth > 8:
+        return len(repr(payload))
+    t = type(payload)
+    if t is list:
+        n = len(payload)
+        if n == 0:
+            return 2  # "[]"
+        # "[" + items + ", " between items + "]"
+        return 2 + sum(_repr_len(i, depth + 1) for i in payload) + 2 * (n - 1)
+    if t is tuple:
+        n = len(payload)
+        if n == 0:
+            return 2  # "()"
+        if n == 1:
+            return _repr_len(payload[0], depth + 1) + 3  # "(x,)"
+        return 2 + sum(_repr_len(i, depth + 1) for i in payload) + 2 * (n - 1)
+    if t is dict:
+        n = len(payload)
+        if n == 0:
+            return 2  # "{}"
+        return (
+            2
+            + sum(
+                _repr_len(k, depth + 1) + 2 + _repr_len(v, depth + 1)
+                for k, v in payload.items()
+            )
+            + 2 * (n - 1)
+        )
+    return len(repr(payload))
+
+
 def _payload_size(payload: Any) -> int:
     """Rough wire size of a payload, for bandwidth-delay charging."""
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):
         return len(payload.encode("utf-8", errors="replace"))
-    return len(repr(payload))
+    return _repr_len(payload)
 
 
 class NetFuture:

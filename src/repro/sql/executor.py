@@ -15,6 +15,7 @@ so NULL handling is exercised constantly.
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.sql import ast_nodes as ast
@@ -30,6 +31,21 @@ class SelectResult:
         self.columns = list(columns)
         self.rows = [list(r) for r in rows]
 
+    @classmethod
+    def adopt(
+        cls, columns: Sequence[str], rows: list[list[Any]]
+    ) -> "SelectResult":
+        """Wrap freshly-built rows without the defensive per-row copy.
+
+        The caller transfers ownership: ``rows`` must be a list of lists
+        nothing else will mutate.  The compiled-plan executor uses this
+        so a projected result is materialised exactly once.
+        """
+        result = cls.__new__(cls)
+        result.columns = list(columns)
+        result.rows = rows
+        return result
+
     def dicts(self) -> list[dict[str, Any]]:
         """Rows as dicts keyed by column label."""
         return [dict(zip(self.columns, r)) for r in self.rows]
@@ -44,7 +60,20 @@ class SelectResult:
 # ----------------------------------------------------------------------
 # Expression evaluation
 # ----------------------------------------------------------------------
-def _like_to_regex(pattern: str) -> re.Pattern[str]:
+#: Memoised LIKE patterns: compiling the regex once per distinct pattern
+#: instead of once per row evaluation.  Bounded LRU so adversarial or
+#: data-driven patterns cannot grow it without limit; an OrderedDict keeps
+#: eviction order deterministic (insertion order, refreshed on hit).
+_LIKE_CACHE: "OrderedDict[str, re.Pattern[str]]" = OrderedDict()
+_LIKE_CACHE_MAX = 256
+
+
+def compile_like(pattern: str) -> re.Pattern[str]:
+    """The compiled regex for a SQL LIKE pattern (memoised, bounded)."""
+    cached = _LIKE_CACHE.get(pattern)
+    if cached is not None:
+        _LIKE_CACHE.move_to_end(pattern)
+        return cached
     out = ["^"]
     for ch in pattern:
         if ch == "%":
@@ -54,7 +83,15 @@ def _like_to_regex(pattern: str) -> re.Pattern[str]:
         else:
             out.append(re.escape(ch))
     out.append("$")
-    return re.compile("".join(out), re.IGNORECASE)
+    compiled = re.compile("".join(out), re.IGNORECASE)
+    _LIKE_CACHE[pattern] = compiled
+    if len(_LIKE_CACHE) > _LIKE_CACHE_MAX:
+        _LIKE_CACHE.popitem(last=False)
+    return compiled
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    return compile_like(pattern)
 
 
 def _coerce_pair(a: Any, b: Any) -> tuple[Any, Any]:
@@ -161,10 +198,38 @@ def _eval_binop(expr: ast.BinOp, row: Row) -> Any:
 
     left = evaluate_expr(expr.left, row)
     right = evaluate_expr(expr.right, row)
+    return _apply_binop_values(op, left, right)
+
+
+def _apply_binop_values(op: str, left: Any, right: Any) -> Any:
+    """Apply a binary operator to two already-evaluated values.
+
+    Shared by the interpreted executor and the compiled-plan closures
+    (:mod:`repro.sql.plan`) so operator/NULL/coercion semantics cannot
+    drift between the two paths.  AND/OR here are the value-level
+    (post-evaluation) forms used in aggregate contexts — row-level
+    short-circuiting lives in the callers.
+    """
+    if op == "AND":
+        if left is not None and not left:
+            return False
+        if right is not None and not right:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        if left is not None and left:
+            return True
+        if right is not None and right:
+            return True
+        if left is None or right is None:
+            return None
+        return False
     if left is None or right is None:
         return None
     if op == "LIKE":
-        return _like_to_regex(str(right)).match(str(left)) is not None
+        return compile_like(str(right)).match(str(left)) is not None
 
     a, b = _coerce_pair(left, right)
     try:
@@ -220,26 +285,36 @@ def _aggregate(call: ast.FuncCall, rows: list[Row]) -> Any:
     if len(call.args) != 1:
         raise SqlExecutionError(f"{call.name} takes exactly one argument")
     values = [evaluate_expr(call.args[0], r) for r in rows]
+    return _aggregate_values(call.name, values, call.distinct)
+
+
+def _aggregate_values(name: str, values: list[Any], distinct: bool) -> Any:
+    """Reduce already-evaluated argument values with aggregate ``name``.
+
+    Shared by the interpreter and compiled plans: NULLs are dropped,
+    DISTINCT dedups by equality (list scan — values may be unhashable),
+    and empty input yields NULL for everything but COUNT.
+    """
     values = [v for v in values if v is not None]
-    if call.distinct:
+    if distinct:
         seen: list[Any] = []
         for v in values:
             if v not in seen:
                 seen.append(v)
         values = seen
-    if call.name == "COUNT":
+    if name == "COUNT":
         return len(values)
     if not values:
         return None
-    if call.name == "SUM":
+    if name == "SUM":
         return sum(_as_number(v) for v in values)
-    if call.name == "AVG":
+    if name == "AVG":
         return sum(_as_number(v) for v in values) / len(values)
-    if call.name == "MIN":
+    if name == "MIN":
         return min(values)
-    if call.name == "MAX":
+    if name == "MAX":
         return max(values)
-    raise SqlExecutionError(f"unknown aggregate {call.name!r}")
+    raise SqlExecutionError(f"unknown aggregate {name!r}")
 
 
 def _as_number(v: Any) -> float | int:

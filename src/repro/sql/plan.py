@@ -1,0 +1,820 @@
+"""Compiled query plans.
+
+The interpreted executor (:mod:`repro.sql.executor`) re-walks the SELECT
+AST for every row: each column reference re-resolves its name against the
+row mapping, each LIKE recompiles (pre-memoisation) its regex, and every
+operator dispatch is an ``isinstance`` ladder.  This module compiles a
+parsed :class:`~repro.sql.ast_nodes.Select` **once** into closures:
+
+* :func:`compile_plan` produces a :class:`CompiledPlan` — a layout-
+  independent holder for the statement;
+* ``plan.bind(columns)`` resolves every column name to a tuple-slot index
+  against a concrete column layout and returns a :class:`BoundPlan`
+  whose ``execute(rows)`` evaluates predicate/projection/ordering/
+  aggregation over **positional rows** (lists), building no per-row
+  dicts;
+* ``plan.bind_mapping(columns)`` is the same machinery bound over
+  mapping rows (the history store's dict storage), with each column
+  name resolved to its canonical key once at bind time instead of once
+  per row.
+
+Bindings are cached per layout on the plan, so repeated queries pay the
+closure-construction cost once.
+
+Semantics are **byte-identical** to the interpreted executor — NULL
+tri-state logic, AND/OR short-circuiting, numeric-string coercion, the
+case-insensitive column fallback, alias-aware ORDER BY, error messages —
+and a differential property test (``tests/test_sql_plan.py``) enforces
+the equivalence over generated queries.  The interpreted path remains
+both the fallback and the testing oracle.
+
+:func:`join_rows` is the positional mirror of
+:func:`~repro.sql.executor.natural_join` for the gateway's multi-group
+join path.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.sql import ast_nodes as ast
+from repro.sql.errors import SqlExecutionError
+from repro.sql.executor import (
+    SelectResult,
+    _aggregate_values,
+    _apply_binop_values,
+    _coerce_pair,
+    _hashable,
+    _SortKey,
+    compile_like,
+)
+
+#: A compiled accessor/evaluator over one row (positional or mapping).
+RowFn = Callable[[Any], Any]
+#: A compiled evaluator over one group: (member rows, sample row) -> value.
+GroupFn = Callable[[list[Any], Any], Any]
+
+#: Slot-flavour sample row for an empty implicit group: every accessor
+#: raises "unknown column" against it, matching the interpreted
+#: executor's empty-dict sample.
+_EMPTY_SLOT_ROW: tuple[Any, ...] = ()
+
+
+def _last_index(columns: Sequence[str], name: str) -> int:
+    """Index of the *last* occurrence of ``name`` (dict-build semantics:
+    when a layout carries a duplicate label, the later value wins, as it
+    does in ``dict(zip(columns, row))``)."""
+    for i in range(len(columns) - 1, -1, -1):
+        if columns[i] == name:
+            return i
+    raise ValueError(name)
+
+
+def _resolve_slot(columns: Sequence[str], column: ast.Column) -> int | None:
+    """Resolve a column reference to a slot index, or None when absent.
+
+    Mirrors ``evaluate_expr``'s resolution against a dict row whose keys
+    are ``columns``: exact name, then qualified name, then a
+    case-insensitive scan in key order (first distinct key that matches,
+    reading the last duplicate occurrence's value).
+    """
+    if column.name in columns:
+        return _last_index(columns, column.name)
+    qualified = column.qualified
+    if qualified != column.name and qualified in columns:
+        return _last_index(columns, qualified)
+    lowered = column.name.lower()
+    seen: set[str] = set()
+    for c in columns:
+        if c in seen:
+            continue
+        seen.add(c)
+        if c.lower() == lowered:
+            return _last_index(columns, c)
+    return None
+
+
+def _raise_unknown(qualified: str) -> Any:
+    raise SqlExecutionError(f"unknown column: {qualified!r}")
+
+
+def _slow_mapping_lookup(row: Mapping[str, Any], name: str, qualified: str) -> Any:
+    """The interpreted executor's column resolution, verbatim — the
+    mapping-flavour fallback when a row lacks the bind-time key."""
+    if name in row:
+        return row[name]
+    if qualified in row:
+        return row[qualified]
+    lowered = name.lower()
+    for key in row:
+        if key.lower() == lowered:
+            return row[key]
+    raise SqlExecutionError(f"unknown column: {qualified!r}")
+
+
+class _SlotFlavour:
+    """Rows are positional lists; columns resolve to slot indices."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+
+    def resolve(self, column: ast.Column) -> RowFn:
+        index = _resolve_slot(self.columns, column)
+        qualified = column.qualified
+        if index is None:
+            return lambda row: _raise_unknown(qualified)
+
+        def accessor(row: Any, i: int = index, q: str = qualified) -> Any:
+            try:
+                return row[i]
+            except IndexError:
+                return _raise_unknown(q)
+
+        return accessor
+
+    def empty_sample(self) -> Any:
+        return _EMPTY_SLOT_ROW
+
+    def star_rows(self, filtered: list[Any]) -> list[list[Any]]:
+        # Positional rows under this layout ARE the star projection:
+        # adopt them without building per-row copies (zero-copy path).
+        # Duplicate labels are the one exception — the interpreter's
+        # dict round-trip makes the last occurrence's value show at
+        # every duplicate position, so mirror that explicitly.
+        cols = self.columns
+        if len(set(cols)) != len(cols):
+            idx = [_last_index(cols, c) for c in cols]
+            return [[row[i] for i in idx] for row in filtered]
+        return filtered
+
+
+class _MappingFlavour:
+    """Rows are mappings; column names resolve to canonical keys once."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+
+    def resolve(self, column: ast.Column) -> RowFn:
+        index = _resolve_slot(self.columns, column)
+        name, qualified = column.name, column.qualified
+        if index is None:
+            return lambda row: _slow_mapping_lookup(row, name, qualified)
+        key = self.columns[index]
+
+        def accessor(
+            row: Any, k: str = key, n: str = name, q: str = qualified
+        ) -> Any:
+            try:
+                return row[k]
+            except KeyError:
+                return _slow_mapping_lookup(row, n, q)
+
+        return accessor
+
+    def empty_sample(self) -> Any:
+        return {}
+
+    def star_rows(self, filtered: list[Any]) -> list[list[Any]]:
+        cols = self.columns
+        return [[r.get(c) for c in cols] for r in filtered]
+
+
+_Flavour = _SlotFlavour | _MappingFlavour
+
+
+# ----------------------------------------------------------------------
+# Expression compilation (row-level)
+# ----------------------------------------------------------------------
+def _compile_expr(expr: ast.Expr, flavour: _Flavour) -> RowFn:
+    """Compile an expression to a closure over one row.
+
+    Compilation is total: anything the interpreted executor rejects at
+    evaluation time compiles to a closure raising the identical
+    :class:`SqlExecutionError` when (and only when) evaluated.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.Column):
+        return flavour.resolve(expr)
+    if isinstance(expr, ast.Star):
+        def star_error(row: Any) -> Any:
+            raise SqlExecutionError(
+                "'*' is only valid as a projection or in COUNT(*)"
+            )
+        return star_error
+    if isinstance(expr, ast.UnaryOp):
+        inner = _compile_expr(expr.operand, flavour)
+        if expr.op == "NOT":
+            def not_fn(row: Any) -> Any:
+                val = inner(row)
+                if val is None:
+                    return None
+                return not bool(val)
+            return not_fn
+        if expr.op == "-":
+            def neg_fn(row: Any) -> Any:
+                val = inner(row)
+                if val is None:
+                    return None
+                return -val
+            return neg_fn
+        bad_op = expr.op
+
+        def unary_error(row: Any) -> Any:
+            inner(row)
+            raise SqlExecutionError(f"unknown unary operator {bad_op!r}")
+        return unary_error
+    if isinstance(expr, ast.BinOp):
+        return _compile_binop(expr, flavour)
+    if isinstance(expr, ast.InList):
+        target = _compile_expr(expr.expr, flavour)
+        items = [_compile_expr(i, flavour) for i in expr.items]
+        negated = expr.negated
+
+        def in_fn(row: Any) -> Any:
+            val = target(row)
+            if val is None:
+                return None
+            found = False
+            for item in items:
+                a, b = _coerce_pair(val, item(row))
+                if a == b:
+                    found = True
+                    break
+            return (not found) if negated else found
+        return in_fn
+    if isinstance(expr, ast.Between):
+        target = _compile_expr(expr.expr, flavour)
+        low = _compile_expr(expr.low, flavour)
+        high = _compile_expr(expr.high, flavour)
+        negated = expr.negated
+
+        def between_fn(row: Any) -> Any:
+            val = target(row)
+            lo = low(row)
+            hi = high(row)
+            if val is None or lo is None or hi is None:
+                return None
+            a, l_ = _coerce_pair(val, lo)
+            a2, h = _coerce_pair(val, hi)
+            result = l_ <= a and a2 <= h
+            return (not result) if negated else result
+        return between_fn
+    if isinstance(expr, ast.IsNull):
+        target = _compile_expr(expr.expr, flavour)
+        negated = expr.negated
+
+        def isnull_fn(row: Any) -> Any:
+            val = target(row)
+            return (val is not None) if negated else (val is None)
+        return isnull_fn
+    if isinstance(expr, ast.FuncCall):
+        func_name = expr.name
+
+        def agg_error(row: Any) -> Any:
+            raise SqlExecutionError(
+                f"aggregate {func_name} used outside an aggregating query"
+            )
+        return agg_error
+    type_name = type(expr).__name__
+
+    def unknown_error(row: Any) -> Any:
+        raise SqlExecutionError(f"cannot evaluate {type_name}")
+    return unknown_error
+
+
+#: Operators whose value-level form is a plain binary function (the
+#: zero-divisor ops and AND/OR/LIKE need their own closures).
+_DIRECT_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
+
+
+def _compile_binop(expr: ast.BinOp, flavour: _Flavour) -> RowFn:
+    op = expr.op
+    left = _compile_expr(expr.left, flavour)
+    if op == "AND":
+        right = _compile_expr(expr.right, flavour)
+
+        def and_fn(row: Any) -> Any:
+            lv = left(row)
+            if lv is not None and not lv:
+                return False
+            rv = right(row)
+            if rv is not None and not rv:
+                return False
+            if lv is None or rv is None:
+                return None
+            return True
+        return and_fn
+    if op == "OR":
+        right = _compile_expr(expr.right, flavour)
+
+        def or_fn(row: Any) -> Any:
+            lv = left(row)
+            if lv is not None and lv:
+                return True
+            rv = right(row)
+            if rv is not None and rv:
+                return True
+            if lv is None or rv is None:
+                return None
+            return False
+        return or_fn
+    if (
+        op == "LIKE"
+        and isinstance(expr.right, ast.Literal)
+        and expr.right.value is not None
+    ):
+        # The common shape — a constant pattern — compiles its regex
+        # exactly once, at plan-compile time.
+        pattern = compile_like(str(expr.right.value))
+
+        def like_fn(row: Any) -> Any:
+            lv = left(row)
+            if lv is None:
+                return None
+            return pattern.match(str(lv)) is not None
+        return like_fn
+    right = _compile_expr(expr.right, flavour)
+    fn = _DIRECT_OPS.get(op)
+    if fn is not None:
+        # Hot path: prebound operator function, no dispatch ladder.  The
+        # None / coercion / error behaviour mirrors _apply_binop_values
+        # exactly (the differential oracle holds both to the letter).
+        def direct_fn(row: Any) -> Any:
+            lv = left(row)
+            rv = right(row)
+            if lv is None or rv is None:
+                return None
+            a, b = _coerce_pair(lv, rv)
+            try:
+                return fn(a, b)
+            except TypeError as exc:
+                raise SqlExecutionError(
+                    f"type error in {op!r}: "
+                    f"{type(lv).__name__} vs {type(rv).__name__}"
+                ) from exc
+        return direct_fn
+    if op in ("/", "%"):
+        div = operator.truediv if op == "/" else operator.mod
+
+        def div_fn(row: Any) -> Any:
+            lv = left(row)
+            rv = right(row)
+            if lv is None or rv is None:
+                return None
+            a, b = _coerce_pair(lv, rv)
+            try:
+                if b == 0:
+                    return None
+                return div(a, b)
+            except TypeError as exc:
+                raise SqlExecutionError(
+                    f"type error in {op!r}: "
+                    f"{type(lv).__name__} vs {type(rv).__name__}"
+                ) from exc
+        return div_fn
+
+    def binop_fn(row: Any) -> Any:
+        return _apply_binop_values(op, left(row), right(row))
+    return binop_fn
+
+
+def _compile_predicate(
+    where: ast.Expr | None, flavour: _Flavour
+) -> RowFn | None:
+    """WHERE clause -> bool closure (NULL counts false); None = no filter."""
+    if where is None:
+        return None
+    inner = _compile_expr(where, flavour)
+
+    def predicate(row: Any) -> bool:
+        value = inner(row)
+        return bool(value) if value is not None else False
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# Aggregate compilation (group-level)
+# ----------------------------------------------------------------------
+def _compile_aggregate(call: ast.FuncCall, flavour: _Flavour) -> GroupFn:
+    if call.star:
+        if call.name != "COUNT":
+            message = f"{call.name}(*) is not valid"
+
+            def star_error(rows: list[Any], sample: Any) -> Any:
+                raise SqlExecutionError(message)
+            return star_error
+        return lambda rows, sample: len(rows)
+    if len(call.args) != 1:
+        arity_message = f"{call.name} takes exactly one argument"
+
+        def arity_error(rows: list[Any], sample: Any) -> Any:
+            raise SqlExecutionError(arity_message)
+        return arity_error
+    arg = _compile_expr(call.args[0], flavour)
+    name = call.name
+    distinct = call.distinct
+
+    def aggregate(rows: list[Any], sample: Any) -> Any:
+        values = [arg(r) for r in rows]
+        return _aggregate_values(name, values, distinct)
+    return aggregate
+
+
+def _compile_agg_expr(expr: ast.Expr, flavour: _Flavour) -> GroupFn:
+    """Compile an expression that may contain aggregate calls.
+
+    Mirrors ``_eval_with_aggregates``: aggregates reduce the member
+    rows, BinOp/UnaryOp combine already-computed values (both operands
+    evaluated — no short-circuit, as in the interpreted path), and
+    anything else evaluates against the group's sample row.
+    """
+    if isinstance(expr, ast.FuncCall) and expr.name in ast.AGGREGATES:
+        return _compile_aggregate(expr, flavour)
+    if isinstance(expr, ast.BinOp):
+        left = _compile_agg_expr(expr.left, flavour)
+        right = _compile_agg_expr(expr.right, flavour)
+        op = expr.op
+
+        def binop(rows: list[Any], sample: Any) -> Any:
+            return _apply_binop_values(op, left(rows, sample), right(rows, sample))
+        return binop
+    if isinstance(expr, ast.UnaryOp):
+        inner = _compile_agg_expr(expr.operand, flavour)
+        op = expr.op
+
+        def unary(rows: list[Any], sample: Any) -> Any:
+            val = inner(rows, sample)
+            if op == "NOT":
+                return None if val is None else (not bool(val))
+            if op == "-":
+                return None if val is None else -val
+            raise SqlExecutionError(f"unknown unary operator {op!r}")
+        return unary
+    plain = _compile_expr(expr, flavour)
+    return lambda rows, sample: plain(sample)
+
+
+# ----------------------------------------------------------------------
+# Ordering
+# ----------------------------------------------------------------------
+def _sort_payload(
+    order_keys: list[tuple[RowFn, bool]], key_rows: list[Any], payload: list[Any]
+) -> list[Any]:
+    """The interpreted ``_ordered`` over compiled key closures: stable
+    multi-key sort applied right-to-left, None-first, evaluation errors
+    sorting as None."""
+    indexed = list(range(len(payload)))
+    for key_fn, descending in reversed(order_keys):
+        values = []
+        for r in key_rows:
+            try:
+                values.append(key_fn(r))
+            except SqlExecutionError:
+                values.append(None)
+        # Homogeneous keys (all numbers, or all strings — no NULLs) sort
+        # identically raw, because _SortKey's total order reduces to the
+        # native one when every pairwise comparison is defined.  That is
+        # the overwhelmingly common case and skips one wrapper object +
+        # one Python __lt__ frame per comparison.
+        if all(type(v) is str for v in values) or all(
+            isinstance(v, (int, float)) for v in values
+        ):
+            indexed.sort(key=values.__getitem__, reverse=descending)
+        else:
+            indexed.sort(
+                key=lambda i: _SortKey(values[i]), reverse=descending
+            )
+    return [payload[i] for i in indexed]
+
+
+# ----------------------------------------------------------------------
+# Bound plans
+# ----------------------------------------------------------------------
+class BoundPlan:
+    """A :class:`CompiledPlan` resolved against one column layout.
+
+    ``execute(rows)`` consumes rows in the bound representation —
+    positional lists (slot flavour) or mappings (mapping flavour) — and
+    returns a :class:`SelectResult`.  Slot rows must be fresh lists the
+    caller relinquishes: star projections adopt them into the result
+    without copying.
+    """
+
+    __slots__ = (
+        "select",
+        "columns",
+        "_flavour",
+        "_predicate",
+        "_out_cols",
+        "_item_fns",
+        "_grouped",
+        "_group_keys",
+        "_having",
+        "_agg_items",
+        "_order_plain",
+        "_order_grouped",
+        "_aliases",
+        "_alias_actions",
+        "_ext_columns",
+        "_star",
+        "_star_with_aggregates",
+    )
+
+    def __init__(self, select: ast.Select, flavour: _Flavour) -> None:
+        self.select = select
+        self.columns = list(flavour.columns)
+        self._flavour = flavour
+        self._predicate = _compile_predicate(select.where, flavour)
+        self._star = select.is_star
+        has_aggregates = any(
+            ast.contains_aggregate(i.expr) for i in select.items
+        )
+        self._grouped = bool(select.group_by) or has_aggregates
+        self._star_with_aggregates = self._grouped and self._star
+        self._group_keys: list[RowFn] = []
+        self._having: GroupFn | None = None
+        self._agg_items: list[GroupFn] = []
+        self._item_fns: list[RowFn] = []
+        self._order_plain: list[tuple[RowFn, bool]] = []
+        self._order_grouped: list[tuple[RowFn, bool]] = []
+        self._aliases: list[tuple[str, RowFn]] = []
+        self._alias_actions: list[int | None] = []
+        self._ext_columns: list[str] = []
+        if self._grouped:
+            self._out_cols = (
+                [] if self._star_with_aggregates else select.projected_names()
+            )
+            self._group_keys = [
+                _compile_expr(g, flavour) for g in select.group_by
+            ]
+            if select.having is not None:
+                self._having = _compile_agg_expr(select.having, flavour)
+            if not self._star_with_aggregates:
+                self._agg_items = [
+                    _compile_agg_expr(i.expr, flavour) for i in select.items
+                ]
+            if select.order_by:
+                # Grouped output: ORDER BY keys resolve against the
+                # projected columns over the projected (positional) rows.
+                projected = _SlotFlavour(self._out_cols)
+                self._order_grouped = [
+                    (_compile_expr(o.expr, projected), o.descending)
+                    for o in select.order_by
+                ]
+        else:
+            self._out_cols = (
+                list(flavour.columns) if self._star else select.projected_names()
+            )
+            if not self._star:
+                self._item_fns = [
+                    _compile_expr(i.expr, flavour) for i in select.items
+                ]
+            if select.order_by:
+                self._compile_plain_order(select, flavour)
+
+    # -- plain-path ORDER BY (alias-augmented rows) --------------------
+    def _compile_plain_order(self, select: ast.Select, flavour: _Flavour) -> None:
+        self._aliases = [
+            (item.alias, _compile_expr(item.expr, flavour))
+            for item in select.items
+            if item.alias is not None
+        ]
+        if not self._aliases:
+            self._order_plain = [
+                (_compile_expr(o.expr, flavour), o.descending)
+                for o in select.order_by
+            ]
+            return
+        # Sort keys see the source row augmented with the computed
+        # aliases — an alias sharing an existing column's name
+        # overwrites that value in place (dict semantics), a new name
+        # appends a slot.
+        ext_columns = list(flavour.columns)
+        actions: list[int | None] = []
+        for alias, _ in self._aliases:
+            if alias in ext_columns:
+                actions.append(_last_index(ext_columns, alias))
+            else:
+                actions.append(None)
+                ext_columns.append(alias)
+        self._alias_actions = actions
+        self._ext_columns = ext_columns
+        extended = _SlotFlavour(ext_columns)
+        self._order_plain = [
+            (_compile_expr(o.expr, extended), o.descending)
+            for o in select.order_by
+        ]
+
+    def _extended_rows(self, filtered: list[Any]) -> list[list[Any]]:
+        """Source rows + computed alias values, as positional rows under
+        ``self._ext_columns`` (alias evaluation errors become None)."""
+        flavour = self._flavour
+        out: list[list[Any]] = []
+        appended = sum(1 for a in self._alias_actions if a is None)
+        for r in filtered:
+            if isinstance(flavour, _SlotFlavour):
+                ext = list(r)
+            else:
+                ext = [r.get(c) for c in flavour.columns]
+            if appended:
+                ext.extend([None] * appended)
+            slot = len(flavour.columns)
+            for (alias, fn), action in zip(self._aliases, self._alias_actions):
+                try:
+                    value = fn(r)
+                except SqlExecutionError:
+                    value = None
+                if action is None:
+                    ext[slot] = value
+                    slot += 1
+                else:
+                    ext[action] = value
+            out.append(ext)
+        return out
+
+    # -- execution -----------------------------------------------------
+    def execute(self, rows: Sequence[Any]) -> SelectResult:
+        """Run the bound plan over ``rows``."""
+        predicate = self._predicate
+        if predicate is None:
+            filtered = list(rows)
+        else:
+            filtered = [r for r in rows if predicate(r)]
+
+        if self._grouped:
+            out_cols, out_rows = self._execute_grouped(filtered)
+        else:
+            if self._order_plain:
+                if self._aliases:
+                    key_rows: list[Any] = self._extended_rows(filtered)
+                else:
+                    key_rows = filtered
+                order = _sort_payload(
+                    self._order_plain, key_rows, list(range(len(filtered)))
+                )
+                filtered = [filtered[i] for i in order]
+            out_cols = self._out_cols
+            if self._star:
+                out_rows = self._flavour.star_rows(filtered)
+            else:
+                item_fns = self._item_fns
+                out_rows = [[fn(r) for fn in item_fns] for r in filtered]
+
+        stmt = self.select
+        if stmt.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique: list[list[Any]] = []
+            for r in out_rows:
+                key = tuple(_hashable(v) for v in r)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(r)
+            out_rows = unique
+        if stmt.offset:
+            out_rows = out_rows[stmt.offset:]
+        if stmt.limit is not None:
+            out_rows = out_rows[: stmt.limit]
+        return SelectResult.adopt(out_cols, out_rows)
+
+    def _execute_grouped(
+        self, filtered: list[Any]
+    ) -> tuple[list[str], list[list[Any]]]:
+        if self._star_with_aggregates:
+            raise SqlExecutionError(
+                "SELECT * cannot be combined with aggregation"
+            )
+        groups: dict[tuple[Any, ...], list[Any]] = {}
+        group_keys = self._group_keys
+        if group_keys:
+            for r in filtered:
+                key = tuple(_hashable(fn(r)) for fn in group_keys)
+                groups.setdefault(key, []).append(r)
+        else:
+            # Implicit single group: aggregates over empty input still
+            # produce one row (COUNT(*) = 0).
+            groups[()] = filtered
+
+        having = self._having
+        agg_items = self._agg_items
+        empty_sample = self._flavour.empty_sample()
+        out: list[list[Any]] = []
+        for key in groups:
+            members = groups[key]
+            sample = members[0] if members else empty_sample
+            if having is not None:
+                hv = having(members, sample)
+                if hv is None or not hv:
+                    continue
+            out.append([fn(members, sample) for fn in agg_items])
+        if self._order_grouped:
+            out = _sort_payload(self._order_grouped, out, out)
+        return self._out_cols, out
+
+
+class CompiledPlan:
+    """A SELECT compiled once, bindable to any column layout.
+
+    Layout bindings (the expensive closure construction) are cached on
+    the plan, keyed by the column tuple, so a plan held in the
+    :class:`~repro.core.plans.PlanCache` pays compilation exactly once
+    per (query, layout) pair.
+    """
+
+    __slots__ = ("select", "_slot_bindings", "_mapping_bindings")
+
+    def __init__(self, select: ast.Select) -> None:
+        self.select = select
+        self._slot_bindings: dict[tuple[str, ...], BoundPlan] = {}
+        self._mapping_bindings: dict[tuple[str, ...], BoundPlan] = {}
+
+    def bind(self, columns: Sequence[str]) -> BoundPlan:
+        """Bind to a positional-row layout (rows are lists of values)."""
+        key = tuple(columns)
+        bound = self._slot_bindings.get(key)
+        if bound is None:
+            bound = BoundPlan(self.select, _SlotFlavour(key))
+            self._slot_bindings[key] = bound
+        return bound
+
+    def bind_mapping(self, columns: Sequence[str]) -> BoundPlan:
+        """Bind to a mapping-row layout (rows are dicts; the history
+        store's persistent representation)."""
+        key = tuple(columns)
+        bound = self._mapping_bindings.get(key)
+        if bound is None:
+            bound = BoundPlan(self.select, _MappingFlavour(key))
+            self._mapping_bindings[key] = bound
+        return bound
+
+
+def compile_plan(select: ast.Select) -> CompiledPlan:
+    """Compile a parsed SELECT into a reusable :class:`CompiledPlan`."""
+    return CompiledPlan(select)
+
+
+# ----------------------------------------------------------------------
+# Positional natural join
+# ----------------------------------------------------------------------
+def join_rows(
+    relations: Sequence[tuple[Sequence[str], Sequence[Sequence[Any]]]],
+    *,
+    key_columns: Sequence[str] | None = None,
+) -> tuple[list[str], list[list[Any]]]:
+    """Inner natural join over positional rows.
+
+    The slot-level mirror of :func:`~repro.sql.executor.natural_join`
+    (same key selection, same output column order, same error) without
+    building a dict per intermediate row: join keys and carried columns
+    are resolved to indices once per relation.
+    """
+    if not relations:
+        return [], []
+    out_columns = list(relations[0][0])
+    out_rows: list[list[Any]] = [list(r) for r in relations[0][1]]
+    for columns, rows in relations[1:]:
+        columns = list(columns)
+        column_set = set(columns)
+        if key_columns is None:
+            keys = [c for c in out_columns if c in column_set]
+        else:
+            out_set = set(out_columns)
+            keys = [c for c in key_columns if c in out_set and c in column_set]
+        if not keys:
+            raise SqlExecutionError(
+                "natural join requires at least one shared column "
+                f"(left has {out_columns!r}, right has {list(columns)!r})"
+            )
+        new_columns = [c for c in columns if c not in set(out_columns)]
+        left_key = [_last_index(out_columns, k) for k in keys]
+        right_key = [_last_index(columns, k) for k in keys]
+        new_index = [_last_index(columns, c) for c in new_columns]
+        index: dict[tuple[Any, ...], list[Sequence[Any]]] = {}
+        for row in rows:
+            index.setdefault(
+                tuple(row[i] for i in right_key), []
+            ).append(row)
+        joined: list[list[Any]] = []
+        for left in out_rows:
+            probe = tuple(left[i] for i in left_key)
+            for right in index.get(probe, ()):
+                joined.append(left + [right[i] for i in new_index])
+        out_columns.extend(new_columns)
+        out_rows = joined
+    return out_columns, out_rows

@@ -26,6 +26,44 @@ class TestNormalise:
     def test_case_folded(self):
         assert normalise_sql("select * from X") == normalise_sql("SELECT * FROM X")
 
+    def test_string_literal_case_preserved(self):
+        # Regression: 'A' and 'a' select different rows, so the keys must
+        # not collide (the old normaliser lowercased literals too and one
+        # cached result could serve the other query).
+        upper = normalise_sql("SELECT * FROM t WHERE Name = 'A'")
+        lower = normalise_sql("SELECT * FROM t WHERE Name = 'a'")
+        assert upper != lower
+        assert upper == "select * from t where name = 'A'"
+
+    def test_literal_whitespace_preserved(self):
+        assert (
+            normalise_sql("SELECT * FROM t  WHERE s = 'two  words'")
+            == "select * from t where s = 'two  words'"
+        )
+
+    def test_doubled_quote_escape_stays_inside_literal(self):
+        # The FROM after the escaped quote is still inside the literal,
+        # so it must keep its case.
+        assert (
+            normalise_sql("SELECT * FROM t WHERE s = 'it''s FROM'")
+            == "select * from t where s = 'it''s FROM'"
+        )
+
+    def test_unterminated_literal_kept_verbatim(self):
+        assert (
+            normalise_sql("SELECT * FROM t WHERE s = 'Open  End")
+            == "select * from t where s = 'Open  End"
+        )
+
+    def test_idempotent_with_literals(self):
+        for sql in (
+            "SELECT * FROM t WHERE Name = 'A'  AND  x = 1 ;",
+            "SELECT 'A' 'b' FROM t",
+            "SELECT * FROM t WHERE a='X'||'y'",
+        ):
+            once = normalise_sql(sql)
+            assert normalise_sql(once) == once
+
 
 class TestLookupStore:
     def test_miss_then_hit(self, cache):

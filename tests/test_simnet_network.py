@@ -454,3 +454,85 @@ class TestPendingFutures:
         net.clock.advance(0.25)
         assert future.done()
         assert net.pending_futures() == 0
+
+
+class TestPayloadSize:
+    """_repr_len must equal len(repr(payload)) exactly.
+
+    The structural walk exists so the bandwidth-delay model charges
+    batched row payloads honestly without building the (large) repr
+    string; if its arithmetic ever drifts from repr, charged sizes
+    silently change and golden traces shift.
+    """
+
+    def random_payload(self, rng, depth=0):
+        roll = rng.randrange(10 if depth < 4 else 6)
+        if roll < 2:
+            return rng.randrange(-(10 ** 6), 10 ** 6)
+        if roll < 3:
+            return rng.choice([None, True, False])
+        if roll < 4:
+            return rng.random() * rng.choice([1, 1e6, -1])
+        if roll < 5:
+            return "".join(
+                rng.choice("abc XY'\"\\0\u00e9")
+                for _ in range(rng.randrange(0, 8))
+            )
+        if roll < 6:
+            return rng.randbytes(rng.randrange(0, 5))
+        n = rng.randrange(0, 4)
+        children = [self.random_payload(rng, depth + 1) for _ in range(n)]
+        if roll < 8:
+            return children
+        if roll < 9:
+            return tuple(children)
+        return {f"k{i}": c for i, c in enumerate(children)}
+
+    def test_structural_size_matches_repr_exactly(self):
+        import random
+
+        from repro.simnet.network import _repr_len
+
+        rng = random.Random(4242)
+        for _ in range(500):
+            payload = self.random_payload(rng)
+            assert _repr_len(payload) == len(repr(payload)), repr(payload)
+
+    def test_hand_picked_shapes(self):
+        from repro.simnet.network import _repr_len
+
+        for payload in (
+            [],
+            (),
+            {},
+            [[]],
+            (1,),
+            (1, 2),
+            {"a": [1, (2,)], "b": {"c": None}},
+            [["h1", 0.5, None], ["h2", 1024, "x"]],
+        ):
+            assert _repr_len(payload) == len(repr(payload))
+
+    def test_deep_nesting_falls_back_to_repr(self):
+        from repro.simnet.network import _payload_size, _repr_len
+
+        deep = [1]
+        for _ in range(30):
+            deep = [deep]
+        assert _repr_len(deep) == len(repr(deep))
+        assert _payload_size(deep) == len(repr(deep))
+
+    def test_batched_rows_cheaper_than_dicts(self):
+        from repro.simnet.network import _payload_size
+
+        keys = ["url", "ok", "rows", "from_cache", "error"]
+        dicts = [
+            {"url": f"jdbc:snmp://h{i}/x", "ok": True, "rows": i,
+             "from_cache": False, "error": None}
+            for i in range(8)
+        ]
+        batched = {
+            "status_keys": keys,
+            "status_rows": [[d[k] for k in keys] for d in dicts],
+        }
+        assert _payload_size(batched) < _payload_size({"statuses": dicts})
