@@ -156,6 +156,12 @@ class RaceDetector:
         det.register("plans", Discipline.VALUE)
         det.register("history", Discipline.COMMUTATIVE)
         det.register("health", Discipline.EXCLUSIVE)
+        # Adaptive-concurrency limiters: epoch folds (count/sum/min)
+        # commute; the recomputed limit is value-disciplined — two
+        # unordered rolls only conflict when they land on different
+        # limits (a genuine order dependence).
+        det.register("limiter.window", Discipline.COMMUTATIVE)
+        det.register("limiter", Discipline.VALUE)
         return det
 
     # ------------------------------------------------------------------

@@ -303,3 +303,334 @@ def run_chaos(
     report.trace_violations = check_tracer(gw.tracer)
     report.pending_futures = network.pending_futures()
     return report
+
+
+# ----------------------------------------------------------------------
+# Overload scenario: offered-load spike x slow-host fault
+# ----------------------------------------------------------------------
+@dataclass
+class OverloadReport:
+    """One overload-chaos run's measurements and invariant checks.
+
+    *Goodput* counts complete answers delivered **within the deadline
+    budget** (every source ok — brownout stale serves qualify: the
+    client got a complete, honestly degraded-marked answer, fast).  An
+    answer that limps in after the deadline is *not* good — the client
+    gave up — which is what makes queueing collapse measurable even
+    where nothing raised: work kept completing, just ever later.  Sheds,
+    deadline blowouts and partial results produce no good answer either.
+    """
+
+    seed: int
+    rounds: int
+    shedding: bool
+    base_load: int
+    spike_load: int
+    deadline: float
+    #: Per-round good completions / offered members, in round order.
+    goodput: list[int] = field(default_factory=list)
+    offered: list[int] = field(default_factory=list)
+    offered_total: int = 0
+    good_total: int = 0
+    #: Per-class shed counts from the gateway's ledger.
+    shed_counts: dict[str, int] = field(default_factory=dict)
+    brownout_served: int = 0
+    doomed: int = 0
+    critical_offered: int = 0
+    critical_shed: int = 0
+    pressure_transitions: int = 0
+    final_state: str = "normal"
+    #: SHA-256 over every member outcome of every round (replay identity).
+    signature: str = ""
+    requests: dict[str, Any] = field(default_factory=dict)
+    breakers: dict[str, Any] = field(default_factory=dict)
+    breaker_violations: list[str] = field(default_factory=list)
+    trace_violations: list[str] = field(default_factory=list)
+    traces_checked: int = 0
+    pending_futures: int = 0
+    elapsed_virtual: float = 0.0
+    race_findings: list[str] = field(default_factory=list)
+    race_accesses: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "shedding": self.shedding,
+            "base_load": self.base_load,
+            "spike_load": self.spike_load,
+            "deadline": self.deadline,
+            "goodput": list(self.goodput),
+            "offered": list(self.offered),
+            "offered_total": self.offered_total,
+            "good_total": self.good_total,
+            "shed_counts": dict(self.shed_counts),
+            "brownout_served": self.brownout_served,
+            "doomed": self.doomed,
+            "critical_offered": self.critical_offered,
+            "critical_shed": self.critical_shed,
+            "pressure_transitions": self.pressure_transitions,
+            "final_state": self.final_state,
+            "signature": self.signature,
+            "requests": dict(self.requests),
+            "breakers": dict(self.breakers),
+            "breaker_violations": list(self.breaker_violations),
+            "trace_violations": list(self.trace_violations),
+            "traces_checked": self.traces_checked,
+            "pending_futures": self.pending_futures,
+            "elapsed_virtual": self.elapsed_virtual,
+            "race_findings": list(self.race_findings),
+            "race_accesses": self.race_accesses,
+        }
+
+    def format(self) -> str:
+        """Console rendering of the run."""
+        r = self.requests
+        lines = [
+            f"Overload run: seed={self.seed}, {self.rounds} rounds, "
+            f"shedding {'on' if self.shedding else 'off'}, "
+            f"load {self.base_load}->{self.spike_load}/round, "
+            f"deadline={self.deadline:g}s",
+            f"  goodput: {self.good_total}/{self.offered_total} "
+            f"(per round: {' '.join(str(g) for g in self.goodput)})",
+            f"  sheds: total={self.shed_counts.get('total', 0)} "
+            f"(critical={self.shed_counts.get('critical', 0)}, "
+            f"interactive={self.shed_counts.get('interactive', 0)}, "
+            f"batch={self.shed_counts.get('batch', 0)}), "
+            f"brownout served={self.brownout_served}, doomed={self.doomed}",
+            f"  critical: {self.critical_shed}/{self.critical_offered} shed",
+            f"  pressure: {self.pressure_transitions} transitions, "
+            f"final state={self.final_state}",
+            f"  deadline exceeded: {r.get('deadline_exceeded', 0)}, "
+            f"source failures: {r.get('source_failures', 0)}, "
+            f"retries: {r.get('retries', 0)} "
+            f"(gave up {r.get('retry_giveups', 0)})",
+            f"  breakers: {self.breakers.get('trips', 0)} trips, "
+            f"{self.breakers.get('open', 0)} open at end",
+            f"  invariants: pending futures={self.pending_futures}, "
+            f"breaker violations={len(self.breaker_violations)}, "
+            f"trace violations={len(self.trace_violations)} "
+            f"({self.traces_checked} traces checked)",
+        ]
+        if self.race_accesses:
+            lines.append(
+                f"  lane races: {len(self.race_findings)} finding(s) over "
+                f"{self.race_accesses} shared-state accesses"
+            )
+        lines.append(f"  replay signature: {self.signature[:16]}…")
+        return "\n".join(lines)
+
+
+def _overload_class(i: int) -> str:
+    """Deterministic class mix for burst member ``i`` (no RNG: replay
+    identity must not depend on draw order): 10% critical, ~30% batch,
+    the rest interactive."""
+    if i % 10 == 0:
+        return "critical"
+    if i % 3 == 2:
+        return "batch"
+    return "interactive"
+
+
+def run_overload(
+    *,
+    seed: int = 0,
+    rounds: int = 12,
+    hosts: int = 4,
+    agents: Sequence[str] = ("snmp",),
+    shedding: bool = True,
+    base_load: int = 2,
+    spike_load: int = 32,
+    spike_start_round: int = 3,
+    spike_rounds: int = 6,
+    deadline: float = 2.0,
+    period: float = 10.0,
+    warmup_rounds: int = 4,
+    queue_limit: int = 8,
+    slow_host: bool = True,
+    slow_factor: float = 3.0,
+    slow_service: float = 0.3,
+    sql: str = "SELECT * FROM Processor",
+    race_detect: bool = False,
+) -> OverloadReport:
+    """Offered-load spike x slow-host fault against one gateway.
+
+    Each round offers a burst of concurrent client queries
+    (``base_load``, spiking to ``spike_load`` during the spike window)
+    with a deterministic CRITICAL/INTERACTIVE/BATCH mix; during the
+    spike every monitored host also degrades (site-wide contention), so
+    per-request cost inflates exactly when offered load peaks.  The
+    default spike (32 members against an initial admission limit of 8)
+    is 4x the no-queue capacity.  With ``shedding`` on, the gateway's
+    admission control + adaptive concurrency + brownout machinery
+    (:mod:`repro.core.admission`) degrades gracefully: excess load is
+    absorbed by bounded queueing, brownout stale serving and typed
+    sheds, and the breakers stay quiet.  With it off, per-source queue
+    waits push answers past their deadline (late answers are not
+    goodput), the resulting failures trip breakers on *healthy* hosts,
+    and goodput collapses.
+
+    ``warmup_rounds=0`` removes the stale coverage brownout serving
+    depends on, so pressured queries shed instead — the shed-heavy
+    variant.  ``slow_host=False`` drops the fault entirely: sheds then
+    come purely from offered load, which is what the breaker x shed
+    end-to-end assertion wants (sheds happen, zero breaker activity).
+    """
+    policy = GatewayPolicy(
+        fanout_enabled=True,
+        hedge_enabled=False,
+        retry_attempts=2,
+        default_deadline=deadline,
+        admission_enabled=shedding,
+        adaptive_concurrency=shedding,
+        admission_queue_limit=queue_limit,
+        pressure_min_dwell=period / 2,
+        # The breaker's stale-on-open path would mask the comparison:
+        # without admission control, queueing blows deadlines, the
+        # breakers mistake overload for host failure and quietly serve
+        # everything stale — "goodput" by accident, with healthy sources
+        # marked dead (breaker pollution, visible in ``breakers``).
+        # run_chaos covers that path; here it is off in BOTH arms so the
+        # measured stale serving is the *deliberate* brownout machinery.
+        serve_stale_on_open=False,
+    )
+    network, (site,) = build_testbed(
+        n_hosts=hosts, agents=tuple(agents), seed=seed, policy=policy
+    )
+    gw = site.gateway
+    clock = network.clock
+    clock.advance(60.0)
+    urls = list(site.source_urls)
+
+    detector = None
+    if race_detect:
+        from repro.analysis import races
+
+        detector = races.RaceDetector.standard(clock)
+        gw.race_detector = detector
+
+    report = OverloadReport(
+        seed=seed,
+        rounds=rounds,
+        shedding=shedding,
+        base_load=base_load,
+        spike_load=spike_load,
+        deadline=deadline,
+    )
+    digest = hashlib.sha256()
+    from repro.core.gateway import BatchQuery
+
+    # Burst member i asks a *distinct* query (an always-true predicate
+    # varying by slot) — identical queries would coalesce via
+    # single-flight and the "offered load" would be one flight per
+    # source, which is no load at all.
+    member_sql = [
+        f"{sql} WHERE 0 <= {i}" for i in range(max(spike_load, base_load))
+    ]
+
+    with _maybe_detect(detector):
+        # Clean warm-up polls: the query cache needs a relation per
+        # (source, member-sql) so brownout has stale coverage to serve,
+        # and the limiters need a latency baseline.  Not measured.
+        for _ in range(max(0, warmup_rounds)):
+            for msql in member_sql:
+                gw.query(urls, msql, mode=QueryMode.REALTIME)
+            clock.advance(period)
+
+        spike_start = clock.now() + spike_start_round * period
+        # Rounds take `period` plus the batch's own virtual elapsed time,
+        # and an overloaded batch runs long — size the fault window
+        # generously so it covers the spike rounds in both arms (trailing
+        # base-load rounds are far below capacity either way).
+        spike_len = 3 * spike_rounds * period
+        if slow_host:
+            # Every monitored host degrades together (site-wide resource
+            # contention, exactly when offered load peaks).  A single slow
+            # host would just trip its breaker and be served stale — real
+            # overload is the case breakers *cannot* isolate.
+            plane = FaultPlane(network, seed=seed)
+            for name in site.host_names():
+                plane.slow_host(
+                    name,
+                    factor=slow_factor,
+                    service_time=slow_service,
+                    start=spike_start - clock.now(),
+                    duration=spike_len,
+                )
+
+        started = clock.now()
+        for rnd in range(rounds):
+            in_spike = spike_start_round <= rnd < spike_start_round + spike_rounds
+            n = spike_load if in_spike else base_load
+            classes = [_overload_class(i) for i in range(n)]
+            report.critical_offered += sum(1 for c in classes if c == "critical")
+            members = [
+                BatchQuery(
+                    urls=urls,
+                    sql=member_sql[i],
+                    mode=QueryMode.REALTIME,
+                    query_class=c,
+                )
+                for i, c in enumerate(classes)
+            ]
+            outcomes = gw.query_batch(members)
+            good = 0
+            for i, out in enumerate(outcomes):
+                if isinstance(out, Exception):
+                    digest.update(
+                        repr((rnd, i, type(out).__name__, str(out))).encode()
+                    )
+                    continue
+                digest.update(
+                    repr(
+                        (
+                            rnd,
+                            i,
+                            out.columns,
+                            out.rows,
+                            [
+                                (
+                                    s.url, s.ok, s.rows, s.from_cache,
+                                    s.degraded, s.shed, s.error,
+                                )
+                                for s in out.statuses
+                            ],
+                        )
+                    ).encode()
+                )
+                if (
+                    out.statuses
+                    and out.failed_sources == 0
+                    and out.elapsed <= deadline
+                ):
+                    good += 1
+            report.goodput.append(good)
+            report.offered.append(n)
+            report.good_total += good
+            report.offered_total += n
+            clock.advance(period)
+        # Drain scheduled work (fault heal, re-probes) before invariants.
+        clock.advance(10 * period)
+
+    if detector is not None:
+        report.race_findings = [f.format() for f in detector.report()]
+        report.race_accesses = detector.accesses_noted
+
+    snapshot = gw.overload.snapshot()
+    report.signature = digest.hexdigest()
+    report.elapsed_virtual = clock.now() - started
+    report.shed_counts = dict(snapshot["sheds"])
+    report.critical_shed = int(snapshot["sheds"].get("critical", 0))
+    report.brownout_served = int(snapshot["brownout_served"])
+    report.doomed = int(snapshot["doomed"])
+    report.pressure_transitions = int(snapshot["transitions"])
+    report.final_state = str(snapshot["state"])
+    report.requests = dict(gw.request_manager.stats)
+    report.breakers = gw.health.summary()
+    report.breaker_violations = _breaker_violations(gw.health.scoreboard())
+    from repro.obs.invariants import check_tracer
+
+    report.traces_checked = len(gw.tracer.traces())
+    report.trace_violations = check_tracer(gw.tracer)
+    report.pending_futures = network.pending_futures()
+    return report

@@ -164,6 +164,66 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_overload(args) -> int:
+    from repro.chaos import run_overload
+
+    agents = tuple(args.agents.split(",")) if args.agents else ("snmp",)
+    knobs = dict(
+        seed=args.seed,
+        rounds=args.rounds,
+        hosts=args.hosts,
+        agents=agents,
+        shedding=not args.shed_off,
+        spike_load=args.spike_load,
+        deadline=args.deadline,
+        period=args.period,
+        warmup_rounds=args.warmup_rounds,
+        slow_host=not args.no_slow_host,
+    )
+    report = run_overload(**knobs)
+    print(report.format())
+    failed = False
+    if args.race_detect:
+        # Dual run: the detector must neither find lane races nor
+        # perturb the run — byte-identical signature with detection on.
+        detected = run_overload(**knobs, race_detect=True)
+        if detected.signature != report.signature:
+            print(
+                "# race detector perturbed the run: "
+                f"{detected.signature[:16]} != {report.signature[:16]}",
+                file=sys.stderr,
+            )
+            failed = True
+        for finding in detected.race_findings:
+            print(f"# lane race: {finding}", file=sys.stderr)
+        failed = failed or bool(detected.race_findings)
+        print(
+            f"race detector: {detected.race_accesses} accesses checked, "
+            f"{len(detected.race_findings)} finding(s), "
+            f"signature {'identical' if detected.signature == report.signature else 'DIVERGED'}"
+        )
+    if report.critical_shed:
+        print(
+            f"# {report.critical_shed} CRITICAL quer(ies) shed — "
+            "critical work must never be dropped",
+            file=sys.stderr,
+        )
+        failed = True
+    for violation in report.breaker_violations:
+        print(f"# breaker invariant violated: {violation}", file=sys.stderr)
+        failed = True
+    for violation in report.trace_violations:
+        print(f"# trace invariant violated: {violation}", file=sys.stderr)
+        failed = True
+    if report.pending_futures:
+        print(
+            f"# {report.pending_futures} network future(s) never resolved",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def cmd_crashtest(args) -> int:
     from repro.crashtest import run_crashtest
 
@@ -391,6 +451,48 @@ def main(argv: list[str] | None = None) -> int:
         help="run under the virtual-lane race detector (GRM55x findings fail)",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "overload",
+        help="run the overload scenario (load spike x slow hosts)",
+    )
+    _add_common(p)
+    p.add_argument("--rounds", type=int, default=12, help="measured burst rounds")
+    p.add_argument(
+        "--spike-load", type=int, default=32, help="burst size during the spike"
+    )
+    p.add_argument(
+        "--period", type=float, default=10.0, help="virtual seconds between rounds"
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="per-query budget in virtual seconds",
+    )
+    p.add_argument(
+        "--warmup-rounds",
+        type=int,
+        default=4,
+        help="unmeasured warm-up rounds (0 = no stale coverage: shed-heavy)",
+    )
+    p.add_argument(
+        "--shed-off",
+        action="store_true",
+        help="disable admission control / shedding (the collapse arm)",
+    )
+    p.add_argument(
+        "--no-slow-host",
+        action="store_true",
+        help="skip the slow-host fault (sheds come purely from load)",
+    )
+    p.add_argument(
+        "--race-detect",
+        action="store_true",
+        help="dual run under the lane-race detector; findings or a "
+        "perturbed signature fail",
+    )
+    p.set_defaults(func=cmd_overload)
 
     p = sub.add_parser(
         "crashtest", help="kill/recover/verify loops over durable history"

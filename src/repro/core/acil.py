@@ -31,6 +31,10 @@ class ClientRequest:
     mode: str = "realtime"
     session_token: str | None = None
     max_age: float | None = None
+    #: Admission priority ("critical" | "interactive" | "batch"); empty
+    #: means the gateway policy's default class.  Under overload, BATCH
+    #: sheds first and CRITICAL is never shed.
+    query_class: str = ""
 
 
 @dataclass
@@ -61,6 +65,7 @@ class ClientResponse:
                     "from_cache": s.from_cache,
                     "degraded": s.degraded,
                     "coalesced": s.coalesced,
+                    "shed": s.shed,
                     "error": s.error,
                 }
                 for s in result.statuses
@@ -100,6 +105,7 @@ class AbstractClientInterface:
             mode=mode,
             principal=principal,
             max_age=request.max_age,
+            query_class=request.query_class or None,
         )
         return ClientResponse.from_result(result)
 

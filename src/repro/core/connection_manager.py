@@ -103,7 +103,10 @@ class ConnectionManager:
         url = JdbcUrl.parse(url) if isinstance(url, str) else url
         with self.tracer.span("conn.acquire", url=str(url)) as span:
             if deadline is not None:
-                deadline.check(f"connection acquire for {url}")
+                # The budget this check catches was spent queueing
+                # upstream (cap_wait / admission queue): name queue_wait
+                # as the spending step rather than blaming the pool.
+                deadline.check(f"queue_wait before connection acquire for {url}")
             self.stats["acquires"] += 1
             quarantined = self.health is not None and self.health.is_quarantined(
                 _pool_key(url)

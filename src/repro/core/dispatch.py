@@ -38,7 +38,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.core.admission import GradientLimiter
 from repro.core.cache import normalise_sql
+from repro.core.deadline import Deadline
 from repro.core.errors import GridRmError
 from repro.core.policy import GatewayPolicy
 from repro.dbapi.exceptions import SQLException
@@ -181,12 +183,20 @@ class FanoutDispatcher:
         self._inflight_ends: dict[str, list[float]] = {}
         #: Recent successful-attempt latencies per source (hedge timer).
         self._latencies: dict[str, deque[float]] = {}
+        #: Per-source AIMD limiters (``policy.adaptive_concurrency``);
+        #: they replace the static cap as the ``_await_slot`` bound.
+        self._limiters: dict[str, GradientLimiter] = {}
         self.stats = DispatchStats(self.registry)
 
     # ------------------------------------------------------------------
     # Fan-out
     # ------------------------------------------------------------------
-    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[BranchOutcome]:
+    def run(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        *,
+        deadline: Deadline | None = None,
+    ) -> list[BranchOutcome]:
         """Run branches concurrently in virtual time; outcomes in order.
 
         Branch exceptions are captured per-branch (one failing branch
@@ -195,10 +205,17 @@ class FanoutDispatcher:
         consolidation is deterministic regardless of which branch's
         virtual round-trip completes first.  With ``fanout_enabled``
         off — or a single branch — execution is plain serial.
+
+        With a ``deadline``, every branch re-checks it at launch: a
+        request whose budget ran out while it sat behind earlier work is
+        failed as ``DeadlineExceededError`` (naming ``queue_wait`` as
+        the spending step) instead of being dispatched anyway.
         """
         thunks = list(thunks)
         if not thunks:
             return []
+        if deadline is not None:
+            thunks = [self._launch_guard(thunk, deadline) for thunk in thunks]
         if not self.policy.fanout_enabled or len(thunks) == 1:
             self.stats.serial_runs += 1
             return [self._run_one(thunk) for thunk in thunks]
@@ -211,6 +228,17 @@ class FanoutDispatcher:
                     with scope.branch():
                         outcomes.append(self._run_one(thunk))
         return outcomes
+
+    def _launch_guard(
+        self, thunk: Callable[[], Any], deadline: Deadline
+    ) -> Callable[[], Any]:
+        """Wrap a branch so its deadline is re-checked at launch time."""
+
+        def run() -> Any:
+            deadline.check("queue_wait (branch launch)")
+            return thunk()
+
+        return run
 
     def _run_one(self, thunk: Callable[[], Any]) -> BranchOutcome:
         start = self.clock.now()
@@ -258,6 +286,7 @@ class FanoutDispatcher:
         fetch: Callable[[], Any],
         *,
         hedge: bool = True,
+        deadline: Deadline | None = None,
     ) -> Any:
         """Run the real fetch, registered as the coalescing target.
 
@@ -272,13 +301,14 @@ class FanoutDispatcher:
         the source's ``hedge_percentile`` latency, a second fetch fires
         and the first usable response wins.
         """
-        self._await_slot(source_key)
+        self._await_slot(source_key, deadline=deadline)
         started = self.clock.now()
         delay = self._hedge_delay(source_key) if hedge else None
         if delay is None:
             try:
                 value = fetch()
             except BRANCH_ERRORS as exc:
+                self._note_congestion(source_key, self.clock.now() - started)
                 self._finish_flight(source_key, sql, started, error=exc)
                 raise
             self._note_latency(source_key, self.clock.now() - started)
@@ -286,6 +316,7 @@ class FanoutDispatcher:
             return value
         outcome = self._run_hedged(source_key, fetch, delay)
         if outcome.error is not None:
+            self._note_congestion(source_key, self.clock.now() - started)
             self._finish_flight(source_key, sql, started, error=outcome.error)
             raise outcome.error
         self._finish_flight(source_key, sql, started, value=outcome.value)
@@ -362,6 +393,15 @@ class FanoutDispatcher:
             window = self._latencies[source_key] = deque(maxlen=_LATENCY_WINDOW)
         window.append(elapsed)
         self.registry.histogram("dispatch.attempt_latency").record(elapsed)
+        if self.policy.adaptive_concurrency:
+            self._source_limiter(source_key).observe(elapsed)
+
+    def _note_congestion(self, source_key: str, elapsed: float) -> None:
+        """A failed attempt is a congestion signal to the source limiter
+        (it never feeds the hedge timer — that window stays
+        success-only so failures cannot disarm hedging)."""
+        if self.policy.adaptive_concurrency:
+            self._source_limiter(source_key).observe(elapsed, congested=True)
 
     def _hedge_delay(self, source_key: str) -> float | None:
         """Arm the hedge timer, or None when hedging must not fire."""
@@ -402,16 +442,52 @@ class FanoutDispatcher:
             del self._flights[k]
 
     # ------------------------------------------------------------------
-    # Per-source concurrency cap
+    # Per-source concurrency cap (static, or adaptive AIMD limiter)
     # ------------------------------------------------------------------
-    def _await_slot(self, source_key: str) -> None:
-        """Wait (in virtual time) for a dispatch slot to this source."""
+    def _source_limiter(self, source_key: str) -> GradientLimiter:
+        """The per-source AIMD limiter (lazily created).
+
+        Seeded from the static cap so turning ``adaptive_concurrency``
+        on starts from the same limit the static policy enforced.
+        """
+        limiter = self._limiters.get(source_key)
+        if limiter is None:
+            initial = (
+                self.policy.max_concurrent_per_source
+                or self.policy.admission_initial_limit
+            )
+            limiter = self._limiters[source_key] = GradientLimiter(
+                self.clock,
+                initial=initial,
+                floor=self.policy.limiter_floor,
+                ceiling=self.policy.limiter_ceiling,
+                tolerance=self.policy.limiter_tolerance,
+                backoff=self.policy.limiter_backoff,
+                window=self.policy.limiter_window,
+                registry=self.registry,
+                key=source_key,
+            )
+        return limiter
+
+    def _await_slot(
+        self, source_key: str, *, deadline: Deadline | None = None
+    ) -> None:
+        """Wait (in virtual time) for a dispatch slot to this source.
+
+        The in-flight bookkeeping is launch-order-coupled by design
+        (branch k of a fan-out observes branches 0..k-1's completion
+        instants) and deterministic under replay, so — like the flight
+        table — it is intentionally not race-instrumented.
+        """
         ends = self._inflight_ends.get(source_key)
         if not ends:
             return
         now = self.clock.now()
         live = [e for e in ends if e > now]
-        cap = self.policy.max_concurrent_per_source
+        if self.policy.adaptive_concurrency:
+            cap = self._source_limiter(source_key).limit
+        else:
+            cap = self.policy.max_concurrent_per_source
         if cap > 0 and len(live) >= cap:
             waited_from = now
             with self.tracer.span("cap_wait", source=source_key) as wspan:
@@ -422,7 +498,15 @@ class FanoutDispatcher:
                 wspan["waited"] = now - waited_from
             self.stats.cap_waits += 1
             self.stats.cap_wait_time += now - waited_from
+            if deadline is not None:
+                # The wait spent real budget: fail now rather than
+                # dispatch work whose answer nobody is waiting for.
+                deadline.check(f"queue_wait for {source_key}")
         self._inflight_ends[source_key] = live
+
+    def limiter_snapshot(self) -> dict[str, dict]:
+        """Current adaptive per-source limits (console / stats view)."""
+        return {key: lim.snapshot() for key, lim in sorted(self._limiters.items())}
 
     def inflight(self, source_key: str) -> int:
         """How many requests to ``source_key`` are in flight right now."""

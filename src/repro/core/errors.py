@@ -39,6 +39,32 @@ class DeadlineExceededError(GridRmError):
     instead of starting work whose answer nobody is waiting for."""
 
 
+class OverloadError(GridRmError):
+    """The gateway refused the query to protect itself (load shed).
+
+    Raised by the admission controller (:mod:`repro.core.admission`)
+    when the gateway is saturated and the query's class is sheddable,
+    and decoded off the GMA wire when a *remote* gateway shed the query.
+    A shed says nothing about data-source health: it must never count as
+    a circuit-breaker failure, never consume a retry-budget token, and
+    never trigger a hedge — the client should back off and retry after
+    ``retry_after`` (virtual seconds, 0 = unknown).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 0.0,
+        query_class: str = "",
+    ) -> None:
+        super().__init__(message)
+        #: Hint: seconds (virtual) until the pressure state could relax.
+        self.retry_after = retry_after
+        #: The shed query's class ("critical" / "interactive" / "batch").
+        self.query_class = query_class
+
+
 class PolicyError(GridRmError):
     """Invalid gateway policy configuration."""
 

@@ -14,6 +14,7 @@ attaches to a Gateway to route remote queries.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Mapping, MutableMapping, Optional, Sequence
 
@@ -21,12 +22,13 @@ from repro.analysis.conformance import check_driver
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.query_check import validate_sql
 from repro.core.acil import AbstractClientInterface
+from repro.core.admission import AdmissionController, QueryClass
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
 from repro.core.deadline import Deadline
 from repro.core.dispatch import FanoutDispatcher
 from repro.core.driver_manager import GridRmDriverManager
-from repro.core.errors import DeadlineExceededError, GridRmError
+from repro.core.errors import DeadlineExceededError, GridRmError, OverloadError
 from repro.core.events import Event, EventManager, SnmpTrapEventDriver
 from repro.core.health import BreakerState, HealthTracker, SourceHealth
 from repro.core.history import HistoryStore
@@ -36,8 +38,10 @@ from repro.core.request_manager import (
     QueryMode,
     QueryResult,
     RequestManager,
+    SourceStatus,
     merge_rows,
 )
+from repro.core.shed import PressureState, ShedAction
 from repro.core.schema_manager import SchemaManager
 from repro.core.security import (
     ANONYMOUS,
@@ -89,6 +93,9 @@ class BatchQuery:
     #: Per-member end-to-end budget in virtual seconds (None = policy
     #: default); each member of a batch gets its own deadline.
     timeout: float | None = None
+    #: Priority class of this member (None = the policy default); under
+    #: pressure the gateway sheds "batch" first and never "critical".
+    query_class: "QueryClass | str | None" = None
 
 
 def _spec_finding(spec: str, error: str) -> Finding:
@@ -227,6 +234,18 @@ class Gateway:
             registry=self.metrics,
             tracer=self.tracer,
         )
+        # Overload protection: bounded admission queue + gateway-wide
+        # adaptive concurrency + NORMAL/BROWNOUT/SHED pressure machine.
+        # Inert unless policy.admission_enabled (decide/admit are only
+        # called on the admitted path), so replay signatures and golden
+        # traces of existing scenarios are untouched.
+        self.overload = AdmissionController(
+            network.clock,
+            self.policy,
+            registry=self.metrics,
+            tracer=self.tracer,
+            on_transition=self._on_pressure_transition,
+        )
         self.request_manager = RequestManager(
             self.connection_manager,
             self.cache,
@@ -237,6 +256,7 @@ class Gateway:
             registry=self.metrics,
             tracer=self.tracer,
             plans=self.plans,
+            admission=self.overload,
         )
         self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
         self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)
@@ -347,6 +367,33 @@ class Gateway:
             )
         )
 
+    def _on_pressure_transition(
+        self, old: PressureState, new: PressureState
+    ) -> None:
+        """The gateway's overload state machine changed state: emit it as
+        a GridRM event (recorded into history, fanned out to listeners)
+        so operators see brownouts the same way they see breaker trips."""
+        severity = {
+            PressureState.NORMAL: "info",
+            PressureState.BROWNOUT: "warning",
+            PressureState.SHED: "error",
+        }[new]
+        self.events.emit(
+            Event(
+                source_host=self.host,
+                name=f"pressure.{new.value}",
+                severity=severity,
+                time=self.network.clock.now(),
+                fields={
+                    "from": old.value,
+                    "to": new.value,
+                    "queue_depth": self.overload.queue_depth(),
+                    "limit": self.overload.limiter.limit,
+                },
+                native_kind="health",
+            )
+        )
+
     # ------------------------------------------------------------------
     # Data-source list management (paper §4, Figure 9)
     # ------------------------------------------------------------------
@@ -405,8 +452,16 @@ class Gateway:
         timeout: float | None = None,
         deadline: Deadline | None = None,
         trace_parent: Mapping[str, Any] | None = None,
+        query_class: "QueryClass | str | None" = None,
     ) -> QueryResult:
         """Run a client query against one or more local data sources.
+
+        ``query_class`` sets the query's priority class ("critical" /
+        "interactive" / "batch", defaulting to the policy's
+        ``default_query_class``).  With admission control enabled the
+        gateway sheds BATCH first under pressure
+        (:class:`~repro.core.errors.OverloadError`), serves sheddable
+        classes stale in BROWNOUT, and never refuses CRITICAL.
 
         ``timeout`` gives the query an end-to-end budget in virtual
         seconds: a :class:`~repro.core.deadline.Deadline` is minted here
@@ -433,6 +488,10 @@ class Gateway:
             budget = timeout if timeout is not None else self.policy.default_deadline
             if budget > 0:
                 deadline = Deadline.after(self.network.clock, budget)
+        qc = QueryClass.parse(
+            query_class if query_class is not None
+            else self.policy.default_query_class
+        )
 
         with self.tracer.start_trace(
             "query",
@@ -443,10 +502,97 @@ class Gateway:
             urls=len(parsed),
         ) as root:
             trace = self.tracer.current_trace()
-            result = self._traced_query(
-                parsed, sql, mode, max_age, principal, deadline, root
+            result = self._admitted_query(
+                parsed, sql, mode, max_age, principal, deadline, root, qc
             )
         result.trace_id = trace.trace_id if trace is not None else ""
+        return result
+
+    def _admitted_query(
+        self,
+        parsed: list[JdbcUrl],
+        sql: str,
+        mode: QueryMode,
+        max_age: float | None,
+        principal: Principal,
+        deadline: Deadline | None,
+        root,
+        qc: QueryClass,
+    ) -> QueryResult:
+        """The overload-protected entry to the query path.
+
+        With admission off (the default) — or for HISTORY queries, which
+        cost no agent traffic — this is a transparent pass-through, so
+        existing traces and replay signatures are byte-identical.
+        """
+        adm = self.overload
+        if not adm.enabled or mode is QueryMode.HISTORY:
+            return self._traced_query(
+                parsed, sql, mode, max_age, principal, deadline, root, qc
+            )
+        root.annotate(query_class=qc.value)
+        action = adm.decide(qc)
+        if action in (ShedAction.STALE_THEN_DISPATCH, ShedAction.STALE_THEN_SHED):
+            stale = self._brownout_result(parsed, sql, mode)
+            if stale is not None:
+                adm.note_brownout_serve()
+                return stale
+            if action is ShedAction.STALE_THEN_SHED:
+                adm.shed(qc, "no stale coverage under pressure")
+        elif action is ShedAction.SHED:
+            adm.shed(qc, "gateway shedding")
+        ticket = adm.admit(qc, deadline)
+        congested = True
+        try:
+            result = self._traced_query(
+                parsed, sql, mode, max_age, principal, deadline, root, qc
+            )
+            # A request that failed any source (deadline blowouts
+            # included) is a congestion signal to the gateway limiter.
+            congested = result.failed_sources > 0
+            return result
+        finally:
+            adm.release(ticket, congested=congested)
+
+    def _brownout_result(
+        self, parsed: list[JdbcUrl], sql: str, mode: QueryMode
+    ) -> QueryResult | None:
+        """A complete stale answer from the query cache, or None.
+
+        Brownout serving is all-or-nothing: every URL must still hold a
+        (possibly expired) cached relation for this SQL — a partial
+        stale answer would silently drop sources, so it falls through to
+        normal dispatch (or a shed) instead.
+        """
+        started = self.network.clock.now()
+        hits: list[tuple[str, Any]] = []
+        for url in parsed:
+            stale = self.cache.lookup_stale(str(url), sql)
+            if stale is None:
+                return None
+            hits.append((str(url), stale))
+        with self.tracer.span(
+            "brownout_serve",
+            sources=len(hits),
+            state=self.overload.monitor.state.value,
+        ):
+            result = QueryResult(
+                columns=[], rows=[], mode=mode, started_at=started
+            )
+            for url_text, stale in hits:
+                result.columns, n = merge_rows(
+                    result.columns, result.rows, stale.columns, stale.rows
+                )
+                result.statuses.append(
+                    SourceStatus(
+                        url=url_text,
+                        ok=True,
+                        rows=n,
+                        from_cache=True,
+                        degraded=True,
+                    )
+                )
+        result.elapsed = self.network.clock.now() - started
         return result
 
     def _traced_query(
@@ -458,6 +604,7 @@ class Gateway:
         principal: Principal,
         deadline: Deadline | None,
         root,
+        qc: QueryClass = QueryClass.INTERACTIVE,
     ) -> QueryResult:
         # Transparent Global-layer routing (paper §1.1): URLs whose host
         # belongs to another site are forwarded to the owning gateway
@@ -466,6 +613,7 @@ class Gateway:
         info = {
             "schema_manager": self.schema_manager,
             "schema": self.schema_manager.schema,
+            "query_class": qc,
         }
         started = self.network.clock.now()
         if not remote_by_site:
@@ -492,7 +640,7 @@ class Gateway:
                     partial = QueryResult(columns=[], rows=[], mode=mode)
                     self._query_remote_site(
                         site_name, site_urls, sql, mode, max_age, principal,
-                        partial, deadline,
+                        partial, deadline, qc,
                     )
                     return partial
 
@@ -563,10 +711,10 @@ class Gateway:
         principal: Principal,
         result,
         deadline: Deadline | None = None,
+        qc: QueryClass = QueryClass.INTERACTIVE,
     ) -> None:
         """Forward one remote batch via the Global layer, merging the
         remote answer (or failure) into ``result``."""
-        from repro.core.request_manager import SourceStatus
         from repro.gma.global_layer import RemoteQueryError
 
         try:
@@ -578,7 +726,18 @@ class Gateway:
                 max_age=max_age,
                 principal=principal,
                 deadline=deadline,
+                query_class=qc.value,
             )
+        except OverloadError as exc:
+            # The remote gateway shed the batch to protect itself: a
+            # typed per-source shed status, never a breaker failure
+            # against gma://<site> (the Global layer already skipped the
+            # health penalty for sheds).
+            for u in site_urls:
+                result.statuses.append(
+                    SourceStatus(url=u, ok=False, shed=True, error=str(exc))
+                )
+            return
         except (RemoteQueryError, DeadlineExceededError) as exc:
             degraded = self.health.state(f"gma://{site_name}") is BreakerState.OPEN
             for u in site_urls:
@@ -597,6 +756,7 @@ class Gateway:
                     rows=int(s.get("rows", 0) or 0),
                     from_cache=bool(s.get("from_cache")),
                     degraded=bool(s.get("degraded")),
+                    shed=bool(s.get("shed")),
                     error=str(s.get("error", "") or ""),
                 )
             )
@@ -625,9 +785,22 @@ class Gateway:
                 principal=principal,
                 max_age=q.max_age,
                 timeout=q.timeout,
+                query_class=q.query_class,
             )
 
-        outcomes = self.dispatcher.run([member(q) for q in queries])
+        # Batch members are virtually simultaneous, so each involved
+        # source's breaker decision is frozen as of batch launch and
+        # outcome recording deferred to the batch join — the same lane
+        # discipline hedge siblings follow (HealthTracker.pin).  Without
+        # this, member k's admission would read breaker state member
+        # k-1's outcome just wrote: a launch-order dependence (GRM552).
+        keys = sorted({str(u) for q in queries for u in q.urls})
+        with ExitStack() as pins:
+            for key in keys:
+                pins.enter_context(
+                    self.health.pin(key, self.health.allow_request(key))
+                )
+            outcomes = self.dispatcher.run([member(q) for q in queries])
         return [o.value if o.error is None else o.error for o in outcomes]
 
     def query_all_sources(
@@ -637,13 +810,15 @@ class Gateway:
         mode: QueryMode = QueryMode.CACHED_OK,
         principal: Principal = ANONYMOUS,
         max_age: float | None = None,
+        query_class: "QueryClass | str | None" = None,
     ) -> QueryResult:
         """Run one query across every enabled configured source."""
         urls = [s.url for s in self.sources() if s.enabled]
         if not urls:
             raise GridRmError("no data sources configured")
         return self.query(
-            urls, sql, mode=mode, principal=principal, max_age=max_age
+            urls, sql, mode=mode, principal=principal, max_age=max_age,
+            query_class=query_class,
         )
 
     # ------------------------------------------------------------------
@@ -769,6 +944,7 @@ class Gateway:
                 "max_entries": self.cache.max_entries,
             },
             "dispatch": self.dispatcher.stats.as_dict(),
+            "overload": self.overload.snapshot(),
             "health": {
                 **self.health.summary(),
                 "scoreboard": self.health.scoreboard(),

@@ -121,6 +121,41 @@ class GatewayPolicy:
         history_retention_age: drop sealed history segments whose newest
             row is older than this many virtual seconds at checkpoint
             time; 0 disables age-based retention (ring bound only).
+        admission_enabled: gateway-entry admission control — bounded
+            priority queue, doomed-on-dequeue drops, brownout/shed state
+            machine (:mod:`repro.core.admission`).  Off by default so
+            existing replay signatures and golden traces are untouched.
+        admission_queue_limit: capacity of the gateway admission queue;
+            a full queue sheds sheddable classes with
+            :class:`~repro.core.errors.OverloadError`.
+        admission_batch_queue_share: fraction of the admission queue
+            BATCH-class queries may occupy before being shed (the
+            priority bound that sheds batch first).
+        admission_initial_limit: starting gateway-wide concurrency limit
+            of the admission controller's gradient limiter.
+        adaptive_concurrency: replace the static per-source caps in the
+            fan-out dispatcher with AIMD gradient limiters (probe up
+            under low latency, multiplicative backoff when latency
+            inflates or attempts fail).
+        limiter_floor: lower clamp on every adaptive concurrency limit.
+        limiter_ceiling: upper clamp on every adaptive concurrency
+            limit.
+        limiter_tolerance: an epoch whose mean latency exceeds
+            ``tolerance x baseline`` counts as congestion (backoff).
+        limiter_backoff: multiplicative decrease factor applied to the
+            limit on congestion (0 < backoff < 1).
+        limiter_window: latency observations folded per limiter epoch.
+        brownout_enter_pressure: admission-queue fill fraction at which
+            the gateway enters BROWNOUT (serve stale instead of
+            dispatching for sheddable classes).
+        shed_enter_pressure: fill fraction at which the gateway enters
+            SHED (refuse BATCH outright).
+        pressure_min_dwell: minimum virtual seconds in a pressure state
+            before de-escalating (hysteresis against flapping).
+        default_query_class: class stamped on queries that arrive
+            without one ("critical" / "interactive" / "batch").
+        subscription_buffer_limit: per-subscription bounded buffer for
+            continuous-query streams (backpressure for slow consumers).
     """
 
     query_cache_ttl: float = 30.0
@@ -163,6 +198,21 @@ class GatewayPolicy:
     history_fsync_interval: int = 8
     history_checkpoint_interval: float = 600.0
     history_retention_age: float = 0.0
+    admission_enabled: bool = False
+    admission_queue_limit: int = 32
+    admission_batch_queue_share: float = 0.5
+    admission_initial_limit: int = 8
+    adaptive_concurrency: bool = False
+    limiter_floor: int = 1
+    limiter_ceiling: int = 64
+    limiter_tolerance: float = 2.0
+    limiter_backoff: float = 0.8
+    limiter_window: int = 16
+    brownout_enter_pressure: float = 0.25
+    shed_enter_pressure: float = 0.75
+    pressure_min_dwell: float = 5.0
+    default_query_class: str = "interactive"
+    subscription_buffer_limit: int = 256
 
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
@@ -262,4 +312,57 @@ class GatewayPolicy:
         if self.history_retention_age < 0:
             raise PolicyError(
                 f"history_retention_age < 0: {self.history_retention_age!r}"
+            )
+        if self.admission_queue_limit < 1:
+            raise PolicyError(
+                f"admission_queue_limit must be >= 1: {self.admission_queue_limit!r}"
+            )
+        if not 0.0 < self.admission_batch_queue_share <= 1.0:
+            raise PolicyError(
+                "admission_batch_queue_share must be in (0, 1]: "
+                f"{self.admission_batch_queue_share!r}"
+            )
+        if self.admission_initial_limit < 1:
+            raise PolicyError(
+                "admission_initial_limit must be >= 1: "
+                f"{self.admission_initial_limit!r}"
+            )
+        if self.limiter_floor < 1:
+            raise PolicyError(f"limiter_floor must be >= 1: {self.limiter_floor!r}")
+        if self.limiter_ceiling < self.limiter_floor:
+            raise PolicyError(
+                "limiter_ceiling must be >= limiter_floor: "
+                f"{self.limiter_ceiling!r} < {self.limiter_floor!r}"
+            )
+        if self.limiter_tolerance <= 1.0:
+            raise PolicyError(
+                f"limiter_tolerance must be > 1: {self.limiter_tolerance!r}"
+            )
+        if not 0.0 < self.limiter_backoff < 1.0:
+            raise PolicyError(
+                f"limiter_backoff must be in (0, 1): {self.limiter_backoff!r}"
+            )
+        if self.limiter_window < 1:
+            raise PolicyError(f"limiter_window must be >= 1: {self.limiter_window!r}")
+        if not 0.0 < self.brownout_enter_pressure <= self.shed_enter_pressure:
+            raise PolicyError(
+                "brownout_enter_pressure must be in (0, shed_enter_pressure]: "
+                f"{self.brownout_enter_pressure!r}"
+            )
+        if self.shed_enter_pressure > 1.0:
+            raise PolicyError(
+                f"shed_enter_pressure must be <= 1: {self.shed_enter_pressure!r}"
+            )
+        if self.pressure_min_dwell < 0:
+            raise PolicyError(
+                f"pressure_min_dwell < 0: {self.pressure_min_dwell!r}"
+            )
+        if self.default_query_class not in ("critical", "interactive", "batch"):
+            raise PolicyError(
+                f"unknown default_query_class: {self.default_query_class!r}"
+            )
+        if self.subscription_buffer_limit < 1:
+            raise PolicyError(
+                "subscription_buffer_limit must be >= 1: "
+                f"{self.subscription_buffer_limit!r}"
             )

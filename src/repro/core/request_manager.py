@@ -38,6 +38,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.core.admission import AdmissionController, QueryClass
 from repro.core.cache import CacheController
 from repro.core.connection_manager import ConnectionManager
 from repro.core.deadline import Deadline
@@ -47,6 +48,7 @@ from repro.core.errors import (
     DeadlineExceededError,
     GridRmError,
     NoSuitableDriverError,
+    OverloadError,
     QueryValidationError,
     SourceQuarantinedError,
 )
@@ -89,6 +91,9 @@ class SourceStatus:
     #: True when this answer shared another request's in-flight agent
     #: round-trip (single-flight coalescing) instead of issuing its own.
     coalesced: bool = False
+    #: True when a gateway (local or remote) refused this source's work
+    #: to protect itself (load shed) — never a source-health signal.
+    shed: bool = False
     error: str = ""
 
 
@@ -172,6 +177,7 @@ class RequestManager:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         plans: "PlanCache | None" = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.connection_manager = connection_manager
         self.cache = cache
@@ -179,6 +185,10 @@ class RequestManager:
         self.policy = policy
         #: Shared per-source circuit breakers (injected by the Gateway).
         self.health = health
+        #: The gateway's admission controller (injected by the Gateway
+        #: when overload protection is on); consulted by the retry and
+        #: hedge paths so they cannot fight the limiter.
+        self.admission = admission
         self.clock = connection_manager.clock
         #: Shared metrics registry (injected by the Gateway; standalone
         #: construction gets a private one so the stats below behave the
@@ -229,6 +239,7 @@ class RequestManager:
                 "retries",
                 "retry_giveups",
                 "deadline_exceeded",
+                "sheds",
             ),
         )
 
@@ -349,10 +360,25 @@ class RequestManager:
                 deadline, retry_budget, plan,
             )
 
-        outcomes = self.dispatcher.run(
-            [branch(u, p) for u, p in zip(urls, partials)]
+        guarded = (
+            deadline
+            if self.admission is not None and self.admission.enabled
+            else None
         )
-        for outcome, partial in zip(outcomes, partials):
+        outcomes = self.dispatcher.run(
+            [branch(u, p) for u, p in zip(urls, partials)], deadline=guarded
+        )
+        for outcome, partial, url in zip(outcomes, partials, urls):
+            if isinstance(outcome.error, DeadlineExceededError):
+                # The branch-launch guard fired: the budget ran out while
+                # this source's branch queued.  A per-source outcome, not
+                # a query failure — and no health penalty.
+                self.stats["deadline_exceeded"] += 1
+                self.stats["source_failures"] += 1
+                result.statuses.append(
+                    SourceStatus(url=str(url), ok=False, error=str(outcome.error))
+                )
+                continue
             if outcome.error is not None:
                 # _one_realtime converts per-source failures to statuses;
                 # anything escaping it is a programming error worth
@@ -549,6 +575,16 @@ class RequestManager:
         # Only idempotent drivers may have their fetch re-issued —
         # whether by the retry loop below or by a dispatcher hedge.
         reissuable = self._idempotent(url)
+        # Overload interplay (when the gateway's admission controller is
+        # on): hedges are suppressed under pressure, failed attempts
+        # re-check admission before retrying, and a shed is a typed
+        # status that costs neither a breaker penalty nor a retry token.
+        adm = (
+            self.admission
+            if self.admission is not None and self.admission.enabled
+            else None
+        )
+        qc = QueryClass.parse((info or {}).get("query_class"))
         retry = RetryPolicy.from_gateway_policy(self.policy)
         fetch_started = self.clock.now()
         attempt = 0
@@ -569,9 +605,25 @@ class RequestManager:
                             url_text,
                             sql,
                             lambda: self._fetch(url, sql, info, deadline, plan),
-                            hedge=reissuable,
+                            hedge=reissuable
+                            and not (adm is not None and adm.suppress_hedges()),
+                            deadline=deadline if adm is not None else None,
                         )
                     break
+                except OverloadError as exc:
+                    # A gateway (this one, or a remote one on the GMA
+                    # wire) shed the work to protect itself.  That says
+                    # nothing about this source's health: no breaker
+                    # penalty, no retry token spent, no hedge — just a
+                    # typed per-source status with the retry-after hint.
+                    self.stats["sheds"] += 1
+                    self.stats["source_failures"] += 1
+                    span.annotate(attempts=attempt)
+                    span.fail(exc, status="shed")
+                    result.statuses.append(
+                        SourceStatus(url=url_text, ok=False, shed=True, error=str(exc))
+                    )
+                    return
                 except DeadlineExceededError as exc:
                     # The end-to-end budget ran out mid-fetch: report it as
                     # this source's outcome.  No health penalty (the source
@@ -599,7 +651,12 @@ class RequestManager:
                     ) and not isinstance(exc, SourceQuarantinedError)
                     if transient and reissuable and attempt < retry.attempts:
                         pause = retry.backoff(attempt, self._retry_rng)
-                        if deadline is not None and deadline.remaining() <= pause:
+                        if adm is not None and not adm.allow_retry(qc):
+                            # Re-check admission: retrying under pressure
+                            # is extra offered load fighting our own
+                            # limiter (only CRITICAL keeps its retries).
+                            self.stats["retry_giveups"] += 1
+                        elif deadline is not None and deadline.remaining() <= pause:
                             # No budget left to back off and try again.
                             self.stats["retry_giveups"] += 1
                         elif retry_budget is not None and retry_budget.take():

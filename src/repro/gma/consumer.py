@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.deadline import Deadline
-from repro.core.errors import GridRmError
+from repro.core.errors import GridRmError, OverloadError
 from repro.gma.directory import DirectoryClient
 from repro.gma.records import ProducerRecord
 from repro.obs.trace import NO_TRACER, Tracer
@@ -72,6 +72,7 @@ class GatewayConsumer:
         max_age: float | None = None,
         timeout: float | None = None,
         deadline: Deadline | None = None,
+        query_class: str | None = None,
     ) -> RemoteResult:
         """Send one query to one producer.
 
@@ -80,6 +81,10 @@ class GatewayConsumer:
         relative number of seconds, because the producer's clock is not
         ours to anchor an absolute instant against.  The producer
         re-anchors it locally, so every hop sees only what is left.
+        ``query_class`` rides along too, so the remote gateway's
+        admission control sheds by the *originating* query's priority.
+        A remote shed comes back as :class:`OverloadError` — typed, so
+        callers never mistake a protecting gateway for a failing one.
         """
         self.queries_sent += 1
         payload = {
@@ -90,6 +95,8 @@ class GatewayConsumer:
             "max_age": max_age,
             "from_site": self.from_site,
         }
+        if query_class is not None:
+            payload["query_class"] = query_class
         if deadline is not None:
             base = self.network.DEFAULT_TIMEOUT if timeout is None else timeout
             timeout = deadline.clamp(base, f"remote query to {producer.key()}")
@@ -111,6 +118,17 @@ class GatewayConsumer:
                 raise RemoteQueryFailure(
                     f"producer {producer.key()} unreachable: {exc}"
                 ) from exc
+            if isinstance(response, dict) and response.get("shed"):
+                # The remote gateway refused the query to protect itself:
+                # propagate as the typed shed, not a producer failure
+                # (no failover to siblings, no breaker penalty upstream).
+                span["shed"] = True
+                raise OverloadError(
+                    f"producer {producer.key()} shed the query: "
+                    f"{response.get('error', 'overloaded')}",
+                    retry_after=float(response.get("retry_after", 0) or 0),
+                    query_class=str(response.get("query_class", "")),
+                )
             if not isinstance(response, dict) or not response.get("ok"):
                 error = (
                     response.get("error") if isinstance(response, dict) else "garbage"
@@ -148,6 +166,7 @@ class GatewayConsumer:
         max_age: float | None = None,
         producers: list[ProducerRecord] | None = None,
         deadline: Deadline | None = None,
+        query_class: str | None = None,
     ) -> RemoteResult:
         """Query a site via its first reachable registered producer.
 
@@ -156,7 +175,10 @@ class GatewayConsumer:
         :meth:`DirectoryClient.lookup_sites` round).  A ``deadline``
         stops the failover loop: once the budget is gone, remaining
         producers are not tried (``DeadlineExceededError`` propagates
-        rather than being folded into the all-failed summary).
+        rather than being folded into the all-failed summary).  A shed
+        (:class:`OverloadError`) stops it too — a producer protecting
+        itself is not a producer that failed, and hammering its siblings
+        with the same query would amplify the overload.
         """
         if producers is None:
             producers = self.producers_for(site)
@@ -167,7 +189,7 @@ class GatewayConsumer:
             try:
                 return self.query_producer(
                     producer, sql, urls=urls, mode=mode, max_age=max_age,
-                    deadline=deadline,
+                    deadline=deadline, query_class=query_class,
                 )
             except RemoteQueryFailure as exc:
                 last = exc
@@ -184,7 +206,8 @@ class GatewayConsumer:
         max_age: float | None = None,
         urls_by_site: dict[str, list[str]] | None = None,
         deadline: Deadline | None = None,
-    ) -> list[RemoteResult | RemoteQueryFailure]:
+        query_class: str | None = None,
+    ) -> "list[RemoteResult | RemoteQueryFailure | OverloadError]":
         """Scatter one query to several sites concurrently.
 
         Directory lookups for all sites go out in one overlapped round,
@@ -201,7 +224,7 @@ class GatewayConsumer:
 
         producers_by_site = self.directory.lookup_sites(sites)
 
-        def one(site: str) -> RemoteResult | RemoteQueryFailure:
+        def one(site: str) -> "RemoteResult | RemoteQueryFailure | OverloadError":
             try:
                 return self.query_site(
                     site,
@@ -211,13 +234,17 @@ class GatewayConsumer:
                     max_age=max_age,
                     producers=producers_by_site[site],
                     deadline=deadline,
+                    query_class=query_class,
                 )
-            except RemoteQueryFailure as exc:
+            except (RemoteQueryFailure, OverloadError) as exc:
+                # Both are legitimate per-site outcomes: returned in
+                # place (never raised out of a concurrent branch, which
+                # would abort the gather's sibling sites).
                 return exc
 
         if len(sites) == 1:
             return [one(sites[0])]
-        results: list[RemoteResult | RemoteQueryFailure] = []
+        results: "list[RemoteResult | RemoteQueryFailure | OverloadError]" = []
         with self.network.clock.concurrent() as scope:
             for site in sites:
                 with scope.branch():

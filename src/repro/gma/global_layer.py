@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.deadline import Deadline
-from repro.core.errors import GridRmError
+from repro.core.errors import GridRmError, OverloadError
 from repro.core.security import ANONYMOUS, Principal
 from repro.gma.consumer import GatewayConsumer, RemoteQueryFailure, RemoteResult
 from repro.gma.directory import DirectoryClient, GMADirectory
@@ -74,6 +74,7 @@ class GlobalLayer:
                 "remote_short_circuits",
                 "remote_stale_served",
                 "remote_coalesced",
+                "remote_sheds",
             ),
         )
         self.register()
@@ -110,6 +111,7 @@ class GlobalLayer:
         max_age: float | None = None,
         principal: Principal = ANONYMOUS,
         deadline: Deadline | None = None,
+        query_class: str | None = None,
     ) -> RemoteResult:
         """Route a query to the gateway owning ``site``'s resources.
 
@@ -118,13 +120,17 @@ class GlobalLayer:
         ``deadline`` is checked before any remote cost is paid and
         carried onto the wire as the remaining budget, so the owning
         gateway inherits what is left rather than a fresh allowance.
+        ``query_class`` crosses the wire so the remote gateway's
+        admission control sheds by the originating query's priority; a
+        remote shed propagates as :class:`OverloadError` and is *not* a
+        breaker failure against ``gma://<site>``.
         """
         self.gateway.cgsl.check(principal, "query_remote")
         if deadline is not None:
             deadline.check(f"remote query to site {site!r}")
         with self.gateway.tracer.span("remote", site=site) as span:
             return self._query_remote_traced(
-                site, sql, urls, mode, max_age, deadline, span
+                site, sql, urls, mode, max_age, deadline, span, query_class
             )
 
     def _query_remote_traced(
@@ -136,6 +142,7 @@ class GlobalLayer:
         max_age: float | None,
         deadline: Deadline | None,
         span,
+        query_class: str | None = None,
     ) -> RemoteResult:
         self.stats["remote_queries"] += 1
         cache_key_url = f"gma://{site}" + (f"/{','.join(urls)}" if urls else "")
@@ -188,6 +195,10 @@ class GlobalLayer:
         if flight is not None:
             self.stats["remote_coalesced"] += 1
             span["coalesced"] = True
+            if isinstance(flight.error, OverloadError):
+                # The shared flight was shed by the remote gateway:
+                # joiners get the same typed shed, not a generic failure.
+                raise flight.error
             if flight.error is not None:
                 raise RemoteQueryError(str(flight.error)) from flight.error
             shared = flight.value
@@ -203,9 +214,15 @@ class GlobalLayer:
                 sql,
                 lambda: self.consumer.query_site(
                     site, sql, urls=urls, mode=mode, max_age=max_age,
-                    deadline=deadline,
+                    deadline=deadline, query_class=query_class,
                 ),
             )
+        except OverloadError:
+            # A shed says nothing about the remote site's health: no
+            # record_failure (the breaker must not trip on a gateway
+            # protecting itself), just the typed error to the caller.
+            self.stats["remote_sheds"] += 1
+            raise
         except RemoteQueryFailure as exc:
             health.record_failure(health_key, str(exc))
             raise RemoteQueryError(str(exc)) from exc

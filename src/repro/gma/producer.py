@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, TYPE_CHECKING
 
 from repro.core.deadline import Deadline
-from repro.core.errors import DeadlineExceededError, GridRmError
+from repro.core.errors import DeadlineExceededError, GridRmError, OverloadError
 from repro.core.request_manager import QueryMode
 from repro.core.security import Principal
 from repro.dbapi.exceptions import SQLException
@@ -60,6 +60,18 @@ class GatewayProducer:
                     "ok": True,
                     "urls": [str(s.url) for s in self.gateway.sources() if s.enabled],
                 }
+        except OverloadError as exc:
+            # This gateway shed the query to protect itself.  The refusal
+            # crosses the wire as a *typed* shed (not a generic failure)
+            # so the consumer raises OverloadError — never a breaker
+            # penalty or failover storm against a merely-busy site.
+            return {
+                "ok": False,
+                "shed": True,
+                "retry_after": exc.retry_after,
+                "query_class": exc.query_class,
+                "error": str(exc),
+            }
         except (GridRmError, SQLException, SqlError) as exc:
             return {"ok": False, "error": str(exc)}
         return {"ok": False, "error": f"unknown op {op!r}"}
@@ -96,20 +108,24 @@ class GatewayProducer:
             max_age=payload.get("max_age"),
             deadline=deadline,
             trace_parent=trace_ctx if isinstance(trace_ctx, dict) else None,
+            query_class=payload.get("query_class"),
         )
         # Batched wire shape: column labels (result columns AND status
         # keys) cross the wire once per response; every row and status is
         # a positional list.  For an N-source status list that saves
-        # N-1 copies of the five key strings — bandwidth-delay charging
-        # sees the honest, smaller payload.
+        # N-1 copies of the key strings — bandwidth-delay charging sees
+        # the honest, smaller payload.  (The consumer zips keys to rows
+        # positionally, so extending the key list is wire-compatible.)
         return {
             "ok": True,
             "trace_id": result.trace_id,
             "columns": result.columns,
             "rows": result.rows,
-            "status_keys": ["url", "ok", "rows", "from_cache", "error"],
+            "status_keys": [
+                "url", "ok", "rows", "from_cache", "degraded", "shed", "error"
+            ],
             "status_rows": [
-                [s.url, s.ok, s.rows, s.from_cache, s.error]
+                [s.url, s.ok, s.rows, s.from_cache, s.degraded, s.shed, s.error]
                 for s in result.statuses
             ],
         }

@@ -19,6 +19,7 @@ renewed within the lease, so crashed consumers do not accumulate.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
@@ -67,6 +68,16 @@ class _Subscription:
     source_host: Optional[str]
     expires_at: float
     delivered: int = 0
+    #: Backpressure: while paused, events buffer here (bounded) instead
+    #: of being pushed — a continuous query cannot OOM a slow consumer.
+    max_buffer: int = 256
+    #: What happens when the bounded buffer is full: "drop_oldest"
+    #: keeps the newest events, "pause" keeps the orderly prefix and
+    #: drops newcomers.  Either way the drop is counted, never silent.
+    overflow: str = "drop_oldest"
+    paused: bool = False
+    dropped: int = 0
+    buffer: "deque[dict[str, Any]]" = field(default_factory=deque)
 
 
 class EventPublisher:
@@ -75,9 +86,16 @@ class EventPublisher:
     Control protocol (request/response on :data:`PUBLISHER_PORT`):
 
     * ``("subscribe", reply_host, reply_port, name_prefix, source_host,
-      lease_s)`` -> ``("ok", subscription_id)``
+      lease_s)`` -> ``("ok", subscription_id)``; the extended form adds
+      ``(..., max_buffer, overflow)`` to size the backpressure buffer
+      (0 = the gateway policy's ``subscription_buffer_limit``) and pick
+      the overflow policy (``"drop_oldest"`` | ``"pause"``)
     * ``("renew", subscription_id, lease_s)`` -> ``("ok",)`` | ``("missing",)``
     * ``("unsubscribe", subscription_id)`` -> ``("ok",)`` | ``("missing",)``
+    * ``("pause", subscription_id)`` -> ``("ok",)`` — stop pushing;
+      events buffer (bounded) until resume
+    * ``("resume", subscription_id)`` -> ``("ok", flushed_count)`` —
+      flush the buffer in order and push live again
     """
 
     DEFAULT_LEASE = 300.0
@@ -88,7 +106,7 @@ class EventPublisher:
         self.address = Address(gateway.host, port)
         self._subs: dict[int, _Subscription] = {}
         self._ids = itertools.count(1)
-        self.stats = {"published": 0, "expired": 0, "subscribes": 0}
+        self.stats = {"published": 0, "expired": 0, "subscribes": 0, "dropped": 0}
         gateway.network.listen(self.address, self._handle_control)
         gateway.events.register_listener(self._on_event)
         gateway.network.clock.call_every(self.SWEEP_PERIOD, self.sweep)
@@ -100,16 +118,28 @@ class EventPublisher:
         op = payload[0]
         now = self.gateway.network.clock.now()
         if op == "subscribe":
-            try:
+            # Legacy 6-tuple, or the extended 8-tuple carrying the
+            # backpressure buffer bound and overflow policy.
+            if len(payload) == 6:
                 _, host, port, prefix, source_host, lease = payload
-            except ValueError:
-                return ("error", "subscribe needs 5 arguments")
+                max_buffer, overflow = 0, "drop_oldest"
+            elif len(payload) == 8:
+                _, host, port, prefix, source_host, lease, max_buffer, overflow = (
+                    payload
+                )
+            else:
+                return ("error", "subscribe needs 5 or 7 arguments")
+            if overflow not in ("drop_oldest", "pause"):
+                return ("error", f"unknown overflow policy {overflow!r}")
             sid = next(self._ids)
             self._subs[sid] = _Subscription(
                 subscriber=Address(str(host), int(port)),
                 name_prefix=str(prefix or ""),
                 source_host=source_host,
                 expires_at=now + float(lease or self.DEFAULT_LEASE),
+                max_buffer=int(max_buffer)
+                or self.gateway.policy.subscription_buffer_limit,
+                overflow=str(overflow),
             )
             self.stats["subscribes"] += 1
             return ("ok", sid)
@@ -121,6 +151,25 @@ class EventPublisher:
             return ("ok",)
         if op == "unsubscribe":
             return ("ok",) if self._subs.pop(payload[1], None) else ("missing",)
+        if op == "pause":
+            sub = self._subs.get(payload[1])
+            if sub is None:
+                return ("missing",)
+            sub.paused = True
+            return ("ok",)
+        if op == "resume":
+            sub = self._subs.get(payload[1])
+            if sub is None:
+                return ("missing",)
+            sub.paused = False
+            flushed = len(sub.buffer)
+            while sub.buffer:
+                self.gateway.network.send(
+                    self.gateway.host, sub.subscriber, sub.buffer.popleft()
+                )
+                sub.delivered += 1
+                self.stats["published"] += 1
+            return ("ok", flushed)
         return ("error", f"unknown op {op!r}")
 
     # ------------------------------------------------------------------
@@ -134,9 +183,39 @@ class EventPublisher:
                 continue
             if sub.source_host is not None and event.source_host != sub.source_host:
                 continue
+            self._offer(sub, wire_event)
+
+    def _offer(self, sub: _Subscription, wire_event: dict[str, Any]) -> None:
+        """Push live, or buffer (bounded) while the subscriber is paused."""
+        if not sub.paused:
             self.gateway.network.send(self.gateway.host, sub.subscriber, wire_event)
             sub.delivered += 1
             self.stats["published"] += 1
+            return
+        if len(sub.buffer) < sub.max_buffer:
+            sub.buffer.append(wire_event)
+            return
+        # Bounded buffer full: something must be dropped, and counted.
+        sub.dropped += 1
+        self.stats["dropped"] += 1
+        if sub.overflow == "drop_oldest":
+            sub.buffer.popleft()
+            sub.buffer.append(wire_event)
+        # "pause": the newcomer is dropped — the orderly prefix survives.
+
+    def buffer_stats(self) -> dict[int, dict[str, Any]]:
+        """Per-subscription backpressure state (console view)."""
+        return {
+            sid: {
+                "paused": s.paused,
+                "buffered": len(s.buffer),
+                "max_buffer": s.max_buffer,
+                "overflow": s.overflow,
+                "dropped": s.dropped,
+                "delivered": s.delivered,
+            }
+            for sid, s in sorted(self._subs.items())
+        }
 
     def sweep(self) -> int:
         """Drop expired subscriptions; returns how many were removed."""
@@ -188,23 +267,57 @@ class EventSubscriber:
         name_prefix: str = "",
         source_host: str | None = None,
         lease: float = EventPublisher.DEFAULT_LEASE,
+        max_buffer: int | None = None,
+        overflow: str | None = None,
     ) -> int:
-        """Subscribe at a remote publisher; returns the subscription id."""
-        response = self.network.request(
-            self.host,
-            publisher,
-            (
+        """Subscribe at a remote publisher; returns the subscription id.
+
+        ``max_buffer`` / ``overflow`` size this subscription's
+        backpressure buffer at the publisher (events buffer there,
+        bounded, while the subscription is paused).  When both are left
+        default the legacy 6-tuple goes out, so old publishers still
+        accept the request.
+        """
+        if max_buffer is None and overflow is None:
+            request: tuple = (
                 "subscribe",
                 self.address.host,
                 self.address.port,
                 name_prefix,
                 source_host,
                 lease,
-            ),
-        )
+            )
+        else:
+            request = (
+                "subscribe",
+                self.address.host,
+                self.address.port,
+                name_prefix,
+                source_host,
+                lease,
+                int(max_buffer or 0),
+                overflow or "drop_oldest",
+            )
+        response = self.network.request(self.host, publisher, request)
         if not isinstance(response, tuple) or response[0] != "ok":
             raise NetworkError(f"subscribe rejected: {response!r}")
         return response[1]
+
+    def pause(self, publisher: Address, subscription_id: int) -> bool:
+        """Ask the publisher to buffer (bounded) instead of pushing."""
+        response = self.network.request(
+            self.host, publisher, ("pause", subscription_id)
+        )
+        return isinstance(response, tuple) and response[0] == "ok"
+
+    def resume(self, publisher: Address, subscription_id: int) -> int:
+        """Resume pushing; returns how many buffered events flushed."""
+        response = self.network.request(
+            self.host, publisher, ("resume", subscription_id)
+        )
+        if not isinstance(response, tuple) or response[0] != "ok":
+            raise NetworkError(f"resume rejected: {response!r}")
+        return int(response[1])
 
     def renew(self, publisher: Address, subscription_id: int, lease: float) -> bool:
         response = self.network.request(

@@ -264,6 +264,58 @@ class Console:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Overload / brownout view
+    # ------------------------------------------------------------------
+    def overload_panel(self) -> str:
+        """Admission-control pressure state, shed ledger and adaptive
+        concurrency limits (one line when the layer is disabled)."""
+        gw = self.gateway
+        snap = gw.overload.snapshot()
+        if not snap["enabled"]:
+            return (
+                "Overload protection: DISABLED "
+                "(policy.admission_enabled=False)"
+            )
+        sheds = snap["sheds"]
+        limiter = snap["limiter"]
+        gw_baseline = (
+            "-"
+            if limiter["baseline"] is None
+            else f"{limiter['baseline'] * 1000:.1f}ms"
+        )
+        lines = [
+            f"Overload protection @ t={gw.network.clock.now():.1f}s  "
+            f"(adaptive concurrency "
+            f"{'enabled' if gw.policy.adaptive_concurrency else 'DISABLED'})",
+            f"  pressure: {snap['state'].upper()} "
+            f"since t={snap['since']:.1f}s "
+            f"({snap['transitions']} transitions)",
+            f"  queue: {snap['queue_depth']}/{snap['queue_capacity']}, "
+            f"in flight: {snap['inflight']}/{snap['limit']} "
+            f"(headroom {snap['headroom']})",
+            f"  admitted: {snap['admitted']} ({snap['queued']} queued), "
+            f"doomed on dequeue: {snap['doomed']}, "
+            f"brownout served: {snap['brownout_served']}",
+            f"  sheds: {sheds['total']} "
+            f"(critical={sheds['critical']}, "
+            f"interactive={sheds['interactive']}, batch={sheds['batch']})",
+            f"  gateway limiter: limit={limiter['limit']}, "
+            f"baseline={gw_baseline}, "
+            f"pending samples={limiter['pending_samples']}",
+        ]
+        per_source = gw.dispatcher.limiter_snapshot()
+        if per_source:
+            lines.append("Per-source adaptive limits:")
+            for key, s in per_source.items():
+                baseline = (
+                    "-" if s["baseline"] is None else f"{s['baseline'] * 1000:.1f}ms"
+                )
+                lines.append(
+                    f"  - {key}: limit={s['limit']}, baseline={baseline}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Chaos / resilience view
     # ------------------------------------------------------------------
     def chaos_panel(self) -> str:

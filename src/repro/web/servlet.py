@@ -20,7 +20,10 @@ HTTP-style request handler bound to the gateway host that serves
 * ``GET /trace``        — digest of retained query traces;
 * ``GET /trace/<qid>``  — one query's full span tree;
 * ``GET /durability``   — WAL / checkpoint / recovery state of the
-  durable history engine.
+  durable history engine;
+* ``GET /overload``     — admission-control pressure state, shed ledger
+  and adaptive concurrency limits.  A request the gateway sheds comes
+  back as ``503`` with the retry-after hint.
 
 Requests and responses are simple strings ("GET /path?query"), which is
 all the simulated transport needs while exercising the same parsing,
@@ -32,7 +35,7 @@ from __future__ import annotations
 from typing import Any, TYPE_CHECKING
 from urllib.parse import parse_qs, unquote
 
-from repro.core.errors import GridRmError
+from repro.core.errors import GridRmError, OverloadError
 from repro.core.request_manager import QueryMode
 from repro.dbapi.exceptions import SQLException
 from repro.simnet.network import Address
@@ -46,7 +49,13 @@ SERVLET_PORT = 8080
 
 
 def _status(code: int, body: str) -> str:
-    reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Error"}[code]
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        500: "Error",
+        503: "Service Unavailable",
+    }[code]
     return f"HTTP/1.0 {code} {reason}\n\n{body}"
 
 
@@ -72,6 +81,10 @@ class GatewayServlet:
         params = {k: v[0] for k, v in parse_qs(query, keep_blank_values=True).items()}
         try:
             return self._route(path, params)
+        except OverloadError as exc:
+            # The admission controller shed this request: 503 with the
+            # retry-after hint, the HTTP face of the typed shed.
+            return _status(503, f"overloaded: {exc} (retry after {exc.retry_after:.1f}s)")
         except (GridRmError, SQLException, SqlError) as exc:
             return _status(500, f"{type(exc).__name__}: {exc}")
 
@@ -101,6 +114,8 @@ class GatewayServlet:
             return _status(200, self.console.trace_panel())
         if path == "/durability":
             return _status(200, self.console.durability_panel())
+        if path == "/overload":
+            return _status(200, self.console.overload_panel())
         if path.startswith("/trace/"):
             trace_id = path[len("/trace/"):]
             if self.gateway.tracer.get(trace_id) is None:

@@ -18,7 +18,7 @@ job runs the bigger CLI scenario on two fixed seeds.
 
 import pytest
 
-from repro.chaos import run_chaos
+from repro.chaos import run_chaos, run_overload
 
 ROUNDS = 8
 WARMUP = 4
@@ -94,3 +94,110 @@ def test_report_rendering_and_dict():
     assert "replay signature" in text
     assert "invariants" in text
     assert f"seed={report.seed}" in text
+
+
+# ---------------------------------------------------------------------------
+# Overload scenario (PR 9): load spike x slow hosts, shedding on vs off.
+# The two arms are expensive, so they run once per module and every
+# assertion shares them.
+# ---------------------------------------------------------------------------
+
+SPIKE_START = 3
+SPIKE_ROUNDS = 6
+
+
+@pytest.fixture(scope="module")
+def overload_on():
+    return run_overload(seed=0, shedding=True)
+
+
+@pytest.fixture(scope="module")
+def overload_off():
+    return run_overload(seed=0, shedding=False)
+
+
+def spike_slice(report):
+    return report.goodput[SPIKE_START:SPIKE_START + SPIKE_ROUNDS]
+
+
+def assert_overload_invariants(report):
+    assert report.pending_futures == 0, "stuck NetFutures after drain"
+    assert report.breaker_violations == [], report.breaker_violations
+    assert report.trace_violations == [], report.trace_violations
+    assert report.traces_checked > 0
+    assert report.signature
+    assert len(report.goodput) == len(report.offered) == report.rounds
+
+
+def test_overload_replay_identity(overload_on):
+    again = run_overload(seed=0, shedding=True)
+    assert again.signature == overload_on.signature
+    assert again.goodput == overload_on.goodput
+    assert again.shed_counts == overload_on.shed_counts
+    assert again.pressure_transitions == overload_on.pressure_transitions
+
+
+def test_overload_invariants_both_arms(overload_on, overload_off):
+    assert_overload_invariants(overload_on)
+    assert_overload_invariants(overload_off)
+
+
+def test_critical_never_shed(overload_on):
+    assert overload_on.critical_offered > 0
+    assert overload_on.critical_shed == 0
+
+
+def test_shedding_preserves_spike_goodput(overload_on, overload_off):
+    """The tentpole claim: at 4x saturating load, shedding holds >= 80%
+    goodput per spike round while the unprotected gateway collapses."""
+    spike = overload_on.spike_load
+    on_spike = spike_slice(overload_on)
+    off_spike = spike_slice(overload_off)
+    assert min(on_spike) >= 0.8 * spike, on_spike
+    assert sum(off_spike) / len(off_spike) <= 0.7 * spike, off_spike
+    assert overload_on.good_total > overload_off.good_total
+
+
+def test_unprotected_gateway_pollutes_breakers(overload_on, overload_off):
+    """Without admission control, queueing blows deadlines and the
+    breakers blame healthy hosts; with it, they stay quiet."""
+    assert overload_off.breakers["trips"] > 0
+    assert overload_on.breakers["trips"] == 0
+
+
+def test_brownout_serves_stale_under_pressure(overload_on):
+    # Warmed caches let brownout absorb the spike as degraded answers.
+    assert overload_on.brownout_served > 0
+    assert overload_on.pressure_transitions > 0
+    assert overload_on.final_state == "normal"  # recovered after the spike
+
+
+def test_shed_heavy_without_stale_coverage():
+    """warmup_rounds=0 removes brownout's stale coverage: pressured
+    sheddable queries are refused instead, CRITICAL still never."""
+    report = run_overload(seed=0, shedding=True, warmup_rounds=0)
+    assert report.shed_counts["total"] > 0
+    assert report.shed_counts["batch"] > 0
+    assert report.critical_shed == 0
+    assert_overload_invariants(report)
+
+
+def test_sheds_are_never_breaker_failures_e2e():
+    """Pure offered-load overload (no fault): sheds happen, and not one
+    of them registers as a breaker failure anywhere."""
+    report = run_overload(
+        seed=0, shedding=True, slow_host=False, warmup_rounds=0
+    )
+    assert report.shed_counts["total"] > 0
+    assert report.breakers["trips"] == 0
+    assert report.breakers["open"] == 0
+    assert_overload_invariants(report)
+
+
+def test_race_detector_clean_and_non_perturbing(overload_on):
+    """The overload machinery under the PR 7 race discipline: zero
+    findings, and watching does not change the run."""
+    watched = run_overload(seed=0, shedding=True, race_detect=True)
+    assert watched.race_findings == [], watched.race_findings
+    assert watched.race_accesses > 0
+    assert watched.signature == overload_on.signature

@@ -152,3 +152,77 @@ class TestGatewayToGateway:
         assert remote_events[0].name == "alert.cpu-busy"
         # The event crossed the WAN: source is in site 'prod'.
         assert network.site_of(remote_events[0].source_host) == "prod"
+
+
+class TestBackpressure:
+    """Bounded per-subscription buffers: a slow consumer pauses and the
+    publisher buffers (bounded, counted drops) instead of pushing."""
+
+    def test_pause_buffers_and_resume_flushes_in_order(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        sid = subscriber.subscribe(publisher.address, max_buffer=1000)
+        network.clock.advance(60.0)
+        live = len(got)
+        assert live > 0
+
+        assert subscriber.pause(publisher.address, sid)
+        network.clock.advance(60.0)
+        assert len(got) == live  # nothing pushed while paused
+        stats = publisher.buffer_stats()[sid]
+        assert stats["paused"] and stats["buffered"] > 0
+
+        flushed = subscriber.resume(publisher.address, sid)
+        assert flushed == stats["buffered"]
+        network.clock.advance(1.0)  # let the datagrams deliver
+        assert len(got) >= live + flushed
+        assert publisher.buffer_stats()[sid]["buffered"] == 0
+
+    def test_drop_oldest_keeps_newest(self, rig):
+        network, site, publisher, subscriber = rig
+        sid = subscriber.subscribe(
+            publisher.address, max_buffer=3, overflow="drop_oldest"
+        )
+        assert subscriber.pause(publisher.address, sid)
+        network.clock.advance(300.0)
+        stats = publisher.buffer_stats()[sid]
+        assert stats["buffered"] == 3
+        assert stats["dropped"] > 0
+        assert publisher.stats["dropped"] == stats["dropped"]
+        # The three retained events are the *newest* three.
+        sub = publisher._subs[sid]
+        buffered_times = [e["time"] for e in sub.buffer]
+        assert buffered_times == sorted(buffered_times)
+        assert buffered_times[-1] > buffered_times[0]
+
+    def test_pause_overflow_keeps_prefix(self, rig):
+        network, site, publisher, subscriber = rig
+        sid = subscriber.subscribe(
+            publisher.address, max_buffer=3, overflow="pause"
+        )
+        assert subscriber.pause(publisher.address, sid)
+        network.clock.advance(300.0)
+        sub = publisher._subs[sid]
+        assert len(sub.buffer) == 3
+        assert sub.dropped > 0
+        # The retained events are the *first* three (orderly prefix).
+        first_batch = [e["time"] for e in sub.buffer]
+        network.clock.advance(60.0)
+        assert [e["time"] for e in sub.buffer] == first_batch
+
+    def test_unknown_overflow_policy_rejected(self, rig):
+        network, site, publisher, subscriber = rig
+        from repro.simnet.errors import NetworkError
+
+        with pytest.raises(NetworkError, match="rejected"):
+            subscriber.subscribe(
+                publisher.address, max_buffer=3, overflow="teleport"
+            )
+
+    def test_legacy_subscribe_tuple_still_accepted(self, rig):
+        network, site, publisher, subscriber = rig
+        sid = subscriber.subscribe(publisher.address)  # 6-tuple wire form
+        stats = publisher.buffer_stats()[sid]
+        assert stats["max_buffer"] == site.gateway.policy.subscription_buffer_limit
+        assert stats["overflow"] == "drop_oldest"
