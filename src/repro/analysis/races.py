@@ -162,6 +162,13 @@ class RaceDetector:
         # limits (a genuine order dependence).
         det.register("limiter.window", Discipline.COMMUTATIVE)
         det.register("limiter", Discipline.VALUE)
+        # Streaming plane: subscription lifecycle (register / renew /
+        # pause / resume / sweep) is control-plane state and must never
+        # be touched from unordered branches; per-subscription pushes
+        # from sibling fan-out branches commute (each batch carries its
+        # own source_url + published_at provenance).
+        det.register("stream.subs", Discipline.EXCLUSIVE)
+        det.register("stream.push", Discipline.COMMUTATIVE)
         return det
 
     # ------------------------------------------------------------------

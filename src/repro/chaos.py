@@ -634,3 +634,325 @@ def run_overload(
     report.trace_violations = check_tracer(gw.tracer)
     report.pending_futures = network.pending_futures()
     return report
+
+
+# ----------------------------------------------------------------------
+# Streaming scenario: continuous queries x faults x lease recovery
+# ----------------------------------------------------------------------
+@dataclass
+class StreamReport:
+    """One streaming-chaos run's measurements and invariant checks.
+
+    The scenario registers a mix of continuous queries (all three
+    producer flavours, a deterministic query-class mix) against a
+    gateway hub, wires a :class:`~repro.gma.streams.Republisher` deriving
+    windowed per-host aggregates the same consumer subscribes to
+    downstream, then drives poll rounds through the standard fault
+    scenario plus (optionally) a long consumer partition.  The partition
+    outlives the lease *and* the hub's tombstone grace, so recovery must
+    go through the consumer's automatic re-registration — ``reregisters``
+    measures exactly that path.
+
+    The signature folds every delivered batch (id, columns, rows,
+    publish/receive instants, provenance) plus every poll round's rows:
+    same seed and knobs => byte-identical delivery, whatever the
+    detector or console is doing on the side.
+    """
+
+    seed: int
+    rounds: int
+    subscriptions: int
+    partition: bool
+    #: Batches / rows the consumer received (replays included).
+    delivered_batches: int = 0
+    delivered_rows: int = 0
+    #: Batches flagged ``replay`` (latest/history attach catch-up).
+    replay_batches: int = 0
+    #: Hub-side counters (pushes sent, rows replayed on attach, drops,
+    #: brownout suppressions, expiries, tombstone resurrections, sheds).
+    pushes: int = 0
+    replayed: int = 0
+    dropped: int = 0
+    suppressed: int = 0
+    expired: int = 0
+    resurrected: int = 0
+    shed: int = 0
+    #: Consumer-side lease upkeep.
+    renewals: int = 0
+    renewal_failures: int = 0
+    reregisters: int = 0
+    #: Republisher-derived windows published / samples folded.
+    derived_windows: int = 0
+    derived_samples: int = 0
+    #: Non-paused subscriptions left holding buffered batches after the
+    #: drain (must be empty — a live subscription never buffers).
+    stuck_buffers: list[str] = field(default_factory=list)
+    #: SHA-256 over every delivered batch and poll round (replay identity).
+    signature: str = ""
+    hub: dict[str, Any] = field(default_factory=dict)
+    faults: dict[str, Any] = field(default_factory=dict)
+    trace_violations: list[str] = field(default_factory=list)
+    traces_checked: int = 0
+    pending_futures: int = 0
+    elapsed_virtual: float = 0.0
+    race_findings: list[str] = field(default_factory=list)
+    race_accesses: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "subscriptions": self.subscriptions,
+            "partition": self.partition,
+            "delivered_batches": self.delivered_batches,
+            "delivered_rows": self.delivered_rows,
+            "replay_batches": self.replay_batches,
+            "pushes": self.pushes,
+            "replayed": self.replayed,
+            "dropped": self.dropped,
+            "suppressed": self.suppressed,
+            "expired": self.expired,
+            "resurrected": self.resurrected,
+            "shed": self.shed,
+            "renewals": self.renewals,
+            "renewal_failures": self.renewal_failures,
+            "reregisters": self.reregisters,
+            "derived_windows": self.derived_windows,
+            "derived_samples": self.derived_samples,
+            "stuck_buffers": list(self.stuck_buffers),
+            "signature": self.signature,
+            "hub": dict(self.hub),
+            "faults": dict(self.faults),
+            "trace_violations": list(self.trace_violations),
+            "traces_checked": self.traces_checked,
+            "pending_futures": self.pending_futures,
+            "elapsed_virtual": self.elapsed_virtual,
+            "race_findings": list(self.race_findings),
+            "race_accesses": self.race_accesses,
+        }
+
+    def format(self) -> str:
+        """Console rendering of the run."""
+        f = self.faults
+        lines = [
+            f"Stream run: seed={self.seed}, {self.rounds} rounds, "
+            f"{self.subscriptions} subscription(s), "
+            f"consumer partition {'on' if self.partition else 'off'}",
+            f"  delivered: {self.delivered_batches} batches "
+            f"({self.delivered_rows} rows), "
+            f"{self.replay_batches} replay batches on attach",
+            f"  hub: {self.pushes} pushes, {self.replayed} rows replayed, "
+            f"{self.dropped} dropped, {self.suppressed} suppressed, "
+            f"{self.shed} shed",
+            f"  leases: {self.renewals} renewals "
+            f"({self.renewal_failures} failed), {self.expired} expired, "
+            f"{self.resurrected} resurrected, "
+            f"{self.reregisters} re-registered after lapse",
+            f"  republisher: {self.derived_windows} windows from "
+            f"{self.derived_samples} samples",
+            f"  faults injected: spikes={f.get('spikes_injected', 0)} "
+            f"(+{f.get('spike_seconds', 0.0):.1f}s), "
+            f"refusals={f.get('refusals', 0)}, "
+            f"corruptions={f.get('corruptions', 0)}, "
+            f"flaps={f.get('flaps', 0)}, "
+            f"partitions={f.get('partitions', 0)}/"
+            f"heals={f.get('heals', 0)}",
+            f"  invariants: pending futures={self.pending_futures}, "
+            f"stuck buffers={len(self.stuck_buffers)}, "
+            f"trace violations={len(self.trace_violations)} "
+            f"({self.traces_checked} traces checked)",
+        ]
+        if self.race_accesses:
+            lines.append(
+                f"  lane races: {len(self.race_findings)} finding(s) over "
+                f"{self.race_accesses} shared-state accesses"
+            )
+        lines.append(f"  replay signature: {self.signature[:16]}…")
+        return "\n".join(lines)
+
+
+def run_stream(
+    *,
+    seed: int = 0,
+    rounds: int = 12,
+    hosts: int = 4,
+    agents: Sequence[str] = ("snmp",),
+    subscriptions: int = 6,
+    period: float = 10.0,
+    warmup_rounds: int = 3,
+    deadline: float = 10.0,
+    partition: bool = True,
+    sql: str = "SELECT * FROM Processor",
+    race_detect: bool = False,
+) -> StreamReport:
+    """Continuous queries under the standard fault scenario.
+
+    Warm-up polls run first so ``latest``/``history`` registrations have
+    rows to replay on attach; the continuous queries register next (a
+    deterministic flavour x class mix, each with a distinct predicate so
+    plans do not alias), a republisher derives per-host windowed
+    aggregates the same consumer subscribes to downstream, and only then
+    do the faults start — including, when ``partition`` is on, a
+    consumer partition sized to outlive lease + tombstone grace so
+    recovery exercises re-registration with the delivery watermark.
+    """
+    from repro.gma.streams import FLAVOURS, Republisher, StreamConsumer
+
+    lease = 2.0 * period
+    policy = GatewayPolicy(
+        fanout_enabled=True,
+        hedge_enabled=False,
+        retry_attempts=2,
+        default_deadline=deadline,
+        streaming_enabled=True,
+        stream_sweep_period=period,
+        stream_default_lease=lease,
+    )
+    network, (site,) = build_testbed(
+        n_hosts=hosts, agents=tuple(agents), seed=seed, policy=policy
+    )
+    gw = site.gateway
+    clock = network.clock
+    clock.advance(60.0)
+    urls = list(site.source_urls)
+    assert gw.streams is not None  # streaming_enabled above
+
+    detector = None
+    if race_detect:
+        from repro.analysis import races
+
+        detector = races.RaceDetector.standard(clock)
+        gw.race_detector = detector
+
+    report = StreamReport(
+        seed=seed, rounds=rounds, subscriptions=subscriptions, partition=partition
+    )
+    digest = hashlib.sha256()
+
+    with _maybe_detect(detector):
+        # Clean warm-up polls: populate the hub's latest-rows map and the
+        # gateway history so latest/history registrations replay rows.
+        for _ in range(max(0, warmup_rounds)):
+            gw.query(urls, sql, mode=QueryMode.REALTIME)
+            clock.advance(period)
+
+        consumer = StreamConsumer(network, "stream-client")
+        hub_addr = gw.streams.address
+        # Deterministic flavour x class mix; distinct predicates so the
+        # per-subscription plans (and their pushes) do not alias.
+        for i in range(subscriptions):
+            consumer.register(
+                hub_addr,
+                f"SELECT HostName, LoadAverage1Min FROM Processor "
+                f"WHERE 0 <= {i}",
+                flavour=FLAVOURS[i % len(FLAVOURS)],
+                lease=lease,
+                query_class=_overload_class(i),
+            )
+        # The republisher folds per-host CPU into windowed aggregates and
+        # publishes them through its own hub; the same consumer
+        # subscribes downstream, closing the derived-stream loop.
+        rep = Republisher(network, "stream-rep", policy=policy)
+        derivation = rep.derive(
+            hub_addr,
+            "SELECT HostName, CPUUtilization FROM Processor",
+            key_column="HostName",
+            value_column="CPUUtilization",
+            window=2.0 * period,
+            group="DerivedLoad",
+            lease=lease,
+        )
+        consumer.register(
+            rep.hub.address,
+            "SELECT HostName, AvgValue, Samples FROM DerivedLoad",
+            flavour="stream",
+            lease=lease,
+        )
+
+        plane = FaultPlane(network, seed=seed)
+        install_standard_faults(plane, site, period=period, rounds=rounds)
+        span = rounds * period
+        if partition:
+            # Outlives lease (2p) + sweep-to-tombstone + tombstone drop
+            # (2 sweeps, 2p): the hub forgets the consumer's
+            # subscriptions entirely, so healing must re-register.
+            plane.partition_between(
+                [gw.host], ["stream-client"],
+                start=0.25 * span,
+                duration=lease + 3.0 * period,
+            )
+
+        started = clock.now()
+        for i in range(rounds):
+            result = gw.query(urls, sql, mode=QueryMode.REALTIME)
+            digest.update(
+                repr(
+                    (
+                        i,
+                        result.columns,
+                        result.rows,
+                        [(s.url, s.ok, s.rows, s.error) for s in result.statuses],
+                    )
+                ).encode()
+            )
+            clock.advance(period)
+        # Drain fault heals, sweeps, renew timers, pending window rolls.
+        clock.advance(10 * period)
+
+        # Fold every delivered batch, arrival order: the push plane's
+        # half of the replay identity.
+        for batch in consumer.batches:
+            digest.update(
+                repr(
+                    (
+                        batch["cq"],
+                        batch["columns"],
+                        batch["rows"],
+                        batch["published_at"],
+                        batch["received_at"],
+                        batch["source_url"],
+                        batch["replay"],
+                    )
+                ).encode()
+            )
+
+        report.delivered_batches = len(consumer.batches)
+        report.delivered_rows = sum(len(b["rows"]) for b in consumer.batches)
+        report.replay_batches = sum(1 for b in consumer.batches if b["replay"])
+        report.renewals = consumer.stats["renewals"]
+        report.renewal_failures = consumer.stats["renewal_failures"]
+        report.reregisters = consumer.stats["reregisters"]
+        report.derived_windows = derivation.windows_published
+        report.derived_samples = rep.stats["samples"]
+        for hub in (gw.streams, rep.hub):
+            for cq_id, b in hub.buffer_stats().items():
+                if b["buffered"] and not b["paused"]:
+                    report.stuck_buffers.append(
+                        f"{hub.address.host}: cq{cq_id} live with "
+                        f"{b['buffered']} buffered batch(es)"
+                    )
+        report.hub = gw.streams.snapshot()
+        for key in (
+            "pushes", "replayed", "dropped", "suppressed",
+            "expired", "resurrected", "shed",
+        ):
+            setattr(report, key, int(report.hub[key]))
+
+        # Clean teardown over a healed network, then settle.
+        consumer.stop()
+        rep.stop()
+        clock.advance(period)
+
+    if detector is not None:
+        report.race_findings = [f.format() for f in detector.report()]
+        report.race_accesses = detector.accesses_noted
+
+    report.signature = digest.hexdigest()
+    report.elapsed_virtual = clock.now() - started
+    report.faults = plane.stats.as_dict()
+    from repro.obs.invariants import check_tracer
+
+    report.traces_checked = len(gw.tracer.traces())
+    report.trace_violations = check_tracer(gw.tracer)
+    report.pending_futures = network.pending_futures()
+    return report

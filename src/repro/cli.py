@@ -10,6 +10,9 @@ everything is simulated) and exercises it:
 * ``health``    — poll all sources and print the breaker scoreboard;
 * ``chaos``     — run the standard fault-plane scenario and report tail
   latency, hedging/retry/deadline counters and the replay signature;
+* ``stream``    — run the streaming scenario: continuous queries (all
+  three producer flavours) under the standard faults plus a consumer
+  partition long enough to force lease-lapse re-registration;
 * ``crashtest`` — seeded kill/recover/verify loops over the durable
   history store: crash the disk (torn writes, bit rot), rebuild the
   gateway, and hold recovery to the acked-prefix equality;
@@ -211,6 +214,65 @@ def cmd_overload(args) -> int:
         failed = True
     for violation in report.breaker_violations:
         print(f"# breaker invariant violated: {violation}", file=sys.stderr)
+        failed = True
+    for violation in report.trace_violations:
+        print(f"# trace invariant violated: {violation}", file=sys.stderr)
+        failed = True
+    if report.pending_futures:
+        print(
+            f"# {report.pending_futures} network future(s) never resolved",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_stream(args) -> int:
+    from repro.chaos import run_stream
+
+    agents = tuple(args.agents.split(",")) if args.agents else ("snmp",)
+    knobs = dict(
+        seed=args.seed,
+        rounds=args.rounds,
+        hosts=args.hosts,
+        agents=agents,
+        subscriptions=args.subscriptions,
+        period=args.period,
+        warmup_rounds=args.warmup_rounds,
+        deadline=args.deadline,
+        partition=not args.no_partition,
+    )
+    report = run_stream(**knobs)
+    print(report.format())
+    failed = False
+    if args.race_detect:
+        # Dual run: the detector must neither find lane races nor
+        # perturb the run — byte-identical signature with detection on.
+        detected = run_stream(**knobs, race_detect=True)
+        if detected.signature != report.signature:
+            print(
+                "# race detector perturbed the run: "
+                f"{detected.signature[:16]} != {report.signature[:16]}",
+                file=sys.stderr,
+            )
+            failed = True
+        for finding in detected.race_findings:
+            print(f"# lane race: {finding}", file=sys.stderr)
+        failed = failed or bool(detected.race_findings)
+        print(
+            f"race detector: {detected.race_accesses} accesses checked, "
+            f"{len(detected.race_findings)} finding(s), "
+            f"signature {'identical' if detected.signature == report.signature else 'DIVERGED'}"
+        )
+    if not args.no_partition and report.reregisters == 0:
+        print(
+            "# consumer partition healed without any re-registration — "
+            "lease recovery never ran",
+            file=sys.stderr,
+        )
+        failed = True
+    for entry in report.stuck_buffers:
+        print(f"# stuck buffer: {entry}", file=sys.stderr)
         failed = True
     for violation in report.trace_violations:
         print(f"# trace invariant violated: {violation}", file=sys.stderr)
@@ -493,6 +555,46 @@ def main(argv: list[str] | None = None) -> int:
         "perturbed signature fail",
     )
     p.set_defaults(func=cmd_overload)
+
+    p = sub.add_parser(
+        "stream",
+        help="run the streaming scenario (continuous queries x faults)",
+    )
+    _add_common(p)
+    p.add_argument("--rounds", type=int, default=12, help="measured poll rounds")
+    p.add_argument(
+        "--subscriptions",
+        type=int,
+        default=6,
+        help="continuous queries to register (flavour x class mix)",
+    )
+    p.add_argument(
+        "--period", type=float, default=10.0, help="virtual seconds between rounds"
+    )
+    p.add_argument(
+        "--warmup-rounds",
+        type=int,
+        default=3,
+        help="unmeasured warm-up polls before registration (replay fodder)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        help="per-query budget in virtual seconds",
+    )
+    p.add_argument(
+        "--no-partition",
+        action="store_true",
+        help="skip the long consumer partition (no lease-lapse recovery)",
+    )
+    p.add_argument(
+        "--race-detect",
+        action="store_true",
+        help="dual run under the lane-race detector; findings or a "
+        "perturbed signature fail",
+    )
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
         "crashtest", help="kill/recover/verify loops over durable history"

@@ -258,6 +258,26 @@ class Gateway:
             plans=self.plans,
             admission=self.overload,
         )
+        # Continuous-SQL streaming plane (repro.gma.streams): built only
+        # when policy.streaming_enabled, so default gateways schedule no
+        # sweep timer and publish nothing — replay signatures and golden
+        # traces of existing scenarios are untouched.  Imported lazily
+        # (like AlertMonitor) to keep module import order acyclic.
+        self.streams: Any | None = None
+        if self.policy.streaming_enabled:
+            from repro.gma.streams import StreamHub
+
+            self.streams = StreamHub(
+                network,
+                host,
+                plans=self.plans,
+                schema=self.schema_manager.schema,
+                policy=self.policy,
+                history=self.history,
+                overload=self.overload,
+                tracer=self.tracer,
+            )
+            self.request_manager.streams = self.streams
         self.cgsl = CoarseGrainedSecurity(enabled=self.policy.security_enabled)
         self.fgsl = FineGrainedSecurity(enabled=self.policy.security_enabled)
         self.sessions = SessionManager(network.clock, ttl=self.policy.session_ttl)
@@ -868,6 +888,8 @@ class Gateway:
         for rule in [r.name for r in self.alerts.rules()]:
             self.alerts.remove_rule(rule)
         self.events.stop()
+        if self.streams is not None:
+            self.streams.close()
         self.connection_manager.close_all()
         self.cache.invalidate()
 
@@ -887,6 +909,8 @@ class Gateway:
         for rule in [r.name for r in self.alerts.rules()]:
             self.alerts.remove_rule(rule)
         self.events.stop()
+        if self.streams is not None:
+            self.streams.close()
         self.connection_manager.close_all()
 
     # ------------------------------------------------------------------
@@ -945,6 +969,11 @@ class Gateway:
             },
             "dispatch": self.dispatcher.stats.as_dict(),
             "overload": self.overload.snapshot(),
+            "streams": (
+                self.streams.snapshot()
+                if self.streams is not None
+                else {"enabled": False}
+            ),
             "health": {
                 **self.health.summary(),
                 "scoreboard": self.health.scoreboard(),

@@ -156,6 +156,19 @@ class GatewayPolicy:
             without one ("critical" / "interactive" / "batch").
         subscription_buffer_limit: per-subscription bounded buffer for
             continuous-query streams (backpressure for slow consumers).
+        streaming_enabled: the continuous-SQL streaming plane
+            (:mod:`repro.gma.streams`) — register a SELECT once, receive
+            matching tuples on every publish.  Off by default so
+            existing replay signatures and golden traces are untouched.
+        stream_max_subscriptions: cap on live continuous queries per
+            hub; registrations past it are refused with a typed shed.
+        stream_default_lease: lease stamped on registrations that arrive
+            without one (s, virtual).
+        stream_sweep_period: cadence of the hub's lease sweeper; a swept
+            registration stays renew-resurrectable for one period
+            (tombstone grace).
+        stream_replay_limit: newest history rows an attach replay of a
+            ``history``-flavour subscription may ship.
     """
 
     query_cache_ttl: float = 30.0
@@ -213,6 +226,11 @@ class GatewayPolicy:
     pressure_min_dwell: float = 5.0
     default_query_class: str = "interactive"
     subscription_buffer_limit: int = 256
+    streaming_enabled: bool = False
+    stream_max_subscriptions: int = 1024
+    stream_default_lease: float = 300.0
+    stream_sweep_period: float = 60.0
+    stream_replay_limit: int = 256
 
     def __post_init__(self) -> None:
         if self.query_cache_ttl < 0:
@@ -365,4 +383,21 @@ class GatewayPolicy:
             raise PolicyError(
                 "subscription_buffer_limit must be >= 1: "
                 f"{self.subscription_buffer_limit!r}"
+            )
+        if self.stream_max_subscriptions < 1:
+            raise PolicyError(
+                "stream_max_subscriptions must be >= 1: "
+                f"{self.stream_max_subscriptions!r}"
+            )
+        if self.stream_default_lease <= 0:
+            raise PolicyError(
+                f"stream_default_lease must be > 0: {self.stream_default_lease!r}"
+            )
+        if self.stream_sweep_period <= 0:
+            raise PolicyError(
+                f"stream_sweep_period must be > 0: {self.stream_sweep_period!r}"
+            )
+        if self.stream_replay_limit < 1:
+            raise PolicyError(
+                f"stream_replay_limit must be >= 1: {self.stream_replay_limit!r}"
             )

@@ -189,6 +189,11 @@ class RequestManager:
         #: when overload protection is on); consulted by the retry and
         #: hedge paths so they cannot fight the limiter.
         self.admission = admission
+        #: The gateway's continuous-query hub (injected by the Gateway
+        #: when ``policy.streaming_enabled``): every real-time fetch is
+        #: published into it so registered continuous SELECTs receive
+        #: matching tuples at the moment they are produced.
+        self.streams: "Any | None" = None
         self.clock = connection_manager.clock
         #: Shared metrics registry (injected by the Gateway; standalone
         #: construction gets a private one so the stats below behave the
@@ -696,6 +701,14 @@ class RequestManager:
                         source_url=url_text,
                         recorded_at=self.clock.now(),
                     )
+        if self.streams is not None:
+            # Continuous queries see every real-time fetch at the moment
+            # it is produced — predicate evaluation happens in the hub
+            # (at the producing gateway), inside this source's fan-out
+            # branch, so push spans nest under the live query trace.
+            self.streams.publish(
+                select.table, list(columns), rows, source_url=url_text
+            )
 
     def _one_degraded(self, url_text: str, sql: str, result: QueryResult) -> None:
         """Answer for a source whose breaker is OPEN: stale rows when the

@@ -23,6 +23,7 @@ from repro.gma.consumer import GatewayConsumer
 from repro.gma.global_layer import GlobalLayer, RemoteQueryError
 from repro.gma.subscription import EventPublisher, EventSubscriber
 from repro.gma.archiver import EventArchiver
+from repro.gma.streams import Republisher, StreamConsumer, StreamHub
 
 __all__ = [
     "ProducerRecord",
@@ -36,4 +37,7 @@ __all__ = [
     "EventPublisher",
     "EventSubscriber",
     "EventArchiver",
+    "StreamHub",
+    "StreamConsumer",
+    "Republisher",
 ]

@@ -31,6 +31,7 @@ class _Feed:
     publisher: Address
     subscription_id: int
     lease: float
+    name_prefix: str = ""
 
 
 class EventArchiver:
@@ -55,7 +56,14 @@ class EventArchiver:
         self.subscriber.on_event(self._archive)
         self._feeds: list[_Feed] = []
         self._renew_timer = None
+        self._renew_period = 0.0
         self.db = Database()
+        self.stats = {
+            "archived": 0,
+            "renewals": 0,
+            "renewal_failures": 0,
+            "resubscribes": 0,
+        }
         self.db.create_table(
             "events",
             [
@@ -67,7 +75,6 @@ class EventArchiver:
                 ("received_at", "TIMESTAMP"),
             ],
         )
-        self.stats = {"archived": 0, "renewals": 0, "renewal_failures": 0}
 
     # ------------------------------------------------------------------
     def follow(
@@ -84,14 +91,31 @@ class EventArchiver:
         sid = self.subscriber.subscribe(
             address, name_prefix=name_prefix, lease=lease
         )
-        self._feeds.append(_Feed(publisher=address, subscription_id=sid, lease=lease))
+        self._feeds.append(
+            _Feed(
+                publisher=address,
+                subscription_id=sid,
+                lease=lease,
+                name_prefix=name_prefix,
+            )
+        )
         self._ensure_renewals()
         return sid
 
     def _ensure_renewals(self) -> None:
-        if self._renew_timer is not None or not self._feeds:
+        """(Re)arm the renew timer at half the *shortest* live lease.
+
+        Recomputed on every follow: a later feed with a shorter lease
+        must tighten the cadence, or it would expire between renewals.
+        """
+        if not self._feeds:
             return
         period = min(f.lease for f in self._feeds) * self.RENEW_FRACTION
+        if self._renew_timer is not None:
+            if period >= self._renew_period:
+                return
+            self._renew_timer.cancel()
+        self._renew_period = period
         self._renew_timer = self.network.clock.call_every(period, self._renew_all)
 
     def _renew_all(self) -> None:
@@ -101,10 +125,24 @@ class EventArchiver:
                     feed.publisher, feed.subscription_id, feed.lease
                 )
             except NetworkError:
-                ok = False
+                self.stats["renewal_failures"] += 1
+                continue
             if ok:
                 self.stats["renewals"] += 1
-            else:
+                continue
+            # The publisher no longer knows the subscription — the lease
+            # lapsed beyond the sweep's tombstone grace (e.g. across a
+            # partition that has since healed).  Recover by
+            # re-subscribing rather than silently renewing into the
+            # void forever.
+            try:
+                feed.subscription_id = self.subscriber.subscribe(
+                    feed.publisher,
+                    name_prefix=feed.name_prefix,
+                    lease=feed.lease,
+                )
+                self.stats["resubscribes"] += 1
+            except NetworkError:
                 self.stats["renewal_failures"] += 1
 
     def stop(self) -> None:
@@ -118,6 +156,7 @@ class EventArchiver:
         if self._renew_timer is not None:
             self._renew_timer.cancel()
             self._renew_timer = None
+            self._renew_period = 0.0
 
     # ------------------------------------------------------------------
     def _archive(self, event: Event) -> None:

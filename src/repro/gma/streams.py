@@ -1,0 +1,1089 @@
+"""Continuous SQL subscriptions — GridRM's streaming plane.
+
+GMA names three interaction modes: request/response, query, and
+*subscription*.  The R-GMA work the paper cites (Cooke & Nutt) makes the
+third mode relational: a consumer registers ``SELECT ... FROM Processor
+WHERE load > 0.9`` **once** and receives matching tuples as producers
+publish them, with the predicate evaluated at the source rather than the
+consumer.  This module is that plane for GridRM:
+
+* :class:`StreamHub` — the producing gateway's registration endpoint.
+  A continuous query is compiled once through the shared
+  :class:`~repro.core.plans.PlanCache`; on every publish the bound
+  predicate/projection runs *here*, and only matching tuples cross the
+  wire.  Three producer flavours (R-GMA's vocabulary): ``latest``
+  replays the current row per source on attach, ``history`` replays
+  from the gateway's :class:`~repro.core.history.HistoryStore` since a
+  client watermark, ``stream`` is publish-forward only.
+* :class:`StreamConsumer` — the consumer side: registers continuous
+  queries, receives tuple batches as datagrams, renews leases, and
+  re-registers when a partition let a lease lapse.
+* :class:`Republisher` — an archiving consumer upgraded to a producer:
+  it subscribes to upstream tuple streams, folds them into windowed
+  per-key aggregates (per-site ``AVG(load)``), and publishes the derived
+  rows through its **own** hub, which downstream consumers subscribe to
+  like any source.
+
+Flow control reuses the bounded-buffer / pause-resume discipline of
+:mod:`repro.gma.subscription`: while a subscription is paused its tuples
+buffer (bounded) at the hub, and overflow fates (``drop_oldest`` |
+``pause``) are counted, never silent.  Registration rides the same
+Deadline / QueryClass / trace-context envelope as the GMA query wire,
+and the hub honours the gateway's admission state: in BROWNOUT and SHED
+pushes to BATCH-class subscriptions are suppressed (counted), and new
+BATCH registrations are refused with a typed shed while the gateway is
+shedding.
+
+Leases sweep with a one-period **tombstone grace**: a subscription the
+sweeper removed stays resurrectable until the *next* sweep, so a renewal
+whose arrival the virtual clock inflated past the expiry instant (a
+nested callback can push ``now`` beyond a later callback's due time —
+see ``VirtualClock.advance_to``) still lands, and a short partition
+heals without a re-registration round-trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.analysis import races
+from repro.core.admission import QueryClass
+from repro.gma.archiver import EventArchiver
+from repro.core.deadline import Deadline
+from repro.core.errors import DeadlineExceededError, GridRmError, OverloadError
+from repro.core.history import HistoryStore
+from repro.core.policy import GatewayPolicy
+from repro.core.shed import PressureState, ShedAction, shed_action
+from repro.glue.schema import GlueField, GlueGroup, GlueSchema
+from repro.obs.trace import NO_TRACER, Tracer
+from repro.simnet.errors import NetworkError
+from repro.simnet.network import Address, Network
+from repro.sql.errors import SqlError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.admission import AdmissionController
+    from repro.core.plans import PlanCache
+    from repro.sql.plan import CompiledPlan
+
+STREAM_PORT = 8500
+CONSUMER_PORT = 8501
+
+#: Producer flavours, R-GMA's vocabulary (see module docstring).
+FLAVOURS = ("stream", "latest", "history")
+
+
+def encode_batch(
+    cq_id: int,
+    columns: list[str],
+    rows: list[list[Any]],
+    *,
+    published_at: float,
+    source_url: str,
+    replay: bool,
+) -> dict[str, Any]:
+    """Wire form of one delivered tuple batch (plain dict)."""
+    return {
+        "kind": "gridrm-tuples",
+        "cq": cq_id,
+        "columns": list(columns),
+        "rows": [list(r) for r in rows],
+        "published_at": published_at,
+        "source_url": source_url,
+        "replay": replay,
+    }
+
+
+def decode_batch(payload: Any) -> Optional[dict[str, Any]]:
+    if not isinstance(payload, dict) or payload.get("kind") != "gridrm-tuples":
+        return None
+    try:
+        return {
+            "kind": "gridrm-tuples",
+            "cq": int(payload["cq"]),
+            "columns": [str(c) for c in payload["columns"]],
+            "rows": [list(r) for r in payload["rows"]],
+            "published_at": float(payload["published_at"]),
+            "source_url": str(payload.get("source_url", "")),
+            "replay": bool(payload.get("replay", False)),
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+@dataclass
+class _Continuous:
+    """One registered continuous query at the hub."""
+
+    cq_id: int
+    consumer: Address
+    sql: str
+    flavour: str
+    group: str
+    plan: "CompiledPlan"
+    query_class: str
+    expires_at: float
+    #: Backpressure: while paused, batches buffer here (bounded) instead
+    #: of being pushed — a continuous query cannot OOM a slow consumer.
+    max_buffer: int = 256
+    overflow: str = "drop_oldest"
+    paused: bool = False
+    delivered: int = 0
+    tuples: int = 0
+    dropped: int = 0
+    suppressed: int = 0
+    unsatisfied: int = 0
+    buffer: "deque[dict[str, Any]]" = field(default_factory=deque)
+
+
+class StreamHub:
+    """Producing-gateway endpoint for continuous SQL subscriptions.
+
+    Control protocol (request/response on :data:`STREAM_PORT`, dict ops
+    like the GMA query wire):
+
+    * ``{"op": "register", "sql", "host", "port", "flavour", "lease",
+      "max_buffer", "overflow", "query_class", "watermark",
+      "deadline_budget", "trace_ctx"}`` ->
+      ``{"ok": True, "cq": id, "group": g, "replayed": n}``;
+      a shed registration returns the typed form
+      ``{"ok": False, "shed": True, "retry_after": s, ...}``
+    * ``{"op": "renew", "cq": id, "lease": s}`` -> ``{"ok": True}`` |
+      ``{"ok": False, "error": "missing"}``
+    * ``{"op": "deregister", "cq": id}`` -> same shape as renew
+    * ``{"op": "pause", "cq": id}`` -> ``{"ok": True}``
+    * ``{"op": "resume", "cq": id}`` -> ``{"ok": True, "flushed": n}``
+    * ``{"op": "stats"}`` -> ``{"ok": True, "stats": {...}}``
+
+    Constructible standalone (the :class:`Republisher` owns one with no
+    gateway behind it) or wired by the Gateway when
+    ``policy.streaming_enabled`` — the gateway injects its shared plan
+    cache, schema, history store, tracer and admission controller.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        *,
+        plans: "PlanCache",
+        schema: GlueSchema,
+        policy: GatewayPolicy,
+        history: "HistoryStore | None" = None,
+        overload: "AdmissionController | None" = None,
+        tracer: "Tracer | None" = None,
+        port: int = STREAM_PORT,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.plans = plans
+        self.schema = schema
+        self.policy = policy
+        self.history = history
+        self.overload = overload
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        self.address = Address(host, port)
+        self._subs: dict[int, _Continuous] = {}
+        #: Swept subscriptions kept resurrectable until the next sweep
+        #: (the lease-gap fix: a renewal the clock carried past the
+        #: expiry instant still lands; a short partition heals in place).
+        self._tombstones: dict[int, _Continuous] = {}
+        self._ids = itertools.count(1)
+        #: Current row snapshot per (group, source) — what the ``latest``
+        #: flavour replays on attach.
+        self._latest: dict[str, dict[str, tuple[list[str], list[list[Any]]]]] = {}
+        self.stats = {
+            "registered": 0,
+            "pushes": 0,
+            "tuples": 0,
+            "replayed": 0,
+            "dropped": 0,
+            "suppressed": 0,
+            "shed": 0,
+            "expired": 0,
+            "resurrected": 0,
+            "unsatisfied": 0,
+        }
+        network.listen(self.address, self._handle_control)
+        self._sweep_task = network.clock.call_every(
+            policy.stream_sweep_period, self.sweep
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _handle_control(self, payload: Any, src: Address) -> dict[str, Any]:
+        if not isinstance(payload, dict) or "op" not in payload:
+            return {"ok": False, "error": "malformed request"}
+        op = payload["op"]
+        try:
+            if op == "register":
+                return self._register(payload)
+            if op == "renew":
+                return self._renew(payload)
+            if op == "deregister":
+                return self._deregister(payload)
+            if op == "pause":
+                return self._pause(payload)
+            if op == "resume":
+                return self._resume(payload)
+            if op == "stats":
+                return {"ok": True, "stats": self.snapshot()}
+        except OverloadError as exc:
+            # Typed shed, same wire form as the GMA query path: the
+            # consumer raises OverloadError with the retry-after hint,
+            # never a breaker penalty against a merely-busy gateway.
+            self.stats["shed"] += 1
+            return {
+                "ok": False,
+                "shed": True,
+                "retry_after": exc.retry_after,
+                "query_class": exc.query_class,
+                "error": str(exc),
+            }
+        except (GridRmError, SqlError) as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _register(self, payload: dict[str, Any]) -> dict[str, Any]:
+        budget = payload.get("deadline_budget")
+        if budget is not None and float(budget) <= 0:
+            raise DeadlineExceededError(
+                "deadline exhausted before continuous-query registration"
+            )
+        sql = str(payload.get("sql", ""))
+        flavour = str(payload.get("flavour", "stream"))
+        if flavour not in FLAVOURS:
+            return {"ok": False, "error": f"unknown flavour {flavour!r}"}
+        overflow = str(payload.get("overflow") or "drop_oldest")
+        if overflow not in ("drop_oldest", "pause"):
+            return {"ok": False, "error": f"unknown overflow policy {overflow!r}"}
+        qc = QueryClass.parse(payload.get("query_class") or None)
+        trace_ctx = payload.get("trace_ctx")
+        with self.tracer.start_trace(
+            "subscribe",
+            remote_parent=trace_ctx if isinstance(trace_ctx, dict) else None,
+            sql=sql,
+            flavour=flavour,
+            query_class=qc.value,
+        ) as root:
+            self._admit_registration(qc)
+            if len(self._subs) >= self.policy.stream_max_subscriptions:
+                raise OverloadError(
+                    "continuous-query table full "
+                    f"({self.policy.stream_max_subscriptions} registrations)",
+                    retry_after=self.policy.stream_sweep_period,
+                    query_class=qc.value,
+                )
+            entry = self.plans.get(sql)
+            if entry.findings:
+                return {"ok": False, "error": entry.findings[0].message}
+            if entry.plan is None:
+                return {
+                    "ok": False,
+                    "error": "statement shape not supported for "
+                    "continuous evaluation",
+                }
+            group = (
+                self.schema.group(entry.select.table).name
+                if self.schema.has_group(entry.select.table)
+                else entry.select.table
+            )
+            now = self.network.clock.now()
+            cq = _Continuous(
+                cq_id=next(self._ids),
+                consumer=Address(
+                    str(payload.get("host", "")), int(payload.get("port", 0))
+                ),
+                sql=sql,
+                flavour=flavour,
+                group=group,
+                plan=entry.plan,
+                query_class=qc.value,
+                expires_at=now
+                + float(payload.get("lease") or self.policy.stream_default_lease),
+                max_buffer=int(payload.get("max_buffer") or 0)
+                or self.policy.subscription_buffer_limit,
+                overflow=overflow,
+            )
+            self._subs[cq.cq_id] = cq
+            self.stats["registered"] += 1
+            if races.ACTIVE is not None:
+                races.ACTIVE.note(
+                    "stream.subs", str(cq.cq_id), "w", site="StreamHub.register"
+                )
+            replayed = self._replay(cq, float(payload.get("watermark") or 0.0))
+            root.annotate(cq=cq.cq_id, group=group, replayed=replayed)
+            return {"ok": True, "cq": cq.cq_id, "group": group, "replayed": replayed}
+
+    def _admit_registration(self, qc: QueryClass) -> None:
+        """Refuse sheddable registrations while the gateway is shedding.
+
+        Only the hard-SHED fate refuses: a registration has no stale to
+        serve, so the brownout fates degrade on the *push* side instead
+        (see :meth:`publish`).
+        """
+        ov = self.overload
+        if ov is None or not ov.enabled:
+            return
+        if shed_action(ov.state, qc) is ShedAction.SHED:
+            raise OverloadError(
+                f"gateway is shedding {qc.value} registrations",
+                retry_after=ov.monitor.retry_after(),
+                query_class=qc.value,
+            )
+
+    def _replay(self, cq: _Continuous, watermark: float) -> int:
+        """Flavour-specific attach replay; returns tuples replayed."""
+        if cq.flavour == "stream":
+            return 0
+        now = self.network.clock.now()
+        replayed = 0
+        with self.tracer.span("replay", cq=cq.cq_id, flavour=cq.flavour):
+            if cq.flavour == "latest":
+                for source_url in sorted(self._latest.get(cq.group, {})):
+                    columns, rows = self._latest[cq.group][source_url]
+                    try:
+                        result = cq.plan.bind(tuple(columns)).execute(rows)
+                    except SqlError:
+                        # A narrower publish left a snapshot without every
+                        # column this plan needs; nothing to replay from it.
+                        cq.unsatisfied += 1
+                        self.stats["unsatisfied"] += 1
+                        continue
+                    if not result.rows:
+                        continue
+                    batch = encode_batch(
+                        cq.cq_id,
+                        list(result.columns),
+                        [list(r) for r in result.rows],
+                        published_at=now,
+                        source_url=source_url,
+                        replay=True,
+                    )
+                    replayed += len(result.rows)
+                    self._offer(cq, batch)
+            elif cq.flavour == "history" and self.history is not None:
+                if cq.group in self.history.db.tables:
+                    table = self.history.db.table(cq.group)
+                    rows = HistoryStore._since_slice(table.rows, watermark)
+                    # Cap at the newest rows: attach replay is a catch-up,
+                    # not a full table scan shipped over the wire.
+                    limit = self.policy.stream_replay_limit
+                    if len(rows) > limit:
+                        rows = rows[-limit:]
+                    result = cq.plan.bind_mapping(
+                        tuple(table.column_names)
+                    ).execute(rows)
+                    if result.rows:
+                        batch = encode_batch(
+                            cq.cq_id,
+                            list(result.columns),
+                            [list(r) for r in result.rows],
+                            published_at=now,
+                            source_url="history://" + cq.group,
+                            replay=True,
+                        )
+                        replayed = len(result.rows)
+                        self._offer(cq, batch)
+        self.stats["replayed"] += replayed
+        return replayed
+
+    def _renew(self, payload: dict[str, Any]) -> dict[str, Any]:
+        cq_id = int(payload.get("cq", 0))
+        now = self.network.clock.now()
+        cq = self._subs.get(cq_id)
+        if cq is None:
+            # Tombstone grace: this renewal may have been on the wire —
+            # sent while the lease was still live — when the sweeper ran
+            # and removed the subscription (transport delay carries the
+            # arrival past the expiry instant).  Within one sweep period
+            # the registration is resurrected in place, buffers and
+            # counters intact.
+            cq = self._tombstones.pop(cq_id, None)
+            if cq is None:
+                return {"ok": False, "error": "missing"}
+            self._subs[cq_id] = cq
+            self.stats["resurrected"] += 1
+        cq.expires_at = now + float(
+            payload.get("lease") or self.policy.stream_default_lease
+        )
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "stream.subs", str(cq_id), "w", site="StreamHub.renew"
+            )
+        return {"ok": True}
+
+    def _deregister(self, payload: dict[str, Any]) -> dict[str, Any]:
+        cq_id = int(payload.get("cq", 0))
+        removed = self._subs.pop(cq_id, None) or self._tombstones.pop(cq_id, None)
+        if removed is None:
+            return {"ok": False, "error": "missing"}
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "stream.subs", str(cq_id), "w", site="StreamHub.deregister"
+            )
+        return {"ok": True}
+
+    def _pause(self, payload: dict[str, Any]) -> dict[str, Any]:
+        cq = self._subs.get(int(payload.get("cq", 0)))
+        if cq is None:
+            return {"ok": False, "error": "missing"}
+        cq.paused = True
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "stream.subs", str(cq.cq_id), "w", site="StreamHub.pause"
+            )
+        return {"ok": True}
+
+    def _resume(self, payload: dict[str, Any]) -> dict[str, Any]:
+        cq = self._subs.get(int(payload.get("cq", 0)))
+        if cq is None:
+            return {"ok": False, "error": "missing"}
+        cq.paused = False
+        flushed = len(cq.buffer)
+        while cq.buffer:
+            batch = cq.buffer.popleft()
+            self.network.send(self.host, cq.consumer, batch)
+            cq.delivered += 1
+            cq.tuples += len(batch["rows"])
+        if races.ACTIVE is not None:
+            races.ACTIVE.note(
+                "stream.subs", str(cq.cq_id), "w", site="StreamHub.resume"
+            )
+        return {"ok": True, "flushed": flushed}
+
+    # ------------------------------------------------------------------
+    # Publish plane
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        group: str,
+        columns: list[str],
+        rows: list[Any],
+        *,
+        source_url: str = "",
+    ) -> int:
+        """Evaluate every live continuous query against one publish.
+
+        Called by the RequestManager after each real-time fetch (inside
+        the fan-out branch, so the ``push`` spans nest under the live
+        query trace) and by the :class:`Republisher`'s window rolls.
+        Returns the number of subscriptions that received tuples.
+        """
+        g = (
+            self.schema.group(group).name
+            if self.schema.has_group(group)
+            else group
+        )
+        cols = list(columns)
+        snapshot = [list(r) for r in rows]
+        self._latest.setdefault(g, {})[source_url] = (cols, snapshot)
+        now = self.network.clock.now()
+        suppress = self._brownout()
+        pushed = 0
+        for cq in self._subs.values():
+            if cq.group != g or cq.expires_at < now:
+                continue
+            if suppress and cq.query_class == QueryClass.BATCH.value:
+                # Admission interplay: a pressured gateway stops paying
+                # per-publish evaluation + wire cost for the batch tier
+                # first — the stream analogue of the brownout fate.
+                cq.suppressed += 1
+                self.stats["suppressed"] += 1
+                continue
+            try:
+                result = cq.plan.bind(tuple(cols)).execute(snapshot)
+            except SqlError:
+                # This publish does not carry every column the plan needs
+                # (a narrower real-time projection can acquire a subset of
+                # the group).  The subscription simply cannot be satisfied
+                # from this snapshot — skip it; a subscriber's plan must
+                # never fail the publisher's query.
+                cq.unsatisfied += 1
+                self.stats["unsatisfied"] += 1
+                continue
+            if not result.rows:
+                continue
+            with self.tracer.span(
+                "push", cq=cq.cq_id, group=g, rows=len(result.rows)
+            ):
+                batch = encode_batch(
+                    cq.cq_id,
+                    list(result.columns),
+                    [list(r) for r in result.rows],
+                    published_at=now,
+                    source_url=source_url,
+                    replay=False,
+                )
+                self._offer(cq, batch)
+            if races.ACTIVE is not None:
+                # Registered COMMUTATIVE: sibling fan-out branches
+                # (different sources) push to one subscription in launch
+                # order, but every batch carries its own source_url and
+                # published_at, so consumers are insensitive to the
+                # interleaving — the same argument as history appends.
+                races.ACTIVE.note(
+                    "stream.push", str(cq.cq_id), "w", site="StreamHub.publish"
+                )
+            pushed += 1
+        return pushed
+
+    def _brownout(self) -> bool:
+        ov = self.overload
+        return (
+            ov is not None
+            and ov.enabled
+            and ov.state is not PressureState.NORMAL
+        )
+
+    def _offer(self, cq: _Continuous, batch: dict[str, Any]) -> None:
+        """Push live, or buffer (bounded) while the consumer is paused."""
+        if not cq.paused:
+            self.network.send(self.host, cq.consumer, batch)
+            cq.delivered += 1
+            cq.tuples += len(batch["rows"])
+            self.stats["pushes"] += 1
+            self.stats["tuples"] += len(batch["rows"])
+            return
+        if len(cq.buffer) < cq.max_buffer:
+            cq.buffer.append(batch)
+            return
+        # Bounded buffer full: something must be dropped, and counted.
+        cq.dropped += 1
+        self.stats["dropped"] += 1
+        if cq.overflow == "drop_oldest":
+            cq.buffer.popleft()
+            cq.buffer.append(batch)
+        # "pause": the newcomer is dropped — the orderly prefix survives.
+
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """Tombstone expired registrations; returns how many moved.
+
+        Tombstones from the *previous* sweep are discarded first, so a
+        swept registration stays resurrectable (via renew) for exactly
+        one sweep period before it is truly gone.
+        """
+        self._tombstones.clear()
+        now = self.network.clock.now()
+        dead = [cq_id for cq_id, s in self._subs.items() if s.expires_at < now]
+        for cq_id in dead:
+            self._tombstones[cq_id] = self._subs.pop(cq_id)
+            if races.ACTIVE is not None:
+                races.ACTIVE.note(
+                    "stream.subs", str(cq_id), "w", site="StreamHub.sweep"
+                )
+        self.stats["expired"] += len(dead)
+        return len(dead)
+
+    def close(self) -> None:
+        """Stop background sweeping (gateway shutdown/crash)."""
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            self._sweep_task = None
+
+    def subscription_count(self) -> int:
+        return len(self._subs)
+
+    def buffer_stats(self) -> dict[int, dict[str, Any]]:
+        """Per-subscription flow-control state (console view)."""
+        return {
+            cq_id: {
+                "sql": s.sql,
+                "flavour": s.flavour,
+                "group": s.group,
+                "query_class": s.query_class,
+                "paused": s.paused,
+                "buffered": len(s.buffer),
+                "max_buffer": s.max_buffer,
+                "overflow": s.overflow,
+                "delivered": s.delivered,
+                "tuples": s.tuples,
+                "dropped": s.dropped,
+                "suppressed": s.suppressed,
+            }
+            for cq_id, s in sorted(self._subs.items())
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            **self.stats,
+            "subscriptions": len(self._subs),
+            "tombstones": len(self._tombstones),
+            "groups": sorted(self._latest),
+        }
+
+
+@dataclass
+class _Registration:
+    """Consumer-side record of one continuous query (for renew/recover)."""
+
+    hub: Address
+    cq_id: int
+    sql: str
+    flavour: str
+    lease: float
+    max_buffer: int | None
+    overflow: str | None
+    query_class: str
+    #: Newest published_at seen — the watermark a lease recovery passes
+    #: so a ``history`` re-registration does not replay delivered rows.
+    last_published: float = 0.0
+
+
+class StreamConsumer:
+    """Consumer side: register continuous queries, receive tuple batches.
+
+    Batches arrive as one-way datagrams on ``port``; they are retained in
+    arrival order (``batches``, and per-query under ``delivered``) and
+    handed to any registered callbacks.  A renew timer keeps every
+    registration's lease alive at half-lease cadence; a renewal answered
+    ``missing`` (the lease lapsed beyond the hub's tombstone grace, e.g.
+    across a long partition) triggers an automatic re-registration with
+    the last-seen watermark.
+    """
+
+    RENEW_FRACTION = 0.5
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        *,
+        port: int = CONSUMER_PORT,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        if not network.has_host(host):
+            network.add_host(host, site="consumer")
+        self.network = network
+        self.host = host
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        self.address = Address(host, port)
+        self.received = 0
+        self.batches: list[dict[str, Any]] = []
+        self.delivered: dict[int, list[dict[str, Any]]] = {}
+        self._callbacks: list[Callable[[dict[str, Any]], None]] = []
+        self._regs: list[_Registration] = []
+        self._renew_timer = None
+        self._renew_period = 0.0
+        self.stats = {
+            "renewals": 0,
+            "renewal_failures": 0,
+            "reregisters": 0,
+            "shed": 0,
+        }
+        network.listen(
+            self.address, lambda p, s: None, datagram_handler=self._on_datagram
+        )
+
+    # ------------------------------------------------------------------
+    def _on_datagram(self, payload: Any, src: Address) -> None:
+        batch = decode_batch(payload)
+        if batch is None:
+            return
+        batch["received_at"] = self.network.clock.now()
+        self.received += 1
+        self.batches.append(batch)
+        self.delivered.setdefault(batch["cq"], []).append(batch)
+        for reg in self._regs:
+            if reg.cq_id == batch["cq"]:
+                reg.last_published = max(reg.last_published, batch["published_at"])
+        for cb in list(self._callbacks):
+            cb(batch)
+
+    def on_batch(self, callback: Callable[[dict[str, Any]], None]) -> None:
+        self._callbacks.append(callback)
+
+    def rows(self, cq_id: int) -> list[list[Any]]:
+        """All delivered rows for one continuous query, arrival order."""
+        out: list[list[Any]] = []
+        for batch in self.delivered.get(cq_id, []):
+            out.extend(batch["rows"])
+        return out
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        hub: Address,
+        sql: str,
+        *,
+        flavour: str = "stream",
+        lease: float = 300.0,
+        max_buffer: int | None = None,
+        overflow: str | None = None,
+        query_class: str = "",
+        deadline: "Deadline | None" = None,
+        watermark: float = 0.0,
+        timeout: float = 5.0,
+    ) -> int:
+        """Register a continuous query at a hub; returns the cq id.
+
+        ``deadline`` rides the registration hop exactly like a GMA
+        query: the remaining budget clamps the network timeout and
+        crosses the wire as ``deadline_budget``; an exhausted budget is
+        refused at the hub.  A shed registration raises
+        :class:`~repro.core.errors.OverloadError` with the hub's
+        retry-after hint.
+        """
+        payload: dict[str, Any] = {
+            "op": "register",
+            "sql": sql,
+            "host": self.address.host,
+            "port": self.address.port,
+            "flavour": flavour,
+            "lease": lease,
+            "watermark": watermark,
+        }
+        if max_buffer is not None:
+            payload["max_buffer"] = int(max_buffer)
+        if overflow is not None:
+            payload["overflow"] = overflow
+        if query_class:
+            payload["query_class"] = query_class
+        if deadline is not None:
+            timeout = deadline.clamp(timeout, "stream.register")
+            payload["deadline_budget"] = deadline.remaining()
+        ctx = self.tracer.context()
+        if ctx is not None:
+            payload["trace_ctx"] = ctx
+        with self.tracer.span("subscribe", hub=f"{hub.host}:{hub.port}"):
+            response = self.network.request(
+                self.host, hub, payload, timeout=timeout
+            )
+        response = response if isinstance(response, dict) else {}
+        if response.get("shed"):
+            self.stats["shed"] += 1
+            raise OverloadError(
+                str(response.get("error", "shed")),
+                retry_after=float(response.get("retry_after", 0.0)),
+                query_class=str(response.get("query_class", "")),
+            )
+        if not response.get("ok"):
+            raise NetworkError(f"register rejected: {response!r}")
+        reg = _Registration(
+            hub=hub,
+            cq_id=int(response["cq"]),
+            sql=sql,
+            flavour=flavour,
+            lease=lease,
+            max_buffer=max_buffer,
+            overflow=overflow,
+            query_class=query_class,
+        )
+        self._regs.append(reg)
+        self._ensure_renewals()
+        return reg.cq_id
+
+    def _control(self, hub: Address, payload: dict[str, Any]) -> dict[str, Any]:
+        response = self.network.request(self.host, hub, payload)
+        return response if isinstance(response, dict) else {}
+
+    def renew(self, hub: Address, cq_id: int, lease: float) -> bool:
+        return bool(
+            self._control(hub, {"op": "renew", "cq": cq_id, "lease": lease}).get(
+                "ok"
+            )
+        )
+
+    def pause(self, hub: Address, cq_id: int) -> bool:
+        return bool(self._control(hub, {"op": "pause", "cq": cq_id}).get("ok"))
+
+    def resume(self, hub: Address, cq_id: int) -> int:
+        response = self._control(hub, {"op": "resume", "cq": cq_id})
+        if not response.get("ok"):
+            raise NetworkError(f"resume rejected: {response!r}")
+        return int(response.get("flushed", 0))
+
+    def deregister(self, hub: Address, cq_id: int) -> bool:
+        ok = bool(self._control(hub, {"op": "deregister", "cq": cq_id}).get("ok"))
+        self._regs = [r for r in self._regs if r.cq_id != cq_id]
+        if not self._regs and self._renew_timer is not None:
+            self._renew_timer.cancel()
+            self._renew_timer = None
+            self._renew_period = 0.0
+        return ok
+
+    # ------------------------------------------------------------------
+    def _ensure_renewals(self) -> None:
+        """(Re)arm the renew timer at half the *shortest* live lease.
+
+        Recomputed on every registration — a later, shorter lease must
+        tighten the cadence, or it would expire between renewals (the
+        archiver had exactly this bug).
+        """
+        if not self._regs:
+            return
+        period = min(r.lease for r in self._regs) * self.RENEW_FRACTION
+        if self._renew_timer is not None:
+            if period >= self._renew_period:
+                return
+            self._renew_timer.cancel()
+        self._renew_period = period
+        self._renew_timer = self.network.clock.call_every(period, self._renew_all)
+
+    def _renew_all(self) -> None:
+        for reg in self._regs:
+            try:
+                ok = self.renew(reg.hub, reg.cq_id, reg.lease)
+            except NetworkError:
+                self.stats["renewal_failures"] += 1
+                continue
+            if ok:
+                self.stats["renewals"] += 1
+                continue
+            # The hub no longer knows this registration (lease lapsed
+            # beyond the tombstone grace — e.g. a healed partition):
+            # recover it with the last-seen watermark so a history
+            # flavour does not replay rows already delivered.
+            try:
+                response = self._control(
+                    reg.hub,
+                    {
+                        "op": "register",
+                        "sql": reg.sql,
+                        "host": self.address.host,
+                        "port": self.address.port,
+                        "flavour": reg.flavour,
+                        "lease": reg.lease,
+                        "watermark": reg.last_published,
+                        **(
+                            {"max_buffer": int(reg.max_buffer)}
+                            if reg.max_buffer is not None
+                            else {}
+                        ),
+                        **(
+                            {"overflow": reg.overflow}
+                            if reg.overflow is not None
+                            else {}
+                        ),
+                        **(
+                            {"query_class": reg.query_class}
+                            if reg.query_class
+                            else {}
+                        ),
+                    },
+                )
+            except NetworkError:
+                self.stats["renewal_failures"] += 1
+                continue
+            if response.get("ok"):
+                reg.cq_id = int(response["cq"])
+                self.stats["reregisters"] += 1
+            else:
+                self.stats["renewal_failures"] += 1
+
+    def stop(self) -> None:
+        """Deregister everything and stop renewing."""
+        for reg in list(self._regs):
+            try:
+                self._control(reg.hub, {"op": "deregister", "cq": reg.cq_id})
+            except NetworkError:
+                pass
+        self._regs.clear()
+        if self._renew_timer is not None:
+            self._renew_timer.cancel()
+            self._renew_timer = None
+            self._renew_period = 0.0
+
+
+# ----------------------------------------------------------------------
+# Derived streams
+# ----------------------------------------------------------------------
+#: Derived-group aggregate columns appended after the key column.
+DERIVED_FIELDS = (
+    GlueField("AvgValue", "REAL"),
+    GlueField("MinValue", "REAL"),
+    GlueField("MaxValue", "REAL"),
+    GlueField("Samples", "INTEGER"),
+    GlueField("WindowStart", "TIMESTAMP"),
+    GlueField("WindowEnd", "TIMESTAMP"),
+)
+
+
+@dataclass
+class _Derivation:
+    """One windowed aggregation over an upstream continuous query."""
+
+    hub: Address
+    cq_id: int
+    group: str
+    key_column: str
+    value_column: str
+    window: float
+    window_start: float
+    #: (key, value) samples accumulated since the last roll.
+    pending: list[tuple[Any, float]] = field(default_factory=list)
+    task: Any = None
+    windows_published: int = 0
+
+
+class Republisher(EventArchiver):
+    """The :class:`~repro.gma.archiver.EventArchiver`, upgraded from an
+    archiving consumer into a producer of derived streams.
+
+    R-GMA's archiver/republisher shape: besides archiving upstream
+    *event* feeds (the inherited behaviour), it subscribes to upstream
+    *tuple* streams, folds each window into per-key aggregates (e.g.
+    per-host ``AVG(load)``), and publishes the derived rows through an
+    **own** :class:`StreamHub` — downstream consumers register
+    continuous queries against the derived group exactly as against any
+    gateway.
+
+    ``derive()`` declares one aggregation: it registers the upstream
+    continuous query, adds a GLUE group for the derived rows to the
+    republisher's private schema (key column + :data:`DERIVED_FIELDS`),
+    and rolls a window every ``window`` virtual seconds.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        *,
+        archive_port: int = 8450,
+        hub_port: int = STREAM_PORT,
+        consumer_port: int = CONSUMER_PORT,
+        max_rows: int = 100_000,
+        policy: GatewayPolicy | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        super().__init__(network, host, port=archive_port, max_rows=max_rows)
+        self.policy = policy if policy is not None else GatewayPolicy()
+        self.tracer = tracer if tracer is not None else NO_TRACER
+        self.schema = GlueSchema("derived-1")
+        # Private plan cache over the derived schema: downstream
+        # continuous queries against derived groups compile here.  The
+        # schema object is mutable (derive() adds groups), and new
+        # groups only ever *add* — cached plans stay valid.
+        from repro.core.plans import PlanCache
+
+        self.plans = PlanCache(self.schema, tracer=self.tracer)
+        self.hub = StreamHub(
+            network,
+            host,
+            plans=self.plans,
+            schema=self.schema,
+            policy=self.policy,
+            tracer=self.tracer,
+            port=hub_port,
+        )
+        self.consumer = StreamConsumer(
+            network, host, port=consumer_port, tracer=self.tracer
+        )
+        self.consumer.on_batch(self._on_batch)
+        self._derivations: list[_Derivation] = []
+        # Extends the inherited archiver counters, never replaces them.
+        self.stats.update({"samples": 0, "windows": 0, "skipped_rows": 0})
+
+    # ------------------------------------------------------------------
+    def derive(
+        self,
+        upstream: Address,
+        sql: str,
+        *,
+        key_column: str,
+        value_column: str,
+        window: float,
+        group: str,
+        flavour: str = "stream",
+        lease: float = 300.0,
+        query_class: str = "",
+    ) -> _Derivation:
+        """Declare one windowed aggregation over an upstream stream."""
+        if window <= 0:
+            raise ValueError(f"window must be > 0: {window!r}")
+        if not self.schema.has_group(group):
+            self.schema.add_group(
+                GlueGroup(
+                    name=group,
+                    fields=(GlueField(key_column, "TEXT"),) + DERIVED_FIELDS,
+                    description=f"windowed {value_column} aggregate of {sql!r}",
+                )
+            )
+        cq_id = self.consumer.register(
+            upstream,
+            sql,
+            flavour=flavour,
+            lease=lease,
+            query_class=query_class,
+        )
+        derivation = _Derivation(
+            hub=upstream,
+            cq_id=cq_id,
+            group=group,
+            key_column=key_column,
+            value_column=value_column,
+            window=window,
+            window_start=self.network.clock.now(),
+        )
+        derivation.task = self.network.clock.call_every(
+            window, lambda d=derivation: self._roll(d)
+        )
+        self._derivations.append(derivation)
+        return derivation
+
+    def _on_batch(self, batch: dict[str, Any]) -> None:
+        for derivation in self._derivations:
+            if derivation.cq_id != batch["cq"]:
+                continue
+            columns = batch["columns"]
+            try:
+                ki = columns.index(derivation.key_column)
+                vi = columns.index(derivation.value_column)
+            except ValueError:
+                self.stats["skipped_rows"] += len(batch["rows"])
+                continue
+            for row in batch["rows"]:
+                value = row[vi]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    self.stats["skipped_rows"] += 1
+                    continue
+                derivation.pending.append((row[ki], float(value)))
+                self.stats["samples"] += 1
+
+    def _roll(self, derivation: _Derivation) -> None:
+        """Close one window: publish per-key aggregates, reset pending."""
+        now = self.network.clock.now()
+        window_start, derivation.window_start = derivation.window_start, now
+        samples, derivation.pending = derivation.pending, []
+        if not samples:
+            return
+        by_key: dict[Any, list[float]] = {}
+        for key, value in samples:
+            by_key.setdefault(key, []).append(value)
+        columns = [derivation.key_column] + [f.name for f in DERIVED_FIELDS]
+        rows = [
+            [
+                key,
+                sum(values) / len(values),
+                min(values),
+                max(values),
+                len(values),
+                window_start,
+                now,
+            ]
+            for key, values in sorted(by_key.items(), key=lambda kv: str(kv[0]))
+        ]
+        derivation.windows_published += 1
+        self.stats["windows"] += 1
+        self.hub.publish(
+            derivation.group,
+            columns,
+            rows,
+            source_url=f"republish://{self.host}/{derivation.group}",
+        )
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Deregister everywhere, stop window rolls and the hub sweep."""
+        super().stop()
+        for derivation in self._derivations:
+            if derivation.task is not None:
+                derivation.task.cancel()
+                derivation.task = None
+        self._derivations.clear()
+        self.consumer.stop()
+        self.hub.close()

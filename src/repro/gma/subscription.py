@@ -90,7 +90,9 @@ class EventPublisher:
       ``(..., max_buffer, overflow)`` to size the backpressure buffer
       (0 = the gateway policy's ``subscription_buffer_limit``) and pick
       the overflow policy (``"drop_oldest"`` | ``"pause"``)
-    * ``("renew", subscription_id, lease_s)`` -> ``("ok",)`` | ``("missing",)``
+    * ``("renew", subscription_id, lease_s)`` -> ``("ok",)`` | ``("missing",)``;
+      a renewal arriving within one sweep period of the sweeper removing
+      the subscription resurrects it in place (see :meth:`sweep`)
     * ``("unsubscribe", subscription_id)`` -> ``("ok",)`` | ``("missing",)``
     * ``("pause", subscription_id)`` -> ``("ok",)`` — stop pushing;
       events buffer (bounded) until resume
@@ -105,8 +107,16 @@ class EventPublisher:
         self.gateway = gateway
         self.address = Address(gateway.host, port)
         self._subs: dict[int, _Subscription] = {}
+        #: Swept subscriptions, kept resurrectable until the next sweep.
+        self._tombstones: dict[int, _Subscription] = {}
         self._ids = itertools.count(1)
-        self.stats = {"published": 0, "expired": 0, "subscribes": 0, "dropped": 0}
+        self.stats = {
+            "published": 0,
+            "expired": 0,
+            "subscribes": 0,
+            "dropped": 0,
+            "resurrected": 0,
+        }
         gateway.network.listen(self.address, self._handle_control)
         gateway.events.register_listener(self._on_event)
         gateway.network.clock.call_every(self.SWEEP_PERIOD, self.sweep)
@@ -146,11 +156,26 @@ class EventPublisher:
         if op == "renew":
             sub = self._subs.get(payload[1])
             if sub is None:
-                return ("missing",)
+                # Tombstone grace: this renewal may have been on the
+                # wire — sent while the lease was still live — when the
+                # sweeper ran; transport delay carries the arrival past
+                # the lease-expiry instant, so the sweep removes the
+                # subscription first and the renewal would land on
+                # nothing.  Within one sweep period the renewal
+                # resurrects it, buffers intact.
+                sub = self._tombstones.pop(payload[1], None)
+                if sub is None:
+                    return ("missing",)
+                self._subs[payload[1]] = sub
+                self.stats["resurrected"] += 1
             sub.expires_at = now + float(payload[2] or self.DEFAULT_LEASE)
             return ("ok",)
         if op == "unsubscribe":
-            return ("ok",) if self._subs.pop(payload[1], None) else ("missing",)
+            if self._subs.pop(payload[1], None) or self._tombstones.pop(
+                payload[1], None
+            ):
+                return ("ok",)
+            return ("missing",)
         if op == "pause":
             sub = self._subs.get(payload[1])
             if sub is None:
@@ -218,11 +243,19 @@ class EventPublisher:
         }
 
     def sweep(self) -> int:
-        """Drop expired subscriptions; returns how many were removed."""
+        """Tombstone expired subscriptions; returns how many moved.
+
+        Tombstones from the *previous* sweep are discarded first, so a
+        swept subscription stays renew-resurrectable for exactly one
+        sweep period — long enough for a renewal whose arrival the
+        virtual clock carried past the expiry instant, or across a
+        short partition, to land.
+        """
+        self._tombstones.clear()
         now = self.gateway.network.clock.now()
         dead = [sid for sid, s in self._subs.items() if s.expires_at < now]
         for sid in dead:
-            del self._subs[sid]
+            self._tombstones[sid] = self._subs.pop(sid)
         self.stats["expired"] += len(dead)
         return len(dead)
 

@@ -316,6 +316,51 @@ class Console:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Streaming / continuous-query view
+    # ------------------------------------------------------------------
+    def streams_panel(self) -> str:
+        """Continuous-query hub state: live subscriptions, push/replay
+        counters and per-subscription buffers (one line when the
+        streaming plane is disabled)."""
+        gw = self.gateway
+        if gw.streams is None:
+            return (
+                "Continuous queries: DISABLED "
+                "(policy.streaming_enabled=False)"
+            )
+        snap = gw.streams.snapshot()
+        lines = [
+            f"Continuous queries @ t={gw.network.clock.now():.1f}s  "
+            f"(sweep every {gw.policy.stream_sweep_period:g}s, "
+            f"default lease {gw.policy.stream_default_lease:g}s, "
+            f"cap {gw.policy.stream_max_subscriptions})",
+            f"  subscriptions: {snap['subscriptions']} live, "
+            f"{snap['tombstones']} in tombstone grace, "
+            f"{snap['registered']} registered since start "
+            f"({snap['expired']} expired, {snap['resurrected']} resurrected, "
+            f"{snap['shed']} shed)",
+            f"  pushes: {snap['pushes']} batches / {snap['tuples']} tuples, "
+            f"replayed {snap['replayed']} on attach",
+            f"  backpressure: {snap['dropped']} dropped, "
+            f"{snap['suppressed']} suppressed in brownout",
+            f"  groups seen: {', '.join(snap['groups']) or '(none)'}",
+        ]
+        buffers = gw.streams.buffer_stats()
+        if buffers:
+            lines.append("Live subscriptions:")
+            for cq_id, b in sorted(buffers.items()):
+                state = "PAUSED" if b["paused"] else "live"
+                lines.append(
+                    f"  - cq{cq_id} [{state}] {b['flavour']}/"
+                    f"{b['query_class'] or 'interactive'} on {b['group']}: "
+                    f"{b['delivered']} batches ({b['tuples']} tuples) "
+                    f"delivered, buffer {b['buffered']}/{b['max_buffer']} "
+                    f"({b['overflow']}, {b['dropped']} dropped)  "
+                    f"{b['sql'][:48]}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Chaos / resilience view
     # ------------------------------------------------------------------
     def chaos_panel(self) -> str:

@@ -23,7 +23,9 @@ HTTP-style request handler bound to the gateway host that serves
   durable history engine;
 * ``GET /overload``     — admission-control pressure state, shed ledger
   and adaptive concurrency limits.  A request the gateway sheds comes
-  back as ``503`` with the retry-after hint.
+  back as ``503`` with the retry-after hint;
+* ``GET /streams``      — continuous-query hub state: live
+  subscriptions, push/replay counters and per-subscription buffers.
 
 Requests and responses are simple strings ("GET /path?query"), which is
 all the simulated transport needs while exercising the same parsing,
@@ -116,6 +118,8 @@ class GatewayServlet:
             return _status(200, self.console.durability_panel())
         if path == "/overload":
             return _status(200, self.console.overload_panel())
+        if path == "/streams":
+            return _status(200, self.console.streams_panel())
         if path.startswith("/trace/"):
             trace_id = path[len("/trace/"):]
             if self.gateway.tracer.get(trace_id) is None:

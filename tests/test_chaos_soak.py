@@ -18,7 +18,7 @@ job runs the bigger CLI scenario on two fixed seeds.
 
 import pytest
 
-from repro.chaos import run_chaos, run_overload
+from repro.chaos import run_chaos, run_overload, run_stream
 
 ROUNDS = 8
 WARMUP = 4
@@ -201,3 +201,89 @@ def test_race_detector_clean_and_non_perturbing(overload_on):
     assert watched.race_findings == [], watched.race_findings
     assert watched.race_accesses > 0
     assert watched.signature == overload_on.signature
+
+
+# ----------------------------------------------------------------------
+# Streaming soak (continuous SQL subscriptions under the fault plane)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream_soak():
+    return run_stream(seed=3, rounds=10)
+
+
+def assert_stream_invariants(report):
+    assert report.pending_futures == 0, "stuck NetFutures after drain"
+    assert report.trace_violations == [], report.trace_violations
+    assert report.stuck_buffers == [], report.stuck_buffers
+    assert report.delivered_batches > 0
+    assert report.delivered_rows > 0
+    assert report.signature
+
+
+def test_stream_replay_identity_same_seed(stream_soak):
+    """Same seed, same knobs: every delivered batch is byte-identical."""
+    again = run_stream(seed=3, rounds=10)
+    assert stream_soak.signature == again.signature
+    assert stream_soak.delivered_batches == again.delivered_batches
+    assert stream_soak.reregisters == again.reregisters
+    assert_stream_invariants(stream_soak)
+    assert_stream_invariants(again)
+
+
+def test_stream_different_seeds_produce_different_runs():
+    assert (
+        run_stream(seed=7, rounds=6).signature
+        != run_stream(seed=8, rounds=6).signature
+    )
+
+
+def test_stream_replay_batches_precede_live(stream_soak):
+    """latest/history registrations replayed state on attach."""
+    assert stream_soak.replay_batches > 0
+    assert stream_soak.replayed > 0
+
+
+def test_stream_lease_recovery_after_partition(stream_soak):
+    """The consumer partition outlives the lease: subscriptions expire
+    at the hub and the consumer must win them back by re-registering."""
+    assert stream_soak.expired > 0
+    assert stream_soak.reregisters > 0
+    assert stream_soak.delivered_batches > stream_soak.replay_batches
+
+
+def test_stream_no_partition_keeps_every_lease():
+    report = run_stream(seed=3, rounds=8, partition=False)
+    assert report.reregisters == 0
+    assert report.renewals > 0
+    assert_stream_invariants(report)
+
+
+def test_stream_derived_windows_roll(stream_soak):
+    """The republisher aggregated upstream pushes into derived batches."""
+    assert stream_soak.derived_windows > 0
+    assert stream_soak.derived_samples > 0
+
+
+def test_stream_race_detector_clean_and_non_perturbing(stream_soak):
+    """Hub state under the PR 7 lane-race discipline: zero findings,
+    and watching does not change a single delivered byte."""
+    watched = run_stream(seed=3, rounds=10, race_detect=True)
+    assert watched.race_findings == [], watched.race_findings
+    assert watched.race_accesses > 0
+    assert watched.signature == stream_soak.signature
+
+
+def test_stream_report_rendering_and_dict(stream_soak):
+    text = stream_soak.format()
+    assert "replay signature" in text
+    assert "subscription(s)" in text
+    payload = stream_soak.as_dict()
+    for key in (
+        "seed",
+        "signature",
+        "delivered_batches",
+        "reregisters",
+        "stuck_buffers",
+        "pending_futures",
+    ):
+        assert key in payload

@@ -125,3 +125,54 @@ class TestWithAlertRules:
             "SELECT COUNT(*) FROM events WHERE name = 'alert.always'"
         )
         assert result.rows[0][0] >= 2
+
+
+class TestLeaseRecovery:
+    """Regressions for the renewal machinery fixed alongside the
+    streaming plane: resubscribe-on-missing and timer tightening."""
+
+    def test_resubscribes_when_publisher_forgot_the_lease(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        sid = archiver.follow(pa, lease=60.0)
+        network.clock.advance(10.0)
+        # Simulate a lapse beyond the tombstone grace: the publisher
+        # dropped the subscription while the archiver still holds it.
+        pa._subs.pop(sid)
+        archiver._renew_all()
+        assert archiver.stats["resubscribes"] == 1
+        new_sid = archiver._feeds[0].subscription_id
+        assert new_sid != sid
+        assert pa.subscriber_count() == 1
+        # The recovered feed archives events again.
+        n = archiver.event_count()
+        network.clock.advance(120.0)
+        assert archiver.event_count() > n
+
+    def test_later_shorter_lease_tightens_renew_cadence(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, lease=600.0)
+        assert archiver._renew_period == 300.0
+        # A second feed with a much shorter lease must re-arm the timer
+        # at half *its* lease, or it would expire between renewals.
+        archiver.follow(pb, lease=60.0)
+        assert archiver._renew_period == 30.0
+        network.clock.advance(200.0)
+        assert archiver.stats["renewals"] >= 2 * (200 // 30 - 1)
+        assert pb.subscriber_count() == 1  # never lapsed
+
+    def test_longer_lease_does_not_loosen_cadence(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, lease=60.0)
+        archiver.follow(pb, lease=600.0)
+        assert archiver._renew_period == 30.0
+
+    def test_stop_resets_timer_state_for_reuse(self, fabric):
+        network, a, b, pa, pb, archiver = fabric
+        archiver.follow(pa, lease=60.0)
+        archiver.stop()
+        assert archiver._renew_timer is None
+        assert archiver._renew_period == 0.0
+        # A fresh follow after stop() re-arms from scratch.
+        archiver.follow(pb, lease=100.0)
+        assert archiver._renew_period == 50.0
+        archiver.stop()

@@ -226,3 +226,52 @@ class TestBackpressure:
         stats = publisher.buffer_stats()[sid]
         assert stats["max_buffer"] == site.gateway.policy.subscription_buffer_limit
         assert stats["overflow"] == "drop_oldest"
+
+
+class TestTombstoneGrace:
+    """A swept subscription stays renew-resurrectable for one sweep
+    period — the regression guard for the lease-gap race where a
+    renewal already on the wire loses to the sweeper."""
+
+    def test_renewal_in_flight_across_sweep_resurrects(self, rig):
+        network, site, publisher, subscriber = rig
+        got = []
+        subscriber.on_event(got.append)
+        # The subscriber sits in another site: ~40ms one-way WAN delay.
+        sid = subscriber.subscribe(publisher.address, lease=30.0)
+        expiry = publisher._subs[sid].expires_at
+        network.clock.call_at(expiry + 0.001, publisher.sweep)
+        outcomes = []
+        network.clock.call_at(
+            expiry - 0.02,  # sent while alive, arrives after the sweep
+            lambda: outcomes.append(
+                subscriber.renew(publisher.address, sid, 300.0)
+            ),
+        )
+        network.clock.advance(31.0)
+        assert publisher.stats["expired"] == 1, "sweep must win the race"
+        assert outcomes == [True]
+        assert publisher.stats["resurrected"] == 1
+        assert publisher.subscriber_count() == 1
+        # The resurrected subscription keeps receiving events.
+        n = len(got)
+        network.clock.advance(60.0)
+        assert len(got) > n
+
+    def test_tombstone_discarded_after_one_sweep_period(self, rig):
+        network, site, publisher, subscriber = rig
+        sid = subscriber.subscribe(publisher.address, lease=10.0)
+        network.clock.advance(15.0)
+        publisher.sweep()
+        publisher.sweep()  # grace over
+        assert not subscriber.renew(publisher.address, sid, 10.0)
+        assert publisher.subscriber_count() == 0
+
+    def test_unsubscribe_reaches_into_tombstones(self, rig):
+        network, site, publisher, subscriber = rig
+        sid = subscriber.subscribe(publisher.address, lease=10.0)
+        network.clock.advance(15.0)
+        publisher.sweep()
+        assert subscriber.unsubscribe(publisher.address, sid)
+        # Gone for good: a renewal within the grace window finds nothing.
+        assert not subscriber.renew(publisher.address, sid, 10.0)
